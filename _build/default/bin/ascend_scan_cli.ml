@@ -1,0 +1,260 @@
+(* Command-line driver for the simulated Ascend scan library.
+
+   Subcommands:
+     scan   run a scan algorithm over a synthetic workload
+     sort   run the radix sort (and optionally the bitonic baseline)
+     topp   run one top-p sampling step
+     info   print the device / cost-model description
+
+   Examples:
+     ascend_scan_cli scan --algo mcscan -n 1048576 --check
+     ascend_scan_cli scan --algo scanul1 -n 65536 -s 64 --cost-only
+     ascend_scan_cli sort -n 262144 --baseline
+     ascend_scan_cli topp -n 32768 -p 0.9 --theta 0.3 *)
+
+open Cmdliner
+
+let make_device cost_only =
+  Ascend.Device.create
+    ~mode:(if cost_only then Ascend.Device.Cost_only else Ascend.Device.Functional)
+    ()
+
+let print_stats st = Format.printf "%a@." Ascend.Stats.pp st
+
+(* Common options. *)
+
+let n_arg =
+  Arg.(value & opt int 65536 & info [ "n"; "length" ] ~docv:"N" ~doc:"Input length.")
+
+let s_arg =
+  Arg.(
+    value
+    & opt int 128
+    & info [ "s"; "tile" ] ~docv:"S" ~doc:"Matrix tile size (16..128).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let cost_only_arg =
+  Arg.(
+    value & flag
+    & info [ "cost-only" ]
+        ~doc:"Skip functional computation; model timing only (allows huge N).")
+
+(* scan subcommand. *)
+
+let scan_cmd =
+  let algo_arg =
+    let algo_conv =
+      Arg.conv ~docv:"ALGO"
+        ( (fun s ->
+            match Scan.Scan_api.algo_of_string s with
+            | Some a -> Ok a
+            | None -> Error (`Msg ("unknown algorithm: " ^ s))),
+          fun fmt a ->
+            Format.pp_print_string fmt (Scan.Scan_api.algo_to_string a) )
+    in
+    Arg.(
+      value
+      & opt algo_conv Scan.Scan_api.Mc
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:"Algorithm: vec_only, scanu, scanul1, mcscan or tcu.")
+  in
+  let exclusive_arg =
+    Arg.(value & flag & info [ "exclusive" ] ~doc:"Exclusive scan (mcscan only).")
+  in
+  let check_arg =
+    Arg.(value & flag & info [ "check" ] ~doc:"Validate against the reference oracle.")
+  in
+  let run algo n s exclusive cost_only check seed =
+    let device = make_device cost_only in
+    let x =
+      if cost_only then Ascend.Device.alloc device Ascend.Dtype.F16 n ~name:"x"
+      else
+        Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x"
+          (Array.init n (fun i -> if (i + seed) mod 53 = 0 then 1.0 else 0.0))
+    in
+    let y, st = Scan.Scan_api.run ~s ~exclusive ~algo device x in
+    print_stats st;
+    Format.printf "effective scan bandwidth: %.1f GB/s@."
+      (Workload.Metrics.scan_bandwidth st ~n ~esize:2 /. 1e9);
+    if check && not cost_only then begin
+      let input =
+        Array.init n (fun i -> if (i + seed) mod 53 = 0 then 1.0 else 0.0)
+      in
+      match
+        Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round
+          ~exclusive ~input ~output:y ()
+      with
+      | Ok () -> Format.printf "check: ok@."
+      | Error e ->
+          Format.printf "check: FAILED (%s)@." e;
+          exit 1
+    end
+  in
+  let term =
+    Term.(
+      const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ cost_only_arg
+      $ check_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "scan" ~doc:"Run a parallel scan algorithm.") term
+
+(* sort subcommand. *)
+
+let sort_cmd =
+  let baseline_arg =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Also run the bitonic torch.sort model.")
+  in
+  let bits_arg =
+    Arg.(value & opt int 16 & info [ "bits" ] ~docv:"BITS" ~doc:"Radix passes (u16 keys).")
+  in
+  let run n s bits baseline cost_only seed =
+    let device = make_device cost_only in
+    (* Fewer than 16 bits selects the low-precision u16 key path. *)
+    let dtype = if bits < 16 then Ascend.Dtype.U16 else Ascend.Dtype.F16 in
+    let x =
+      if cost_only then Ascend.Device.alloc device dtype n ~name:"keys"
+      else if bits < 16 then
+        Ascend.Device.of_array device dtype ~name:"keys"
+          (Array.init n (fun i ->
+               float_of_int ((i * 2654435761) land ((1 lsl bits) - 1))))
+      else
+        Ascend.Device.of_array device dtype ~name:"keys"
+          (Workload.Generators.uniform_f16 ~seed ~lo:(-100.0) ~hi:100.0 n)
+    in
+    let r = Ops.Radix_sort.run ~s ~bits device x in
+    print_stats r.Ops.Radix_sort.stats;
+    if not cost_only then begin
+      let sorted = ref true in
+      for i = 1 to n - 1 do
+        if
+          Ascend.Global_tensor.get r.Ops.Radix_sort.values (i - 1)
+          > Ascend.Global_tensor.get r.Ops.Radix_sort.values i
+        then sorted := false
+      done;
+      Format.printf "sorted: %b@." !sorted
+    end;
+    if baseline then
+      if bits < 16 then
+        Format.printf "baseline: skipped (torch.sort model takes f16 keys)@."
+      else if n land (n - 1) <> 0 then
+        Format.printf "baseline: skipped (bitonic model needs a power-of-two n)@."
+      else begin
+        let _, st = Ops.Baseline.sort device x in
+        print_stats st;
+        Format.printf "radix speedup over torch.sort: %.2fx@."
+          (st.Ascend.Stats.seconds
+          /. r.Ops.Radix_sort.stats.Ascend.Stats.seconds)
+      end
+  in
+  let term =
+    Term.(
+      const run $ n_arg $ s_arg $ bits_arg $ baseline_arg $ cost_only_arg
+      $ seed_arg)
+  in
+  Cmd.v (Cmd.info "sort" ~doc:"Run the cube-split radix sort.") term
+
+(* topp subcommand. *)
+
+let topp_cmd =
+  let p_arg =
+    Arg.(value & opt float 0.9 & info [ "p" ] ~docv:"P" ~doc:"Nucleus mass.")
+  in
+  let theta_arg =
+    Arg.(value & opt float 0.4 & info [ "theta" ] ~docv:"T" ~doc:"Uniform draw in [0,1).")
+  in
+  let run n s p theta cost_only seed =
+    let device = make_device cost_only in
+    let probs =
+      if cost_only then Ascend.Device.alloc device Ascend.Dtype.F16 n ~name:"probs"
+      else
+        Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"probs"
+          (Workload.Generators.softmax_probs ~seed n)
+    in
+    let r = Ops.Topp.sample ~s device ~probs ~p ~theta in
+    print_stats r.Ops.Topp.stats;
+    (match r.Ops.Topp.token with
+    | Some tok -> Format.printf "token: %d (nucleus %d tokens)@." tok r.Ops.Topp.kept
+    | None -> Format.printf "token: n/a (cost-only)@.")
+  in
+  let term =
+    Term.(const run $ n_arg $ s_arg $ p_arg $ theta_arg $ cost_only_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "topp" ~doc:"Run one top-p (nucleus) sampling step.") term
+
+(* reduce subcommand. *)
+
+let reduce_cmd =
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("cube", `Cube); ("vec", `Vec) ]) `Cube
+      & info [ "engine" ] ~docv:"ENGINE" ~doc:"cube (matmul-only) or vec.")
+  in
+  let run n s engine cost_only seed =
+    let device = make_device cost_only in
+    let x =
+      if cost_only then Ascend.Device.alloc device Ascend.Dtype.F16 n ~name:"x"
+      else
+        Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x"
+          (Workload.Generators.small_ints ~seed ~max_value:3 n)
+    in
+    let total, _, st =
+      match engine with
+      | `Cube -> Scan.Cube_reduce.run_cube ~s device x
+      | `Vec -> Scan.Cube_reduce.run_vec device x
+    in
+    print_stats st;
+    if not cost_only then Format.printf "sum: %g@." total
+  in
+  let term =
+    Term.(const run $ n_arg $ s_arg $ engine_arg $ cost_only_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "reduce" ~doc:"Run a sum reduction (cube or vector engines).") term
+
+(* topk subcommand. *)
+
+let topk_cmd =
+  let k_arg =
+    Arg.(value & opt int 256 & info [ "k" ] ~docv:"K" ~doc:"Number of largest values.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("stock", `Stock); ("quickselect", `Quick); ("radix", `Radix) ]) `Radix
+      & info [ "impl" ] ~docv:"IMPL" ~doc:"stock, quickselect or radix.")
+  in
+  let run n k algo seed =
+    let device = make_device false in
+    let x =
+      Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x"
+        (Workload.Generators.uniform_f16 ~seed ~lo:(-100.0) ~hi:100.0 n)
+    in
+    let out, st =
+      match algo with
+      | `Stock -> Ops.Baseline.topk device x ~k
+      | `Quick -> Ops.Topk.run device x ~k
+      | `Radix -> Ops.Radix_select.run device x ~k
+    in
+    print_stats st;
+    Format.printf "top-3: %g %g %g@."
+      (Ascend.Global_tensor.get out 0)
+      (Ascend.Global_tensor.get out (min 1 (k - 1)))
+      (Ascend.Global_tensor.get out (min 2 (k - 1)))
+  in
+  let term = Term.(const run $ n_arg $ k_arg $ algo_arg $ seed_arg) in
+  Cmd.v (Cmd.info "topk" ~doc:"Run a top-k selection.") term
+
+(* info subcommand. *)
+
+let info_cmd =
+  let run () =
+    Format.printf "%a@." Ascend.Cost_model.pp Ascend.Cost_model.default
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print the simulated device description.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Parallel scans and scan-based operators on a simulated Ascend accelerator." in
+  let main = Cmd.group (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
+  exit (Cmd.eval main)

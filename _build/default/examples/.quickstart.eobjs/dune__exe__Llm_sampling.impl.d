@@ -1,0 +1,1 @@
+examples/llm_sampling.ml: Array Ascend Device Dtype Float Format Fp16 Global_tensor List Ops Random Scan Stats Vec

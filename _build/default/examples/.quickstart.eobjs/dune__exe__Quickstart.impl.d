@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ascend Device Dtype Format Fp16 Global_tensor List Scan Stats

@@ -1,0 +1,1 @@
+examples/ragged_batch.ml: Array Ascend Device Dtype Format Fp16 Global_tensor Random Scan Stats

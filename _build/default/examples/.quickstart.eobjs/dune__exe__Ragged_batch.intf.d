@@ -1,0 +1,1 @@
+examples/ragged_batch.mli:

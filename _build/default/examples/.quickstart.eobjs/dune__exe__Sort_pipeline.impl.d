@@ -1,0 +1,1 @@
+examples/sort_pipeline.ml: Array Ascend Device Dtype Format Fp16 Global_tensor Ops Option Stats

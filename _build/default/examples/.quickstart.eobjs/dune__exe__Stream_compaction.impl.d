@@ -1,0 +1,1 @@
+examples/stream_compaction.ml: Ascend Device Dtype Format Global_tensor Ops Option Stats Vec Workload

@@ -1,0 +1,97 @@
+(* LLM token sampling: the workload that motivates the paper's
+   operators. Builds a softmax over raw logits entirely out of device
+   kernels (exp map, MCScan for the normaliser, scale map), then draws
+   tokens with top-p (nucleus) sampling — 17 scans per draw — and with
+   plain weighted sampling, comparing against the stock operators.
+
+   Run with: dune exec examples/llm_sampling.exe *)
+
+open Ascend
+
+let vocab = 32768 (* a Llama-2-ish vocabulary, power of two for the baseline *)
+
+(* softmax(logits) computed on-device: shifted exp pass (the usual
+   max-subtraction keeps fp16 from overflowing), scan for the sum,
+   scale pass. fp16 throughout, like inference servers run it. *)
+let device_softmax device ~max_logit logits =
+  let n = Global_tensor.length logits in
+  let exps = Device.alloc device Dtype.F16 n ~name:"exps" in
+  let st_exp =
+    Ops.Map_kernel.run ~name:"softmax_exp" device ~inputs:[ logits ]
+      ~output:exps
+      ~f:(fun ctx ~vec ~ins ~out ~scratch:_ ~len ->
+        match ins with
+        | [ src ] ->
+            Vec.adds ctx ~vec ~src ~dst:out ~scalar:(-.max_logit) ~len ();
+            Vec.exp ctx ~vec ~src:out ~dst:out ~len ()
+        | _ -> assert false)
+  in
+  let cdf, st_scan = Scan.Mcscan.run device exps in
+  let total = Global_tensor.get cdf (n - 1) in
+  let probs = Device.alloc device Dtype.F16 n ~name:"probs" in
+  let st_scale =
+    Ops.Map_kernel.run ~name:"softmax_scale" device ~inputs:[ exps ]
+      ~output:probs
+      ~f:(fun ctx ~vec ~ins ~out ~scratch:_ ~len ->
+        match ins with
+        | [ src ] ->
+            Vec.muls ctx ~vec ~src ~dst:out ~scalar:(1.0 /. total) ~len ()
+        | _ -> assert false)
+  in
+  (probs, Stats.combine ~name:"softmax" [ st_exp; st_scan; st_scale ])
+
+let () =
+  let device = Device.create () in
+  (* Peaked logits: a realistic next-token distribution. *)
+  let logits_data =
+    let rng = Random.State.make [| 2024 |] in
+    Array.init vocab (fun _ ->
+        let u = Random.State.float rng 1.0 in
+        Fp16.round (8.0 *. u *. u))
+  in
+  let logits = Device.of_array device Dtype.F16 ~name:"logits" logits_data in
+
+  let max_logit = Array.fold_left Float.max neg_infinity logits_data in
+  let probs, st_softmax = device_softmax device ~max_logit logits in
+  Format.printf "device softmax:   %a@." Stats.pp_summary st_softmax;
+
+  (* Draw a few nucleus samples with different uniform draws. *)
+  Format.printf "@.top-p sampling (p = 0.9), radix sort + MCScan:@.";
+  List.iter
+    (fun theta ->
+      let r = Ops.Topp.sample device ~probs ~p:0.9 ~theta in
+      match r.Ops.Topp.token with
+      | Some tok ->
+          Format.printf
+            "  theta=%.2f -> token %6d (prob %.5f, nucleus %d tokens, %.0f us \
+             simulated)@."
+            theta tok
+            (Global_tensor.get probs tok)
+            r.Ops.Topp.kept
+            (r.Ops.Topp.stats.Stats.seconds *. 1e6)
+      | None -> assert false)
+    [ 0.05; 0.35; 0.65; 0.95 ];
+
+  (* The same pipeline over the stock operators, for comparison. *)
+  let b = Ops.Topp.sample_baseline device ~probs ~p:0.9 ~theta:0.35 in
+  Format.printf "stock pipeline (torch.sort + torch.cumsum): %.0f us simulated@."
+    (b.Ops.Topp.stats.Stats.seconds *. 1e6);
+
+  (* Plain weighted sampling: unlike torch.multinomial, the support
+     size is unbounded (here it is small, but see Section 5). *)
+  Format.printf "@.weighted sampling:@.";
+  List.iter
+    (fun theta ->
+      let tok, st = Ops.Weighted_sampling.sample device ~weights:probs ~theta in
+      Format.printf "  theta=%.2f -> token %6d (%.0f us simulated)@." theta tok
+        (st.Stats.seconds *. 1e6))
+    [ 0.25; 0.75 ];
+
+  (* And top-k for greedy-ish decoding. *)
+  let topk, st = Ops.Baseline.topk device probs ~k:5 in
+  Format.printf "@.top-5 probabilities (stock streaming top-k, %.0f us):@  "
+    (st.Stats.seconds *. 1e6);
+  for i = 0 to 4 do
+    Format.printf "%.5f " (Global_tensor.get topk i)
+  done;
+  Format.printf "@."

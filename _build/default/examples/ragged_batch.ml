@@ -1,0 +1,81 @@
+(* Ragged (variable-length) batches: the segmented-scan extension.
+
+   LLM serving batches sequences of different lengths into one flat
+   buffer. A segmented scan computes per-sequence prefix sums (here:
+   cumulative attention mass per sequence) in one launch, without
+   padding to the longest sequence; the cube reduction then gives the
+   grand total, reading the data once with the vector cores left free.
+
+   Run with: dune exec examples/ragged_batch.exe *)
+
+open Ascend
+
+let () =
+  let device = Device.create () in
+  let rng = Random.State.make [| 7 |] in
+
+  (* 32 sequences with lengths between 100 and 1800, flattened (short
+     enough that per-sequence integer sums stay exact in fp16). *)
+  let lengths = Array.init 32 (fun _ -> 100 + Random.State.int rng 1700) in
+  let n = Array.fold_left ( + ) 0 lengths in
+  let flags = Array.make n 0.0 in
+  let _ =
+    Array.fold_left
+      (fun off len ->
+        flags.(off) <- 1.0;
+        off + len)
+      0 lengths
+  in
+  (* Per-token scores in {0, 1}: exact in fp16 at these lengths. *)
+  let scores =
+    Array.init n (fun _ -> float_of_int (Random.State.int rng 2))
+  in
+  let x = Device.of_array device Dtype.F16 ~name:"scores" scores in
+  let f = Device.of_array device Dtype.I8 ~name:"starts" flags in
+
+  Format.printf "%d sequences, %d tokens total (min %d, max %d)@."
+    (Array.length lengths) n
+    (Array.fold_left min max_int lengths)
+    (Array.fold_left max 0 lengths);
+
+  (* One launch scans every sequence independently. *)
+  let y, stats = Scan.Segmented_scan.run device ~x ~flags:f () in
+  Format.printf "segmented scan:  %a@." Stats.pp_summary stats;
+
+  (* Per-sequence totals are the scan values at each sequence end. *)
+  let off = ref 0 in
+  Array.iteri
+    (fun i len ->
+      off := !off + len;
+      if i < 4 then
+        Format.printf "  seq %d (len %4d): total %.0f@." i len
+          (Global_tensor.get y (!off - 1)))
+    lengths;
+
+  (* Validate against the host oracle. *)
+  let acc = ref 0.0 and ok = ref true in
+  for i = 0 to n - 1 do
+    if flags.(i) <> 0.0 then acc := 0.0;
+    acc := Fp16.round (!acc +. scores.(i));
+    if Global_tensor.get y i <> !acc then ok := false
+  done;
+  Format.printf "oracle check: %s@." (if !ok then "ok" else "MISMATCH");
+
+  (* Grand total via the matmul-only reduction vs the vector one. *)
+  let t_cube, _, st_cube = Scan.Cube_reduce.run_cube device x in
+  let t_vec, _, st_vec = Scan.Cube_reduce.run_vec device x in
+  Format.printf "@.cube reduction:  total %.1f (%a)@." t_cube Stats.pp_summary
+    st_cube;
+  Format.printf "vec reduction:   total %.1f (%a)@." t_vec Stats.pp_summary
+    st_vec;
+
+  (* Running max of scores across the whole stream. *)
+  let m, st_max = Scan.Max_scan.run device x in
+  Format.printf "@.running max reaches %.1f by index %d (%a)@."
+    (Global_tensor.get m (n - 1))
+    (let rec find i =
+       if Global_tensor.get m i = Global_tensor.get m (n - 1) then i
+       else find (i + 1)
+     in
+     find 0)
+    Stats.pp_summary st_max

@@ -1,0 +1,1 @@
+lib/ascend/block.ml: Array Cost_model Device Dtype Engine Float Global_tensor Hashtbl List Local_tensor Mem_kind Option Printf

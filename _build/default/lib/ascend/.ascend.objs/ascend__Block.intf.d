@@ -1,0 +1,1 @@
+lib/ascend/block.mli: Cost_model Device Dtype Engine Global_tensor Local_tensor Mem_kind

@@ -1,0 +1,1 @@
+lib/ascend/cost_model.mli: Format

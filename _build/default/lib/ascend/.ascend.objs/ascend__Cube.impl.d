@@ -1,0 +1,1 @@
+lib/ascend/cube.ml: Array Block Cost_model Dtype Engine Host_buffer Local_tensor Mem_kind Printf

@@ -1,0 +1,1 @@
+lib/ascend/cube.mli: Block Local_tensor

@@ -1,0 +1,1 @@
+lib/ascend/device.ml: Array Cost_model Dtype Format Global_tensor

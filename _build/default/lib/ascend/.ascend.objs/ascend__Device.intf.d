@@ -1,0 +1,1 @@
+lib/ascend/device.mli: Cost_model Dtype Format Global_tensor

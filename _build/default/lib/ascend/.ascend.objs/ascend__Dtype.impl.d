@@ -1,0 +1,1 @@
+lib/ascend/dtype.ml: Float Format Fp16 Int32

@@ -1,0 +1,1 @@
+lib/ascend/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/ascend/engine.ml: Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/ascend/engine.mli: Format

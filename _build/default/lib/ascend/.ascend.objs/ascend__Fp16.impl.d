@@ -1,0 +1,1 @@
+lib/ascend/fp16.ml: Float Format Int Int32

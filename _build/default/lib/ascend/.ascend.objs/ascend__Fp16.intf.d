@@ -1,0 +1,1 @@
+lib/ascend/fp16.mli: Format

@@ -1,0 +1,1 @@
+lib/ascend/global_tensor.ml: Array Dtype Format Host_buffer Option Printf

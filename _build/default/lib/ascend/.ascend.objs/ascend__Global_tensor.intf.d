@@ -1,0 +1,1 @@
+lib/ascend/global_tensor.mli: Dtype Format Host_buffer

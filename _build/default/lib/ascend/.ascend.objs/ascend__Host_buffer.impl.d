@@ -1,0 +1,1 @@
+lib/ascend/host_buffer.ml: Array Dtype Format

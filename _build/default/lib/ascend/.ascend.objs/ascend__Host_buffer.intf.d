@@ -1,0 +1,1 @@
+lib/ascend/host_buffer.mli: Dtype Format

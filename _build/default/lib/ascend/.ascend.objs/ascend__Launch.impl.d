@@ -1,0 +1,1 @@
+lib/ascend/launch.ml: Array Block Cost_model Device Engine Float Hashtbl List Option Stats

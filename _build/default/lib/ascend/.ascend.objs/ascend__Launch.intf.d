@@ -1,0 +1,1 @@
+lib/ascend/launch.mli: Block Device Stats

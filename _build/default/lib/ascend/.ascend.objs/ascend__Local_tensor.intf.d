@@ -1,0 +1,1 @@
+lib/ascend/local_tensor.mli: Dtype Format Host_buffer Mem_kind

@@ -1,0 +1,1 @@
+lib/ascend/mem_kind.mli: Engine Format

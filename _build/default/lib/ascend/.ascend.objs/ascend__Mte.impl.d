@@ -1,0 +1,1 @@
+lib/ascend/mte.ml: Block Cost_model Dtype Global_tensor Host_buffer Local_tensor Printf

@@ -1,0 +1,1 @@
+lib/ascend/mte.mli: Block Engine Global_tensor Local_tensor

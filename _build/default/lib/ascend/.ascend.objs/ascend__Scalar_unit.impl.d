@@ -1,0 +1,1 @@
+lib/ascend/scalar_unit.ml: Block Cost_model Dtype Engine Global_tensor

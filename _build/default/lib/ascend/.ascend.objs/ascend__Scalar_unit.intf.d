@@ -1,0 +1,1 @@
+lib/ascend/scalar_unit.mli: Block Global_tensor

@@ -1,0 +1,1 @@
+lib/ascend/stats.ml: Format Hashtbl List Option

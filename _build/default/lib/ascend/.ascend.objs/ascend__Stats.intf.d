@@ -1,0 +1,1 @@
+lib/ascend/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/ascend/vec.ml: Array Block Cost_model Dtype Engine Float Fun Host_buffer Local_tensor Mem_kind Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ascend/vec.mli: Block Local_tensor

@@ -1,0 +1,126 @@
+type t = {
+  device : Device.t;
+  idx : int;
+  num_blocks : int;
+  vec_per_core : int;
+  mutable time_cycles : float;
+  busy_total : float array;
+  sec_busy : float array;
+  mutable in_section : bool;
+  mutable gm_read : int;
+  mutable gm_write : int;
+  touched_tbl : (int, int) Hashtbl.t;
+  ops_tbl : (string, int) Hashtbl.t;
+  allocators : (Mem_kind.t * int ref) list;
+}
+
+type result = {
+  cycles : float;
+  busy : float array;
+  gm_read_bytes : int;
+  gm_write_bytes : int;
+  touched : (int * int) list;
+  op_counts : (string * int) list;
+}
+
+let make ~device ~idx ~num_blocks =
+  let cm = Device.cost device in
+  let vec_per_core = cm.Cost_model.vec_per_core in
+  let n = Engine.count ~vec_per_core in
+  let kinds =
+    Mem_kind.L1 :: Mem_kind.L0a :: Mem_kind.L0b :: Mem_kind.L0c
+    :: List.init vec_per_core (fun i -> Mem_kind.Ub i)
+  in
+  {
+    device;
+    idx;
+    num_blocks;
+    vec_per_core;
+    time_cycles = 0.0;
+    busy_total = Array.make n 0.0;
+    sec_busy = Array.make n 0.0;
+    in_section = false;
+    gm_read = 0;
+    gm_write = 0;
+    touched_tbl = Hashtbl.create 8;
+    ops_tbl = Hashtbl.create 16;
+    allocators = List.map (fun k -> (k, ref 0)) kinds;
+  }
+
+let idx t = t.idx
+let num_blocks t = t.num_blocks
+let device t = t.device
+let cost t = Device.cost t.device
+let functional t = Device.functional t.device
+
+let charge t engine cycles =
+  let i = Engine.index ~vec_per_core:t.vec_per_core engine in
+  t.busy_total.(i) <- t.busy_total.(i) +. cycles;
+  if t.in_section then t.sec_busy.(i) <- t.sec_busy.(i) +. cycles
+  else t.time_cycles <- t.time_cycles +. cycles
+
+let count_op t name =
+  Hashtbl.replace t.ops_tbl name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.ops_tbl name))
+
+let note_gm_traffic t ~read ~write =
+  t.gm_read <- t.gm_read + read;
+  t.gm_write <- t.gm_write + write
+
+let note_touched t gt =
+  let id = Global_tensor.id gt in
+  if not (Hashtbl.mem t.touched_tbl id) then
+    Hashtbl.add t.touched_tbl id (Global_tensor.size_bytes gt)
+
+let pipelined t ~iters f =
+  if t.in_section then invalid_arg "Block.pipelined: sections do not nest";
+  if iters < 1 then invalid_arg "Block.pipelined: iters must be >= 1";
+  Array.fill t.sec_busy 0 (Array.length t.sec_busy) 0.0;
+  t.in_section <- true;
+  let finish () =
+    t.in_section <- false;
+    let sum = Array.fold_left ( +. ) 0.0 t.sec_busy in
+    let max_busy = Array.fold_left Float.max 0.0 t.sec_busy in
+    t.time_cycles <-
+      t.time_cycles +. max_busy +. ((sum -. max_busy) /. float_of_int iters)
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let allocator t kind =
+  match List.find_opt (fun (k, _) -> Mem_kind.equal k kind) t.allocators with
+  | Some (_, off) -> off
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Block.alloc: no memory %s on this core"
+           (Mem_kind.to_string kind))
+
+let alloc t kind dtype length =
+  let off = allocator t kind in
+  let bytes = length * Dtype.size_bytes dtype in
+  let cap = Mem_kind.capacity_bytes kind in
+  if !off + bytes > cap then
+    failwith
+      (Printf.sprintf
+         "Block.alloc: %s overflow (%d B requested, %d of %d B in use)"
+         (Mem_kind.to_string kind) bytes !off cap);
+  off := !off + bytes;
+  Local_tensor.make ~kind ~dtype ~length
+
+let reset_mem t kind = allocator t kind := 0
+let elapsed_cycles t = t.time_cycles
+
+let finish t =
+  {
+    cycles = t.time_cycles;
+    busy = Array.copy t.busy_total;
+    gm_read_bytes = t.gm_read;
+    gm_write_bytes = t.gm_write;
+    touched = Hashtbl.fold (fun id b acc -> (id, b) :: acc) t.touched_tbl [];
+    op_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ops_tbl [];
+  }

@@ -1,0 +1,68 @@
+(** Kernel execution context of one block.
+
+    A block is AscendC's smallest logical execution unit; the simulator
+    maps one block onto one AI core (1 cube core + [vec_per_core] vector
+    cores, with their MTEs and scratchpads). Kernels receive a block
+    context and issue engine operations ({!Mte}, {!Vec}, {!Cube},
+    {!Scalar_unit}) against it.
+
+    {2 Timing semantics}
+
+    Outside a {!pipelined} section, operations execute serially: the
+    block's elapsed cycles are the sum of all op costs. Inside
+    [pipelined ~iters f], op costs accumulate per engine and the section
+    contributes
+
+    {[ max_e busy(e) + (sum_e busy(e) - max_e busy(e)) / iters ]}
+
+    cycles: the steady-state throughput of a software pipeline over
+    [iters] iterations (the AscendC queue/double-buffering abstraction),
+    plus an average-iteration fill term. With [iters = 1] this reduces
+    to the serial sum. *)
+
+type t
+
+type result = {
+  cycles : float;  (** Elapsed cycles of this block. *)
+  busy : float array;  (** Per-engine busy cycles (index per {!Engine.index}). *)
+  gm_read_bytes : int;
+  gm_write_bytes : int;
+  touched : (int * int) list;  (** Distinct global tensors touched: (id, bytes). *)
+  op_counts : (string * int) list;  (** Instructions issued, by op name. *)
+}
+
+val make : device:Device.t -> idx:int -> num_blocks:int -> t
+(** Used by {!Launch}; not intended for direct use. *)
+
+val idx : t -> int
+val num_blocks : t -> int
+val device : t -> Device.t
+val cost : t -> Cost_model.t
+
+val functional : t -> bool
+(** Whether engine ops should compute data (device not in cost-only). *)
+
+val charge : t -> Engine.t -> float -> unit
+(** Charge [cycles] to an engine; called by the engine-op modules. *)
+
+val count_op : t -> string -> unit
+(** Record one issued instruction of the named op (the per-kernel
+    instruction mix reported in {!Stats.t.op_counts}). *)
+
+val note_gm_traffic : t -> read:int -> write:int -> unit
+val note_touched : t -> Global_tensor.t -> unit
+
+val pipelined : t -> iters:int -> (unit -> 'a) -> 'a
+(** Run a software-pipelined section (see timing semantics above).
+    Sections do not nest; raises [Invalid_argument] on nesting or on
+    [iters < 1]. *)
+
+val alloc : t -> Mem_kind.t -> Dtype.t -> int -> Local_tensor.t
+(** Bump-allocate a local tensor; raises [Failure] when the scratchpad
+    capacity of the memory kind is exceeded. *)
+
+val reset_mem : t -> Mem_kind.t -> unit
+(** Release all allocations in one scratchpad (arena reset). *)
+
+val elapsed_cycles : t -> float
+val finish : t -> result

@@ -1,0 +1,145 @@
+let require what lt kind =
+  if not (Mem_kind.equal (Local_tensor.kind lt) kind) then
+    invalid_arg
+      (Printf.sprintf "Cube.mmad: %s operand must live in %s (got %s)" what
+         (Mem_kind.to_string kind)
+         (Mem_kind.to_string (Local_tensor.kind lt)))
+
+let check_shape what lt elems =
+  if Local_tensor.length lt < elems then
+    invalid_arg
+      (Printf.sprintf "Cube.mmad: %s operand too short (%d < %d)" what
+         (Local_tensor.length lt) elems)
+
+(* Functional evaluation. The structure tags of the constant scan
+   matrices admit O(m*n) evaluation; the general path is the O(m*k*n)
+   triple loop. All paths accumulate in double and round to the
+   accumulator data type on store, matching fp32/int32 accumulators. *)
+
+let eval_general a b c ~m ~k ~n ~accumulate =
+  let ab = Local_tensor.buffer a
+  and bb = Local_tensor.buffer b
+  and cb = Local_tensor.buffer c in
+  let dt = Host_buffer.dtype cb in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref (if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0) in
+      for t = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Host_buffer.get ab ((i * k) + t) *. Host_buffer.get bb ((t * n) + j))
+      done;
+      Host_buffer.set cb ((i * n) + j) (Dtype.round dt !acc)
+    done
+  done
+
+(* C[i,j] (+)= sum_{t <= j} A[i,t]  — B = U (upper-triangular ones).
+   Requires k = n; row-wise running sums. *)
+let eval_b_upper_ones a c ~m ~k ~n ~accumulate =
+  let ab = Local_tensor.buffer a and cb = Local_tensor.buffer c in
+  let dt = Host_buffer.dtype cb in
+  for i = 0 to m - 1 do
+    let run = ref 0.0 in
+    for j = 0 to n - 1 do
+      if j < k then run := !run +. Host_buffer.get ab ((i * k) + j);
+      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
+      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !run))
+    done
+  done
+
+(* C[i,j] (+)= sum_{t >= j} A[i,t]  — B = L (lower-triangular ones). *)
+let eval_b_lower_ones a c ~m ~k ~n ~accumulate =
+  let ab = Local_tensor.buffer a and cb = Local_tensor.buffer c in
+  let dt = Host_buffer.dtype cb in
+  for i = 0 to m - 1 do
+    (* suffix sums of row i of A *)
+    let run = ref 0.0 in
+    let suffix = Array.make n 0.0 in
+    for j = n - 1 downto 0 do
+      if j < k then run := !run +. Host_buffer.get ab ((i * k) + j);
+      suffix.(j) <- !run
+    done;
+    for j = 0 to n - 1 do
+      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
+      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. suffix.(j)))
+    done
+  done
+
+(* C[i,j] (+)= sum_t A[i,t]  — B = all-ones. *)
+let eval_b_all_ones a c ~m ~k ~n ~accumulate =
+  let ab = Local_tensor.buffer a and cb = Local_tensor.buffer c in
+  let dt = Host_buffer.dtype cb in
+  for i = 0 to m - 1 do
+    let sum = ref 0.0 in
+    for t = 0 to k - 1 do
+      sum := !sum +. Host_buffer.get ab ((i * k) + t)
+    done;
+    for j = 0 to n - 1 do
+      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
+      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !sum))
+    done
+  done
+
+(* C[i,j] (+)= sum_{t < i} B[t,j]  — A = strict lower-triangular ones:
+   column-wise exclusive prefix sums of B. *)
+let eval_a_strict_lower_ones b c ~m ~k ~n ~accumulate =
+  let bb = Local_tensor.buffer b and cb = Local_tensor.buffer c in
+  let dt = Host_buffer.dtype cb in
+  for j = 0 to n - 1 do
+    let run = ref 0.0 in
+    for i = 0 to m - 1 do
+      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
+      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !run));
+      if i < k then run := !run +. Host_buffer.get bb ((i * n) + j)
+    done
+  done
+
+(* C[i,j] (+)= sum_{t <= i} B[t,j]  — A = lower-triangular ones. *)
+let eval_a_lower_ones b c ~m ~k ~n ~accumulate =
+  let bb = Local_tensor.buffer b and cb = Local_tensor.buffer c in
+  let dt = Host_buffer.dtype cb in
+  for j = 0 to n - 1 do
+    let run = ref 0.0 in
+    for i = 0 to m - 1 do
+      if i < k then run := !run +. Host_buffer.get bb ((i * n) + j);
+      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
+      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !run))
+    done
+  done
+
+let mmad ctx ~a ~b ~c ~m ~k ~n ~accumulate =
+  require "left" a Mem_kind.L0a;
+  require "right" b Mem_kind.L0b;
+  require "output" c Mem_kind.L0c;
+  if m <= 0 || k <= 0 || n <= 0 then
+    invalid_arg "Cube.mmad: dimensions must be positive";
+  check_shape "left" a (m * k);
+  check_shape "right" b (k * n);
+  check_shape "output" c (m * n);
+  let int8 =
+    match Local_tensor.dtype a, Local_tensor.dtype b, Local_tensor.dtype c with
+    | Dtype.F16, Dtype.F16, Dtype.F32 -> false
+    | Dtype.I8, Dtype.I8, Dtype.I32 -> true
+    | da, db, dc ->
+        invalid_arg
+          (Printf.sprintf
+             "Cube.mmad: unsupported dtype combination %s x %s -> %s"
+             (Dtype.to_string da) (Dtype.to_string db) (Dtype.to_string dc))
+  in
+  Block.count_op ctx "mmad";
+  Block.charge ctx Engine.Cube
+    (Cost_model.mmad_cycles (Block.cost ctx) ~m ~k ~n ~int8);
+  if Block.functional ctx then begin
+    Local_tensor.touch c;
+    match Local_tensor.structure b, Local_tensor.structure a with
+    | Local_tensor.Upper_ones, _ when k = n ->
+        eval_b_upper_ones a c ~m ~k ~n ~accumulate
+    | Local_tensor.Lower_ones, _ when k = n ->
+        eval_b_lower_ones a c ~m ~k ~n ~accumulate
+    | Local_tensor.All_ones, _ -> eval_b_all_ones a c ~m ~k ~n ~accumulate
+    | _, Local_tensor.Strict_lower_ones when m = k ->
+        eval_a_strict_lower_ones b c ~m ~k ~n ~accumulate
+    | _, Local_tensor.Lower_ones when m = k ->
+        eval_a_lower_ones b c ~m ~k ~n ~accumulate
+    | _, _ -> eval_general a b c ~m ~k ~n ~accumulate
+  end

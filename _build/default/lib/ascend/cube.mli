@@ -1,0 +1,25 @@
+(** Cube (AIC) engine operations.
+
+    The cube engine multiplies an [m x k] left operand in L0A by a
+    [k x n] right operand in L0B into an [m x n] accumulator in L0C,
+    optionally accumulating with the existing L0C contents (AscendC
+    [Mmad]). Supported data-type combinations follow the hardware:
+    fp16 x fp16 -> fp32 and int8 x int8 -> int32.
+
+    Operands are stored row-major from offset 0 of their tensors.
+
+    The int8 path runs at twice the MAC rate of fp16 (see
+    {!Cost_model.t.cube_macs_per_cycle_i8}). *)
+
+val mmad :
+  Block.t ->
+  a:Local_tensor.t ->
+  b:Local_tensor.t ->
+  c:Local_tensor.t ->
+  m:int ->
+  k:int ->
+  n:int ->
+  accumulate:bool ->
+  unit
+(** Raises [Invalid_argument] when an operand is in the wrong buffer,
+    too short for its shape, or the data types are unsupported. *)

@@ -1,0 +1,40 @@
+type mode = Functional | Cost_only
+
+type t = {
+  cost : Cost_model.t;
+  mode : mode;
+  mutable next_id : int;
+  mutable allocated_bytes : int;
+}
+
+let create ?(cost = Cost_model.default) ?(mode = Functional) () =
+  { cost; mode; next_id = 0; allocated_bytes = 0 }
+
+let cost t = t.cost
+let mode t = t.mode
+
+let functional t =
+  match t.mode with Functional -> true | Cost_only -> false
+
+let num_cores t = t.cost.Cost_model.num_ai_cores
+let num_vec_cores t = num_cores t * t.cost.Cost_model.vec_per_core
+
+let alloc t dtype length ~name =
+  if length < 0 then invalid_arg "Device.alloc: negative length";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  t.allocated_bytes <- t.allocated_bytes + (length * Dtype.size_bytes dtype);
+  Global_tensor.make ~id ~name ~dtype ~length ~backed:(functional t)
+
+let of_array t dtype ~name a =
+  let gt = alloc t dtype (Array.length a) ~name in
+  Global_tensor.load gt a;
+  gt
+
+let allocated_bytes t = t.allocated_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "device(%s, %d cores, %d MiB allocated)"
+    (match t.mode with Functional -> "functional" | Cost_only -> "cost-only")
+    (num_cores t)
+    (t.allocated_bytes / 1024 / 1024)

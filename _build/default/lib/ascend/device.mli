@@ -1,0 +1,37 @@
+(** A simulated Ascend accelerator: global memory plus a grid of AI
+    cores described by a {!Cost_model.t}.
+
+    The device owns tensor allocation and the execution mode:
+
+    - [Functional] (default): every engine op computes numerically
+      faithful results in host memory {e and} charges costs. Used by
+      tests, examples and moderate-size benchmark points.
+    - [Cost_only]: tensors above are unbacked and ops only charge
+      costs. Used to model inputs far larger than host memory allows;
+      kernels with data-dependent control flow document the analytic
+      expectation they substitute (see e.g. {!val:Device.mode}). *)
+
+type mode = Functional | Cost_only
+
+type t
+
+val create : ?cost:Cost_model.t -> ?mode:mode -> unit -> t
+(** Defaults: {!Cost_model.default}, [Functional]. *)
+
+val cost : t -> Cost_model.t
+val mode : t -> mode
+val functional : t -> bool
+
+val num_cores : t -> int
+val num_vec_cores : t -> int
+
+val alloc : t -> Dtype.t -> int -> name:string -> Global_tensor.t
+(** Allocate a global tensor (zero-initialised when backed). *)
+
+val of_array : t -> Dtype.t -> name:string -> float array -> Global_tensor.t
+(** Allocate and initialise; raises in cost-only mode. *)
+
+val allocated_bytes : t -> int
+(** Total global memory footprint allocated so far. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+type t =
+  | Cube_mte_in
+  | Cube
+  | Cube_mte_out
+  | Scalar
+  | Vec_mte_in of int
+  | Vec of int
+  | Vec_mte_out of int
+
+let count ~vec_per_core = 4 + (3 * vec_per_core)
+
+let check_vec ~vec_per_core i =
+  if i < 0 || i >= vec_per_core then
+    invalid_arg
+      (Printf.sprintf "Engine: vector core %d out of range [0,%d)" i
+         vec_per_core)
+
+let index ~vec_per_core = function
+  | Cube_mte_in -> 0
+  | Cube -> 1
+  | Cube_mte_out -> 2
+  | Scalar -> 3
+  | Vec_mte_in i ->
+      check_vec ~vec_per_core i;
+      4 + (3 * i)
+  | Vec i ->
+      check_vec ~vec_per_core i;
+      5 + (3 * i)
+  | Vec_mte_out i ->
+      check_vec ~vec_per_core i;
+      6 + (3 * i)
+
+let is_mte = function
+  | Cube_mte_in | Cube_mte_out | Vec_mte_in _ | Vec_mte_out _ -> true
+  | Cube | Scalar | Vec _ -> false
+
+let equal a b =
+  match a, b with
+  | Cube_mte_in, Cube_mte_in
+  | Cube, Cube
+  | Cube_mte_out, Cube_mte_out
+  | Scalar, Scalar ->
+      true
+  | Vec_mte_in i, Vec_mte_in j | Vec i, Vec j | Vec_mte_out i, Vec_mte_out j ->
+      i = j
+  | ( (Cube_mte_in | Cube | Cube_mte_out | Scalar | Vec_mte_in _ | Vec _
+      | Vec_mte_out _),
+      _ ) ->
+      false
+
+let to_string = function
+  | Cube_mte_in -> "cube.mte_in"
+  | Cube -> "cube"
+  | Cube_mte_out -> "cube.mte_out"
+  | Scalar -> "scalar"
+  | Vec_mte_in i -> Printf.sprintf "vec%d.mte_in" i
+  | Vec i -> Printf.sprintf "vec%d" i
+  | Vec_mte_out i -> Printf.sprintf "vec%d.mte_out" i
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let all ~vec_per_core =
+  let vec_engines =
+    List.concat_map
+      (fun i -> [ Vec_mte_in i; Vec i; Vec_mte_out i ])
+      (List.init vec_per_core Fun.id)
+  in
+  [ Cube_mte_in; Cube; Cube_mte_out; Scalar ] @ vec_engines

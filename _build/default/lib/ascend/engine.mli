@@ -1,0 +1,31 @@
+(** The hardware engines of one simulated AI core.
+
+    An Ascend 910B AI core couples one AI Cube (AIC) core with
+    [vec_per_core] AI Vector (AIV) cores. Each of these sub-cores has a
+    compute engine and inbound/outbound Memory Transfer Engines (MTEs)
+    with independent instruction queues, so within a software pipeline
+    they all run in parallel (see {!Block.pipelined}). *)
+
+type t =
+  | Cube_mte_in  (** MTE queue moving GM/L1 data into the cube core. *)
+  | Cube  (** Cube compute engine; also executes L1/L0 fixed-function moves. *)
+  | Cube_mte_out  (** MTE queue moving L0C results out to GM. *)
+  | Scalar  (** Scalar unit of the AI core (program flow, addresses). *)
+  | Vec_mte_in of int  (** Inbound MTE of vector core [i]. *)
+  | Vec of int  (** Vector compute engine of vector core [i]. *)
+  | Vec_mte_out of int  (** Outbound MTE of vector core [i]. *)
+
+val count : vec_per_core:int -> int
+(** Number of distinct engines on one AI core. *)
+
+val index : vec_per_core:int -> t -> int
+(** Dense index in [\[0, count - 1\]]; raises [Invalid_argument] for a
+    vector-core index outside [\[0, vec_per_core - 1\]]. *)
+
+val is_mte : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all : vec_per_core:int -> t list
+(** All engines of one AI core, in {!index} order. *)

@@ -1,0 +1,88 @@
+type t = int
+
+let zero = 0x0000
+let neg_zero = 0x8000
+let one = 0x3C00
+let pos_infinity = 0x7C00
+let neg_infinity = 0xFC00
+let nan = 0x7E00
+let max_value = 65504.0
+let min_positive_normal = 0x1p-14
+let min_positive_subnormal = 0x1p-24
+
+let bits_sign h = (h lsr 15) land 1
+let bits_exponent h = (h lsr 10) land 0x1F
+let bits_mantissa h = h land 0x3FF
+let is_nan h = bits_exponent h = 31 && bits_mantissa h <> 0
+let is_infinite h = bits_exponent h = 31 && bits_mantissa h = 0
+let is_finite h = bits_exponent h <> 31
+
+(* Conversion goes through the IEEE binary32 representation: OCaml's
+   [Int32.bits_of_float] first rounds the double to float32, and binary16
+   rounding of a float32 value equals binary16 rounding of the original
+   double except for values in a measure-zero double-rounding band that
+   does not arise from fp16-representable operands; this matches how the
+   hardware converts as well (fp32 accumulators quantized to fp16). *)
+
+let of_float f =
+  let b = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF in
+  let sign = (b lsr 16) land 0x8000 in
+  let e = (b lsr 23) land 0xFF in
+  let m = b land 0x7FFFFF in
+  if e = 0xFF then
+    if m = 0 then sign lor 0x7C00 (* infinity *)
+    else sign lor 0x7E00 (* NaN: canonicalize *)
+  else
+    (* Unbiased exponent of the float32 value. *)
+    let exp = e - 127 in
+    if exp > 15 then sign lor 0x7C00 (* overflow to infinity *)
+    else if exp >= -14 then begin
+      (* Normal range of binary16: round 23-bit mantissa to 10 bits,
+         round-to-nearest-even on the 13 dropped bits. *)
+      let e16 = exp + 15 in
+      let base = (e16 lsl 10) lor (m lsr 13) in
+      let rest = m land 0x1FFF in
+      let half = 0x1000 in
+      if rest > half || (rest = half && base land 1 = 1) then
+        (* Carry out of the mantissa propagates into the exponent and,
+           at the top of the range, correctly yields infinity. *)
+        sign lor (base + 1)
+      else sign lor base
+    end
+    else if exp >= -25 then begin
+      (* Subnormal range: the implicit leading 1 joins the mantissa and
+         the whole significand is shifted right. *)
+      let sig32 = m lor 0x800000 in
+      let shift = -exp - 14 + 13 in
+      let base = sig32 lsr shift in
+      let rest = sig32 land ((1 lsl shift) - 1) in
+      let half = 1 lsl (shift - 1) in
+      if rest > half || (rest = half && base land 1 = 1) then
+        sign lor (base + 1)
+      else sign lor base
+    end
+    else sign (* underflow to (signed) zero *)
+
+let to_float h =
+  let sign = if bits_sign h = 1 then -1.0 else 1.0 in
+  let e = bits_exponent h in
+  let m = bits_mantissa h in
+  if e = 31 then if m = 0 then sign *. infinity else Float.nan
+  else if e = 0 then sign *. float_of_int m *. 0x1p-24
+  else sign *. float_of_int (m lor 0x400) *. Float.pow 2.0 (float_of_int (e - 25))
+
+let round f = to_float (of_float f)
+let add a b = round (a +. b)
+let sub a b = round (a -. b)
+let mul a b = round (a *. b)
+let equal_bits = Int.equal
+
+let compare_value a b =
+  let fa = to_float a and fb = to_float b in
+  match Float.is_nan fa, Float.is_nan fb with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> Float.compare fa fb
+
+let pp fmt h = Format.fprintf fmt "%h(0x%04X)" (to_float h) h

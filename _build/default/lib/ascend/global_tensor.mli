@@ -1,0 +1,39 @@
+(** A tensor resident in simulated global memory (HBM).
+
+    Mirrors AscendC's [GlobalTensor]: kernel inputs and outputs always
+    live here, and compute engines can only reach the data through MTE
+    copies into local buffers.
+
+    When the owning device runs in [Cost_only] mode (see {!Device}) the
+    tensor carries no backing storage, allowing benchmarks to model
+    multi-hundred-megabyte inputs; host-side accessors then raise. *)
+
+type t
+
+val make :
+  id:int -> name:string -> dtype:Dtype.t -> length:int -> backed:bool -> t
+(** Used by {!Device.alloc}; not intended for direct use. *)
+
+val id : t -> int
+val name : t -> string
+val dtype : t -> Dtype.t
+val length : t -> int
+val size_bytes : t -> int
+
+val is_backed : t -> bool
+(** [false] for cost-only tensors without storage. *)
+
+val buffer : t -> Host_buffer.t
+(** Backing storage; raises [Invalid_argument] on a cost-only tensor. *)
+
+val get : t -> int -> float
+(** Host-side read (outside any kernel timing). *)
+
+val set : t -> int -> float -> unit
+(** Host-side write (outside any kernel timing). *)
+
+val load : t -> float array -> unit
+(** Host-side bulk initialisation from index 0. *)
+
+val to_array : t -> float array
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = { dtype : Dtype.t; data : float array }
+
+let create dtype n =
+  if n < 0 then invalid_arg "Host_buffer.create: negative length";
+  { dtype; data = Array.make n 0.0 }
+
+let dtype t = t.dtype
+let length t = Array.length t.data
+let size_bytes t = length t * Dtype.size_bytes t.dtype
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- Dtype.round t.dtype v
+let set_cast t i ~from v = t.data.(i) <- Dtype.cast ~from ~into:t.dtype v
+
+let fill t v =
+  let v = Dtype.round t.dtype v in
+  Array.fill t.data 0 (Array.length t.data) v
+
+let blit ~src ~src_off ~dst ~dst_off ~len =
+  if len < 0 || src_off < 0 || dst_off < 0
+     || src_off + len > length src || dst_off + len > length dst
+  then invalid_arg "Host_buffer.blit: range out of bounds";
+  if Dtype.equal src.dtype dst.dtype then
+    Array.blit src.data src_off dst.data dst_off len
+  else
+    for i = 0 to len - 1 do
+      set_cast dst (dst_off + i) ~from:src.dtype src.data.(src_off + i)
+    done
+
+let of_array dtype a =
+  let t = create dtype (Array.length a) in
+  Array.iteri (fun i v -> set t i v) a;
+  t
+
+let to_array t = Array.copy t.data
+let copy t = { dtype = t.dtype; data = Array.copy t.data }
+
+let pp fmt t =
+  let n = length t in
+  let shown = min n 8 in
+  Format.fprintf fmt "@[<h>%a[%d] = [" Dtype.pp t.dtype n;
+  for i = 0 to shown - 1 do
+    if i > 0 then Format.pp_print_string fmt "; ";
+    Format.fprintf fmt "%g" t.data.(i)
+  done;
+  if shown < n then Format.pp_print_string fmt "; ...";
+  Format.pp_print_string fmt "]@]"

@@ -1,0 +1,40 @@
+(** Typed host-side storage backing every simulated memory.
+
+    A buffer stores elements as OCaml [float]s but enforces the declared
+    {!Dtype.t} on every write: fp16 values are rounded through the
+    binary16 codec, integers are truncated and wrapped. Reads return the
+    stored (already canonical) value. *)
+
+type t
+
+val create : Dtype.t -> int -> t
+(** [create dt n] is a zero-initialised buffer of [n] elements. *)
+
+val dtype : t -> Dtype.t
+val length : t -> int
+
+val size_bytes : t -> int
+(** [length * Dtype.size_bytes dtype]. *)
+
+val get : t -> int -> float
+(** O(1); raises [Invalid_argument] when out of bounds. *)
+
+val set : t -> int -> float -> unit
+(** Stores [Dtype.round (dtype t) v]. *)
+
+val set_cast : t -> int -> from:Dtype.t -> float -> unit
+(** Stores with hardware cast semantics from another data type (see
+    {!Dtype.cast}); used by casting data copies such as the L0C(fp32) to
+    GM(fp16) path. *)
+
+val fill : t -> float -> unit
+
+val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Element-wise copy applying the destination's rounding. *)
+
+val of_array : Dtype.t -> float array -> t
+val to_array : t -> float array
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer showing dtype, length and the first few elements. *)

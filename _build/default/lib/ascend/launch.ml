@@ -1,0 +1,113 @@
+let run_phase device ~blocks body =
+  let cm = Device.cost device in
+  let num_cores = Device.num_cores device in
+  let results =
+    List.init blocks (fun idx ->
+        let ctx = Block.make ~device ~idx ~num_blocks:blocks in
+        body ctx;
+        Block.finish ctx)
+  in
+  (* Round-robin block -> core assignment; a core's critical path is the
+     sum of the blocks it executes. *)
+  let core_cycles = Array.make (min blocks num_cores) 0.0 in
+  List.iteri
+    (fun i (r : Block.result) ->
+      let c = i mod num_cores in
+      core_cycles.(c) <- core_cycles.(c) +. r.Block.cycles)
+    results;
+  let compute_seconds =
+    Cost_model.cycles_to_seconds cm (Array.fold_left Float.max 0.0 core_cycles)
+  in
+  let gm_bytes =
+    List.fold_left
+      (fun acc (r : Block.result) ->
+        acc + r.Block.gm_read_bytes + r.Block.gm_write_bytes)
+      0 results
+  in
+  let footprint =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Block.result) ->
+        List.iter
+          (fun (id, bytes) ->
+            if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id bytes)
+          r.Block.touched)
+      results;
+    Hashtbl.fold (fun _ b acc -> acc + b) tbl 0
+  in
+  let effective_bw =
+    if footprint <= cm.Cost_model.l2_capacity_bytes then
+      cm.Cost_model.l2_bandwidth
+    else cm.Cost_model.hbm_bandwidth
+  in
+  let bandwidth_seconds = float_of_int gm_bytes /. effective_bw in
+  let phase =
+    {
+      Stats.compute_seconds;
+      bandwidth_seconds;
+      seconds = Float.max compute_seconds bandwidth_seconds;
+      gm_bytes;
+      footprint_bytes = footprint;
+      bandwidth_bound = bandwidth_seconds > compute_seconds;
+    }
+  in
+  (phase, results)
+
+let run_phases ?(name = "kernel") device ~blocks bodies =
+  if blocks < 1 then invalid_arg "Launch.run_phases: blocks must be >= 1";
+  if bodies = [] then invalid_arg "Launch.run_phases: no phases";
+  let cm = Device.cost device in
+  let phases_results = List.map (run_phase device ~blocks) bodies in
+  let phases = List.map fst phases_results in
+  let results = List.concat_map snd phases_results in
+  let n_phases = List.length phases in
+  let seconds =
+    cm.Cost_model.kernel_launch_seconds
+    +. List.fold_left (fun acc (p : Stats.phase) -> acc +. p.Stats.seconds) 0.0 phases
+    +. (float_of_int (n_phases - 1) *. cm.Cost_model.sync_all_seconds)
+  in
+  let gm_read, gm_write =
+    List.fold_left
+      (fun (r, w) (res : Block.result) ->
+        (r + res.Block.gm_read_bytes, w + res.Block.gm_write_bytes))
+      (0, 0) results
+  in
+  let vec_per_core = cm.Cost_model.vec_per_core in
+  let engines = Engine.all ~vec_per_core in
+  let busy = Array.make (Engine.count ~vec_per_core) 0.0 in
+  List.iter
+    (fun (res : Block.result) ->
+      Array.iteri (fun i c -> busy.(i) <- busy.(i) +. c) res.Block.busy)
+    results;
+  let engine_busy =
+    List.map
+      (fun e -> (Engine.to_string e, busy.(Engine.index ~vec_per_core e)))
+      engines
+  in
+  let op_counts =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (res : Block.result) ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace tbl k
+              (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          res.Block.op_counts)
+      results;
+    List.sort
+      (fun (_, a) (_, b) -> compare b a)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  {
+    Stats.name;
+    seconds;
+    phases;
+    blocks;
+    cores_used = min blocks (Device.num_cores device);
+    gm_read_bytes = gm_read;
+    gm_write_bytes = gm_write;
+    engine_busy;
+    op_counts;
+  }
+
+let run ?name device ~blocks body = run_phases ?name device ~blocks [ body ]

@@ -1,0 +1,21 @@
+(** Kernel launch and multi-block scheduling.
+
+    A launch executes one or more {e phases}. Within a phase, [blocks]
+    block bodies run in parallel across the device's AI cores (blocks
+    beyond the core count are scheduled round-robin, so a core's time is
+    the sum of its blocks). Consecutive phases are separated by a
+    [SyncAll] global barrier, matching Algorithm 3's structure.
+
+    Phase time is [max(compute, traffic / effective_bandwidth)] where
+    compute is the slowest core's critical path and the effective
+    bandwidth is the L2 figure when the phase's distinct global-tensor
+    footprint fits in L2, the HBM figure otherwise. The launch adds the
+    host-side kernel-launch latency once. *)
+
+val run_phases :
+  ?name:string -> Device.t -> blocks:int -> (Block.t -> unit) list -> Stats.t
+(** Raises [Invalid_argument] when [blocks < 1] or the phase list is
+    empty. *)
+
+val run : ?name:string -> Device.t -> blocks:int -> (Block.t -> unit) -> Stats.t
+(** Single-phase convenience wrapper. *)

@@ -1,0 +1,34 @@
+type structure =
+  | General
+  | Upper_ones
+  | Lower_ones
+  | Strict_lower_ones
+  | All_ones
+  | Identity
+
+type t = {
+  kind : Mem_kind.t;
+  buf : Host_buffer.t;
+  mutable structure : structure;
+}
+
+let make ~kind ~dtype ~length =
+  { kind; buf = Host_buffer.create dtype length; structure = General }
+
+let kind t = t.kind
+let dtype t = Host_buffer.dtype t.buf
+let length t = Host_buffer.length t.buf
+let size_bytes t = Host_buffer.size_bytes t.buf
+let buffer t = t.buf
+let structure t = t.structure
+let set_structure t s = t.structure <- s
+let touch t = t.structure <- General
+let get t i = Host_buffer.get t.buf i
+
+let set t i v =
+  touch t;
+  Host_buffer.set t.buf i v
+
+let pp fmt t =
+  Format.fprintf fmt "%a:%a[%d]" Mem_kind.pp t.kind Dtype.pp (dtype t)
+    (length t)

@@ -1,0 +1,95 @@
+let gm_bytes gt len = len * Dtype.size_bytes (Global_tensor.dtype gt)
+let local_bytes lt len = len * Dtype.size_bytes (Local_tensor.dtype lt)
+
+let check what ~len ~src_off ~dst_off ~src_len ~dst_len =
+  if len < 0 || src_off < 0 || dst_off < 0 || src_off + len > src_len
+     || dst_off + len > dst_len
+  then
+    invalid_arg
+      (Printf.sprintf "Mte.%s: range out of bounds (len %d, src %d+/%d, dst %d+/%d)"
+         what len src_off src_len dst_off dst_len)
+
+let copy_in ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  Block.count_op ctx "datacopy_in";
+  check "copy_in" ~len ~src_off ~dst_off
+    ~src_len:(Global_tensor.length src) ~dst_len:(Local_tensor.length dst);
+  let bytes = gm_bytes src len in
+  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  Block.note_gm_traffic ctx ~read:bytes ~write:0;
+  Block.note_touched ctx src;
+  if Block.functional ctx then begin
+    Local_tensor.touch dst;
+    Host_buffer.blit ~src:(Global_tensor.buffer src) ~src_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
+  end
+
+let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
+    ~dst_stride ~burst ~count =
+  Block.count_op ctx "datacopy_in";
+  if burst < 0 || count < 0 then
+    invalid_arg "Mte.copy_in_strided: negative burst or count";
+  let len = burst * count in
+  let bytes = gm_bytes src len in
+  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  Block.note_gm_traffic ctx ~read:bytes ~write:0;
+  Block.note_touched ctx src;
+  if Block.functional ctx then begin
+    Local_tensor.touch dst;
+    for c = 0 to count - 1 do
+      Host_buffer.blit ~src:(Global_tensor.buffer src)
+        ~src_off:(src_off + (c * src_stride))
+        ~dst:(Local_tensor.buffer dst)
+        ~dst_off:(dst_off + (c * dst_stride))
+        ~len:burst
+    done
+  end
+
+let copy_out ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  Block.count_op ctx "datacopy_out";
+  check "copy_out" ~len ~src_off ~dst_off
+    ~src_len:(Local_tensor.length src) ~dst_len:(Global_tensor.length dst);
+  let bytes = gm_bytes dst len in
+  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  Block.note_gm_traffic ctx ~read:0 ~write:bytes;
+  Block.note_touched ctx dst;
+  if Block.functional ctx then
+    Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+      ~dst:(Global_tensor.buffer dst) ~dst_off ~len
+
+let copy_out_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
+    ~dst_stride ~burst ~count =
+  Block.count_op ctx "datacopy_out";
+  if burst < 0 || count < 0 then
+    invalid_arg "Mte.copy_out_strided: negative burst or count";
+  let len = burst * count in
+  let bytes = gm_bytes dst len in
+  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  Block.note_gm_traffic ctx ~read:0 ~write:bytes;
+  Block.note_touched ctx dst;
+  if Block.functional ctx then
+    for c = 0 to count - 1 do
+      Host_buffer.blit ~src:(Local_tensor.buffer src)
+        ~src_off:(src_off + (c * src_stride))
+        ~dst:(Global_tensor.buffer dst)
+        ~dst_off:(dst_off + (c * dst_stride))
+        ~len:burst
+    done
+
+let copy_local ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  Block.count_op ctx "datacopy_local";
+  check "copy_local" ~len ~src_off ~dst_off
+    ~src_len:(Local_tensor.length src) ~dst_len:(Local_tensor.length dst);
+  let bytes = max (local_bytes src len) (local_bytes dst len) in
+  Block.charge ctx engine (Cost_model.local_copy_cycles (Block.cost ctx) ~bytes);
+  if Block.functional ctx then begin
+    let whole =
+      src_off = 0 && dst_off = 0
+      && len = Local_tensor.length src
+      && len = Local_tensor.length dst
+    in
+    let src_structure = Local_tensor.structure src in
+    Local_tensor.touch dst;
+    Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len;
+    if whole then Local_tensor.set_structure dst src_structure
+  end

@@ -1,0 +1,77 @@
+(** Memory Transfer Engine operations (AscendC [DataCopy]).
+
+    MTEs move data between global memory and local scratchpads (and
+    between scratchpads). Global transfers are charged to the given MTE
+    queue at the single-stream bandwidth and counted toward the
+    launch-level HBM/L2 bandwidth cap; purely on-chip transfers use the
+    faster local path.
+
+    When source and destination data types differ, the copy applies the
+    hardware cast (e.g. the L0C fp32 -> GM fp16 quantizing output path,
+    or int32 -> int16 narrowing). Traffic is counted on the GM side. *)
+
+val copy_in :
+  Block.t ->
+  engine:Engine.t ->
+  src:Global_tensor.t ->
+  ?src_off:int ->
+  dst:Local_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** Copy [len] elements GM -> local. *)
+
+val copy_in_strided :
+  Block.t ->
+  engine:Engine.t ->
+  src:Global_tensor.t ->
+  src_off:int ->
+  src_stride:int ->
+  dst:Local_tensor.t ->
+  dst_off:int ->
+  dst_stride:int ->
+  burst:int ->
+  count:int ->
+  unit
+(** Copy [count] bursts of [burst] contiguous elements with independent
+    source/destination strides (layout transformations). *)
+
+val copy_out :
+  Block.t ->
+  engine:Engine.t ->
+  src:Local_tensor.t ->
+  ?src_off:int ->
+  dst:Global_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** Copy [len] elements local -> GM. *)
+
+val copy_out_strided :
+  Block.t ->
+  engine:Engine.t ->
+  src:Local_tensor.t ->
+  src_off:int ->
+  src_stride:int ->
+  dst:Global_tensor.t ->
+  dst_off:int ->
+  dst_stride:int ->
+  burst:int ->
+  count:int ->
+  unit
+
+val copy_local :
+  Block.t ->
+  engine:Engine.t ->
+  src:Local_tensor.t ->
+  ?src_off:int ->
+  dst:Local_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** On-chip copy (UB <-> UB, L1 <-> L0x, L0C -> L1...). Copying a whole
+    structured tensor onto a whole destination preserves the structure
+    tag. *)

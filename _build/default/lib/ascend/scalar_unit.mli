@@ -1,0 +1,17 @@
+(** Scalar-unit operations.
+
+    The scalar unit handles program flow and address computation; it can
+    also touch global memory one element at a time, which is how the
+    unoptimised baseline operators on Ascend behave (the paper observes
+    that [torch.masked_select] uses neither the vector nor the cube
+    units). Element-granular GM access is two orders of magnitude slower
+    than MTE streaming. *)
+
+val ops : Block.t -> count:int -> unit
+(** Charge [count] scalar ALU operations. *)
+
+val gm_read : Block.t -> Global_tensor.t -> int -> float
+(** Read one element of global memory through the scalar unit. *)
+
+val gm_write : Block.t -> Global_tensor.t -> int -> float -> unit
+(** Write one element of global memory through the scalar unit. *)

@@ -1,0 +1,105 @@
+type phase = {
+  compute_seconds : float;
+  bandwidth_seconds : float;
+  seconds : float;
+  gm_bytes : int;
+  footprint_bytes : int;
+  bandwidth_bound : bool;
+}
+
+type t = {
+  name : string;
+  seconds : float;
+  phases : phase list;
+  blocks : int;
+  cores_used : int;
+  gm_read_bytes : int;
+  gm_write_bytes : int;
+  engine_busy : (string * float) list;
+  op_counts : (string * int) list;
+}
+
+let op_count t name =
+  Option.value ~default:0 (List.assoc_opt name t.op_counts)
+
+let gm_bytes t = t.gm_read_bytes + t.gm_write_bytes
+
+let combine ~name = function
+  | [] -> invalid_arg "Stats.combine: empty list"
+  | first :: _ as stats ->
+      {
+        name;
+        seconds = List.fold_left (fun acc s -> acc +. s.seconds) 0.0 stats;
+        phases = List.concat_map (fun s -> s.phases) stats;
+        blocks = List.fold_left (fun acc s -> max acc s.blocks) 0 stats;
+        cores_used =
+          List.fold_left (fun acc s -> max acc s.cores_used) 0 stats;
+        gm_read_bytes =
+          List.fold_left (fun acc s -> acc + s.gm_read_bytes) 0 stats;
+        gm_write_bytes =
+          List.fold_left (fun acc s -> acc + s.gm_write_bytes) 0 stats;
+        engine_busy =
+          List.map
+            (fun (e, _) ->
+              ( e,
+                List.fold_left
+                  (fun acc s ->
+                    match List.assoc_opt e s.engine_busy with
+                    | Some c -> acc +. c
+                    | None -> acc)
+                  0.0 stats ))
+            first.engine_busy;
+        op_counts =
+          (let tbl = Hashtbl.create 16 in
+           List.iter
+             (fun s ->
+               List.iter
+                 (fun (k, v) ->
+                   Hashtbl.replace tbl k
+                     (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+                 s.op_counts)
+             stats;
+           List.sort
+             (fun (_, a) (_, b) -> compare b a)
+             (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []));
+      }
+let effective_bandwidth t ~bytes = float_of_int bytes /. t.seconds
+let elements_per_second t ~elements = float_of_int elements /. t.seconds
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%-24s %10.3f us  %8.2f GB/s moved  %d blocks" t.name
+    (t.seconds *. 1e6)
+    (float_of_int (gm_bytes t) /. t.seconds /. 1e9)
+    t.blocks
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>kernel %s: %.3f us, %d blocks on %d cores@ " t.name
+    (t.seconds *. 1e6) t.blocks t.cores_used;
+  Format.fprintf fmt "GM: %.2f MiB read, %.2f MiB written@ "
+    (float_of_int t.gm_read_bytes /. 1048576.0)
+    (float_of_int t.gm_write_bytes /. 1048576.0);
+  List.iteri
+    (fun i (p : phase) ->
+      Format.fprintf fmt
+        "phase %d: %.3f us (%s-bound; compute %.3f us, bw %.3f us, %.2f MiB \
+         traffic, %.2f MiB footprint)@ "
+        i (p.seconds *. 1e6)
+        (if p.bandwidth_bound then "bandwidth" else "compute")
+        (p.compute_seconds *. 1e6)
+        (p.bandwidth_seconds *. 1e6)
+        (float_of_int p.gm_bytes /. 1048576.0)
+        (float_of_int p.footprint_bytes /. 1048576.0))
+    t.phases;
+  Format.fprintf fmt "engine busy (kcycles):";
+  List.iter
+    (fun (e, c) ->
+      if c > 0.0 then Format.fprintf fmt " %s=%.1f" e (c /. 1e3))
+    t.engine_busy;
+  (match t.op_counts with
+  | [] -> ()
+  | ops ->
+      Format.fprintf fmt "@ instruction mix:";
+      List.iteri
+        (fun i (o, c) -> if i < 8 then Format.fprintf fmt " %s=%d" o c)
+        ops);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,50 @@
+(** Execution statistics of one kernel launch. *)
+
+type phase = {
+  compute_seconds : float;
+      (** Critical-path time of the slowest core (before the bandwidth cap). *)
+  bandwidth_seconds : float;
+      (** Lower bound from aggregate GM traffic / effective bandwidth. *)
+  seconds : float;  (** max of the two. *)
+  gm_bytes : int;  (** GM traffic of this phase (read + write). *)
+  footprint_bytes : int;
+      (** Distinct global-tensor bytes touched; decides L2 vs HBM
+          effective bandwidth. *)
+  bandwidth_bound : bool;
+}
+
+type t = {
+  name : string;
+  seconds : float;  (** End-to-end launch time incl. launch + barriers. *)
+  phases : phase list;
+  blocks : int;
+  cores_used : int;
+  gm_read_bytes : int;
+  gm_write_bytes : int;
+  engine_busy : (string * float) list;
+      (** Aggregate busy cycles per engine name, summed over blocks. *)
+  op_counts : (string * int) list;
+      (** Instructions issued per op name, summed over blocks (sorted
+          descending by count). *)
+}
+
+val op_count : t -> string -> int
+(** Count for one op name (0 when absent). *)
+
+val gm_bytes : t -> int
+
+val combine : name:string -> t list -> t
+(** Aggregate the statistics of a multi-launch operator (e.g. the 17
+    scans inside a radix-sorted top-p): seconds and traffic add up,
+    phases concatenate, and per-engine busy cycles sum. Raises
+    [Invalid_argument] on an empty list. *)
+
+val effective_bandwidth : t -> bytes:int -> float
+(** [bytes / seconds]: the bandwidth metric of the paper's figures, with
+    the caller choosing which bytes count (e.g. 2 x N x elem-size for a
+    scan: N read + N written). *)
+
+val elements_per_second : t -> elements:int -> float
+
+val pp : Format.formatter -> t -> unit
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,428 @@
+type binop = Add | Sub | Mul | Max | Min
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+let require_ub what lt =
+  match Local_tensor.kind lt with
+  | Mem_kind.Ub _ -> ()
+  | k ->
+      invalid_arg
+        (Printf.sprintf "Vec.%s: operand in %s; vector engines only access UB"
+           what (Mem_kind.to_string k))
+
+let check_range what lt off len =
+  if off < 0 || len < 0 || off + len > Local_tensor.length lt then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: range %d+%d out of bounds [0,%d)" what off len
+         (Local_tensor.length lt))
+
+(* Charge [instrs] vector instructions processing [len] elements of the
+   widest operand involved. *)
+let charge_op ctx ~vec ~instrs ~len ~esize =
+  let cm = Block.cost ctx in
+  let per = Cost_model.vec_op_cycles cm ~bytes:(len * esize) in
+  Block.charge ctx (Engine.Vec vec) (float_of_int instrs *. per)
+
+let tick = Block.count_op
+
+let charge_scalar ctx ~vec =
+  let cm = Block.cost ctx in
+  Block.charge ctx (Engine.Vec vec) cm.Cost_model.scalar_access_cycles
+
+let esize lt = Dtype.size_bytes (Local_tensor.dtype lt)
+
+(* Generic element-wise loop writing through the dtype-rounding setter. *)
+let map1 ctx f ~src ~src_off ~dst ~dst_off ~len =
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      Host_buffer.set db (dst_off + i) (f (Host_buffer.get sb (src_off + i)))
+    done
+  end
+
+let map2 ctx f ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len =
+  if Block.functional ctx then begin
+    let a = Local_tensor.buffer src0
+    and b = Local_tensor.buffer src1
+    and db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      Host_buffer.set db (dst_off + i)
+        (f (Host_buffer.get a (src0_off + i)) (Host_buffer.get b (src1_off + i)))
+    done
+  end
+
+let fun_of_binop = function
+  | Add -> ( +. )
+  | Sub -> ( -. )
+  | Mul -> ( *. )
+  | Max -> Float.max
+  | Min -> Float.min
+
+let binop ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
+    ?(dst_off = 0) ~len () =
+  require_ub "binop" src0;
+  require_ub "binop" src1;
+  require_ub "binop" dst;
+  check_range "binop" src0 src0_off len;
+  check_range "binop" src1 src1_off len;
+  check_range "binop" dst dst_off len;
+  tick ctx
+    (match op with
+    | Add -> "vadd" | Sub -> "vsub" | Mul -> "vmul" | Max -> "vmax"
+    | Min -> "vmin");
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  map2 ctx (fun_of_binop op) ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len
+
+let add ctx ?(vec = 0) ~src0 ~src1 ~dst ~len () =
+  binop ctx ~vec Add ~src0 ~src1 ~dst ~len ()
+
+let scalar_map name f ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
+  tick ctx name;
+  require_ub name src;
+  require_ub name dst;
+  check_range name src src_off len;
+  check_range name dst dst_off len;
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  map1 ctx f ~src ~src_off ~dst ~dst_off ~len
+
+let adds ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
+  scalar_map "adds" (fun v -> v +. scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let muls ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
+  scalar_map "muls" (fun v -> v *. scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let maxs ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
+  scalar_map "maxs" (Float.max scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let mins ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
+  scalar_map "mins" (Float.min scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let exp ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  scalar_map "exp" Stdlib.exp ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let fun_of_cmp = function
+  | Eq -> ( = )
+  | Ne -> ( <> )
+  | Lt -> ( < )
+  | Le -> ( <= )
+  | Gt -> ( > )
+  | Ge -> ( >= )
+
+let compare_scalar ctx ?(vec = 0) cmp ~src ?(src_off = 0) ~dst ?(dst_off = 0)
+    ~scalar ~len () =
+  let test = fun_of_cmp cmp in
+  scalar_map "compare_scalar"
+    (fun v -> if test (Float.compare v scalar) 0 then 1.0 else 0.0)
+    ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let compare ctx ?(vec = 0) cmp ~src0 ~src1 ~dst ~len () =
+  require_ub "compare" src0;
+  require_ub "compare" src1;
+  require_ub "compare" dst;
+  check_range "compare" src0 0 len;
+  check_range "compare" src1 0 len;
+  check_range "compare" dst 0 len;
+  tick ctx "vcompare";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src0);
+  let test = fun_of_cmp cmp in
+  map2 ctx
+    (fun a b -> if test (Float.compare a b) 0 then 1.0 else 0.0)
+    ~src0 ~src0_off:0 ~src1 ~src1_off:0 ~dst ~dst_off:0 ~len
+
+let select ctx ?(vec = 0) ?(mask_off = 0) ~mask ?(src0_off = 0) ~src0
+    ?(src1_off = 0) ~src1 ?(dst_off = 0) ~dst ~len () =
+  require_ub "select" mask;
+  require_ub "select" src0;
+  require_ub "select" src1;
+  require_ub "select" dst;
+  check_range "select" mask mask_off len;
+  check_range "select" src0 src0_off len;
+  check_range "select" src1 src1_off len;
+  check_range "select" dst dst_off len;
+  tick ctx "vselect";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  if Block.functional ctx then begin
+    let m = Local_tensor.buffer mask
+    and a = Local_tensor.buffer src0
+    and b = Local_tensor.buffer src1
+    and db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      let v =
+        if Host_buffer.get m (mask_off + i) <> 0.0 then
+          Host_buffer.get a (src0_off + i)
+        else Host_buffer.get b (src1_off + i)
+      in
+      Host_buffer.set db (dst_off + i) v
+    done
+  end
+
+(* Bit-wise ops view each element as the unsigned field of its dtype. *)
+let unsigned_field dt v =
+  let bits = Dtype.size_bytes dt * 8 in
+  let m = 1 lsl bits in
+  ((int_of_float v) mod m + m) mod m
+
+let require_integer what lt =
+  if not (Dtype.is_integer (Local_tensor.dtype lt)) then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: bit-wise ops require an integer data type" what)
+
+let bit_map name f ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
+  require_integer name src;
+  require_integer name dst;
+  let sdt = Local_tensor.dtype src in
+  scalar_map name
+    (fun v -> float_of_int (f (unsigned_field sdt v)))
+    ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let shift_right ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~bits
+    ~len () =
+  bit_map "shift_right" (fun u -> u lsr bits) ctx ~vec ~src ~src_off ~dst
+    ~dst_off ~len
+
+let shift_left ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~bits
+    ~len () =
+  bit_map "shift_left" (fun u -> u lsl bits) ctx ~vec ~src ~src_off ~dst
+    ~dst_off ~len
+
+let bit_ands ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~mask ~len () =
+  bit_map "bit_ands" (fun u -> u land mask) ctx ~vec ~src ~src_off ~dst
+    ~dst_off ~len
+
+let bit_ors ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~mask ~len () =
+  bit_map "bit_ors" (fun u -> u lor mask) ctx ~vec ~src ~src_off ~dst
+    ~dst_off ~len
+
+let bit_xors ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~mask ~len () =
+  bit_map "bit_xors" (fun u -> u lxor mask) ctx ~vec ~src ~src_off ~dst
+    ~dst_off ~len
+
+let bit_not ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  require_integer "bit_not" src;
+  let bits = Dtype.size_bytes (Local_tensor.dtype src) * 8 in
+  let full = (1 lsl bits) - 1 in
+  bit_map "bit_not" (fun u -> u lxor full) ctx ~vec ~src ~src_off ~dst
+    ~dst_off ~len
+
+type bitop = And | Or | Xor
+
+let bit_op ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
+    ?(dst_off = 0) ~len () =
+  require_integer "bit_op" src0;
+  require_integer "bit_op" src1;
+  require_integer "bit_op" dst;
+  require_ub "bit_op" src0;
+  require_ub "bit_op" src1;
+  require_ub "bit_op" dst;
+  check_range "bit_op" src0 src0_off len;
+  check_range "bit_op" src1 src1_off len;
+  check_range "bit_op" dst dst_off len;
+  tick ctx "vbitop";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  let f = match op with
+    | And -> ( land )
+    | Or -> ( lor )
+    | Xor -> ( lxor )
+  in
+  let d0 = Local_tensor.dtype src0 and d1 = Local_tensor.dtype src1 in
+  map2 ctx
+    (fun a b -> float_of_int (f (unsigned_field d0 a) (unsigned_field d1 b)))
+    ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len
+
+let arange ctx ?(vec = 0) ~dst ?(dst_off = 0) ~start ~len () =
+  require_ub "arange" dst;
+  check_range "arange" dst dst_off len;
+  tick ctx "arange";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  if Block.functional ctx then begin
+    let db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      Host_buffer.set db (dst_off + i) (start +. float_of_int i)
+    done
+  end
+
+let cast ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  require_ub "cast" src;
+  require_ub "cast" dst;
+  check_range "cast" src src_off len;
+  check_range "cast" dst dst_off len;
+  tick ctx "vcast";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(max (esize src) (esize dst));
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
+    let from = Local_tensor.dtype src in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      Host_buffer.set_cast db (dst_off + i) ~from
+        (Host_buffer.get sb (src_off + i))
+    done
+  end
+
+let dup ctx ?(vec = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
+  require_ub "dup" dst;
+  check_range "dup" dst dst_off len;
+  tick ctx "duplicate";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  if Block.functional ctx then begin
+    let db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      Host_buffer.set db (dst_off + i) scalar
+    done
+  end
+
+let copy ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  scalar_map "copy" Fun.id ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+
+let reduce_sum ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
+  require_ub "reduce_sum" src;
+  check_range "reduce_sum" src src_off len;
+  tick ctx "reduce_sum";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src);
+  charge_scalar ctx ~vec;
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src in
+    let acc = ref 0.0 in
+    for i = 0 to len - 1 do
+      acc := !acc +. Host_buffer.get sb (src_off + i)
+    done;
+    Dtype.round Dtype.F32 !acc
+  end
+  else 0.0
+
+let reduce_max ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
+  require_ub "reduce_max" src;
+  check_range "reduce_max" src src_off len;
+  if len = 0 then invalid_arg "Vec.reduce_max: empty range";
+  tick ctx "reduce_max";
+  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src);
+  charge_scalar ctx ~vec;
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src in
+    let acc = ref neg_infinity in
+    for i = 0 to len - 1 do
+      acc := Float.max !acc (Host_buffer.get sb (src_off + i))
+    done;
+    !acc
+  end
+  else 0.0
+
+let cumsum ctx ?(vec = 0) ~src ~dst ~rows ~cols () =
+  require_ub "cumsum" src;
+  require_ub "cumsum" dst;
+  let len = rows * cols in
+  check_range "cumsum" src 0 len;
+  check_range "cumsum" dst 0 len;
+  let cm = Block.cost ctx in
+  tick ctx "cumsum_api";
+  let instrs =
+    int_of_float (Float.ceil (cm.Cost_model.cumsum_instrs_per_row *. float_of_int rows))
+  in
+  charge_op ctx ~vec ~instrs:1 ~len:(instrs * cols) ~esize:(esize src);
+  (* The per-row instruction count is charged through a single composite
+     call above: [instrs] row-sized instructions. Re-express the issue
+     overhead explicitly since charge_op only adds one issue cost. *)
+  Block.charge ctx (Engine.Vec vec)
+    (float_of_int (instrs - 1) *. cm.Cost_model.vec_issue_cycles);
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
+    let dt = Local_tensor.dtype dst in
+    Local_tensor.touch dst;
+    let acc = ref 0.0 in
+    for i = 0 to len - 1 do
+      acc := Dtype.round dt (!acc +. Host_buffer.get sb i);
+      Host_buffer.set db i !acc
+    done
+  end
+
+let sort_region ctx ?(vec = 0) ?(descending = false) ~src ~dst ~len () =
+  require_ub "sort_region" src;
+  require_ub "sort_region" dst;
+  check_range "sort_region" src 0 len;
+  check_range "sort_region" dst 0 len;
+  if len = 0 then invalid_arg "Vec.sort_region: empty region";
+  tick ctx "sort_region";
+  (* One Sort32 sweep plus log4 merge passes, each region-sized. *)
+  let merge_passes =
+    let rec go runs acc = if runs <= 1 then acc else go ((runs + 3) / 4) (acc + 1) in
+    go ((len + 31) / 32) 0
+  in
+  charge_op ctx ~vec ~instrs:(1 + (2 * merge_passes)) ~len ~esize:(esize src);
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
+    let a = Array.init len (fun i -> Host_buffer.get sb i) in
+    Array.sort (fun x y -> Float.compare x y) a;
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      let v = if descending then a.(len - 1 - i) else a.(i) in
+      Host_buffer.set db i v
+    done
+  end
+
+let gather_mask ctx ?(vec = 0) ~src ?(src_off = 0) ~mask ?(mask_off = 0) ~dst
+    ?(dst_off = 0) ~len () =
+  require_ub "gather_mask" src;
+  require_ub "gather_mask" mask;
+  require_ub "gather_mask" dst;
+  check_range "gather_mask" src src_off len;
+  check_range "gather_mask" mask mask_off len;
+  (* Destination holds at most [len] gathered elements. *)
+  check_range "gather_mask" dst dst_off 0;
+  tick ctx "gather_mask";
+  charge_op ctx ~vec ~instrs:2 ~len ~esize:(esize src);
+  charge_scalar ctx ~vec;
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src
+    and mb = Local_tensor.buffer mask
+    and db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    let k = ref 0 in
+    for i = 0 to len - 1 do
+      if Host_buffer.get mb (mask_off + i) <> 0.0 then begin
+        Host_buffer.set db (dst_off + !k) (Host_buffer.get sb (src_off + i));
+        incr k
+      end
+    done;
+    !k
+  end
+  else 0
+
+let gather_elements ctx ?(vec = 0) ~src ~idx ~dst ~len () =
+  require_ub "gather_elements" src;
+  require_ub "gather_elements" idx;
+  require_ub "gather_elements" dst;
+  require_integer "gather_elements" idx;
+  check_range "gather_elements" idx 0 len;
+  check_range "gather_elements" dst 0 len;
+  tick ctx "gather";
+  charge_op ctx ~vec ~instrs:2 ~len ~esize:(esize dst);
+  if Block.functional ctx then begin
+    let sb = Local_tensor.buffer src
+    and ib = Local_tensor.buffer idx
+    and db = Local_tensor.buffer dst in
+    Local_tensor.touch dst;
+    for i = 0 to len - 1 do
+      let j = int_of_float (Host_buffer.get ib i) in
+      if j < 0 || j >= Local_tensor.length src then
+        invalid_arg
+          (Printf.sprintf "Vec.gather_elements: index %d out of range" j);
+      Host_buffer.set db i (Host_buffer.get sb j)
+    done
+  end
+
+let get ctx ?(vec = 0) lt i =
+  require_ub "get" lt;
+  check_range "get" lt i 0;
+  tick ctx "scalar_get";
+  charge_scalar ctx ~vec;
+  if Block.functional ctx then Local_tensor.get lt i else 0.0
+
+let set ctx ?(vec = 0) lt i v =
+  require_ub "set" lt;
+  check_range "set" lt i 0;
+  tick ctx "scalar_set";
+  charge_scalar ctx ~vec;
+  if Block.functional ctx then Local_tensor.set lt i v

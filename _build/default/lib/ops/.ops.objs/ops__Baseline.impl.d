@@ -1,0 +1,1 @@
+lib/ops/baseline.ml: Array Ascend Block Cost_model Device Dtype Engine Float Global_tensor Launch List Local_tensor Map_kernel Mem_kind Mte Printf Scalar_unit Scan Stats Vec

@@ -1,0 +1,1 @@
+lib/ops/baseline.mli: Ascend

@@ -1,0 +1,1 @@
+lib/ops/compress.mli: Ascend

@@ -1,0 +1,1 @@
+lib/ops/float_codec.mli: Ascend

@@ -1,0 +1,1 @@
+lib/ops/map_kernel.ml: Array Ascend Block Cost_model Device Engine Global_tensor Launch List Mem_kind Mte Scan

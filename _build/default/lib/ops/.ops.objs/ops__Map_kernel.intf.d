@@ -1,0 +1,1 @@
+lib/ops/map_kernel.mli: Ascend

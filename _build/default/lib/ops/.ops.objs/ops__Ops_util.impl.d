@@ -1,0 +1,1 @@
+lib/ops/ops_util.ml: Array Ascend Block Cost_model Device Dtype Engine Fp16 Global_tensor Launch Mem_kind Mte Scan

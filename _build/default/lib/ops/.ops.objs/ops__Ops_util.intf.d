@@ -1,0 +1,1 @@
+lib/ops/ops_util.mli: Ascend

@@ -1,0 +1,1 @@
+lib/ops/radix_select.ml: Ascend Block Device Dtype Engine Float_codec Global_tensor Launch List Map_kernel Mem_kind Mte Ops_util Printf Split Stats Vec

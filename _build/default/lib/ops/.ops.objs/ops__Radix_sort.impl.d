@@ -1,0 +1,1 @@
+lib/ops/radix_sort.ml: Ascend Device Dtype Float_codec Global_tensor List Map_kernel Ops_util Printf Split Stats Vec

@@ -1,0 +1,1 @@
+lib/ops/radix_sort.mli: Ascend

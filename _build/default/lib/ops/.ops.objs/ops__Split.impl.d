@@ -1,0 +1,1 @@
+lib/ops/split.ml: Array Ascend Block Cost_model Device Dtype Engine Global_tensor Launch Local_tensor Mem_kind Mte Printf Scan Stats Vec

@@ -1,0 +1,1 @@
+lib/ops/split.mli: Ascend

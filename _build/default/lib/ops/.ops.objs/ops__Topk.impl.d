@@ -1,0 +1,1 @@
+lib/ops/topk.ml: Ascend Block Device Dtype Engine Global_tensor Launch List Map_kernel Mem_kind Mte Ops_util Random Split Stats Vec

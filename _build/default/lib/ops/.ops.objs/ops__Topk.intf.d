@@ -1,0 +1,1 @@
+lib/ops/topk.mli: Ascend

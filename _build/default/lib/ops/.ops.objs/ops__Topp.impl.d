@@ -1,0 +1,1 @@
+lib/ops/topp.ml: Array Ascend Baseline Device Dtype Global_tensor Map_kernel Ops_util Radix_sort Scan Stats Vec Weighted_sampling

@@ -1,0 +1,1 @@
+lib/ops/topp.mli: Ascend

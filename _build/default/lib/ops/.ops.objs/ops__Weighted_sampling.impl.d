@@ -1,0 +1,1 @@
+lib/ops/weighted_sampling.ml: Array Ascend Block Device Dtype Engine Float Fun Global_tensor Launch Map_kernel Mem_kind Mte Ops_util Scan Split Stats Vec

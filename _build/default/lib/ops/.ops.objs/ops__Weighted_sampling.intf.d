@@ -1,0 +1,1 @@
+lib/ops/weighted_sampling.mli: Ascend

@@ -1,0 +1,65 @@
+(** Models of the stock PyTorch-on-Ascend operators the paper compares
+    against. Each follows the engine usage the paper reports or that a
+    generic (non-cube-aware) port would exhibit:
+
+    - {!clone} is a pure streaming copy through all vector-core MTEs —
+      the memory-bandwidth yardstick of Figure 8;
+    - {!cumsum} is the vector-only CumSum kernel ({!Scan.Scan_vec_only});
+    - {!masked_select} uses only the scalar unit (the paper's code
+      investigation found the stock operator uses neither the vector
+      nor the cube units);
+    - {!sort} is a naive global bitonic network on the vector cores:
+      every compare-exchange stage is a full read-modify-write pass
+      over global memory with a barrier between stages (no UB fusion
+      across stages) — values only;
+    - {!topk} streams tiles through the vector-sort instructions,
+      merging each tile's candidates into a running top-k buffer; it is
+      hard to beat for small [k] (the paper's negative result);
+    - {!multinomial} draws one weighted sample with a single-core
+      cumulative sum and scalar binary search, and rejects support
+      sizes above [2^24] like the stock operator. *)
+
+val clone :
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+
+val cumsum :
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+
+val masked_select :
+  Ascend.Device.t ->
+  x:Ascend.Global_tensor.t ->
+  mask:Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * int * Ascend.Stats.t
+(** Returns (values, count, stats); the first [count] entries of
+    [values] are the selected elements. *)
+
+val sort :
+  ?descending:bool ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Input length must be a power of two ([F16] data); ascending by
+    default. *)
+
+val topk :
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  k:int ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** The [k] largest values in descending order ([k <= 4096]). Values
+    only (functional mode only). *)
+
+val multinomial :
+  Ascend.Device.t ->
+  weights:Ascend.Global_tensor.t ->
+  theta:float ->
+  int * Ascend.Stats.t
+(** Inverse-transform sample from unnormalised weights using the
+    uniform draw [theta] in [0, 1). Raises [Invalid_argument] when the
+    support exceeds [2^24] (the stock operator's limit). *)
+
+val max_multinomial_support : int

@@ -1,0 +1,27 @@
+open Ascend
+
+let encode_bits u =
+  let u = u land 0xFFFF in
+  if u land 0x8000 <> 0 then u lxor 0xFFFF else u lxor 0x8000
+
+let decode_bits e =
+  let e = e land 0xFFFF in
+  if e land 0x8000 <> 0 then e lxor 0x8000 else e lxor 0xFFFF
+
+(* dst = src xor (sign_mask) where sign_mask is 0x8000 for positives and
+   0xFFFF for negatives: mask = ((src >> 15) * 0x7FFF) | 0x8000. *)
+let encode_tile ctx ?(vec = 0) ~src ~dst ~tmp ~len () =
+  Vec.shift_right ctx ~vec ~src ~dst:tmp ~bits:15 ~len ();
+  Vec.muls ctx ~vec ~src:tmp ~dst:tmp ~scalar:32767.0 ~len ();
+  Vec.bit_ors ctx ~vec ~src:tmp ~dst:tmp ~mask:0x8000 ~len ();
+  Vec.bit_op ctx ~vec Vec.Xor ~src0:src ~src1:tmp ~dst ~len ()
+
+(* Inverse: encoded MSB 1 came from a positive (xor 0x8000 back),
+   MSB 0 from a negative (xor 0xFFFF):
+   mask = (((src >> 15) xor 1) * 0x7FFF) | 0x8000. *)
+let decode_tile ctx ?(vec = 0) ~src ~dst ~tmp ~len () =
+  Vec.shift_right ctx ~vec ~src ~dst:tmp ~bits:15 ~len ();
+  Vec.bit_xors ctx ~vec ~src:tmp ~dst:tmp ~mask:1 ~len ();
+  Vec.muls ctx ~vec ~src:tmp ~dst:tmp ~scalar:32767.0 ~len ();
+  Vec.bit_ors ctx ~vec ~src:tmp ~dst:tmp ~mask:0x8000 ~len ();
+  Vec.bit_op ctx ~vec Vec.Xor ~src0:src ~src1:tmp ~dst ~len ()

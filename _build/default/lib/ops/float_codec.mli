@@ -1,0 +1,44 @@
+(** Order-preserving encoding of fp16 bit patterns for radix sorting.
+
+    An unsigned integer radix sort orders fp16 values correctly after
+    encoding each 16-bit pattern as follows (Knuth, TAOCP vol. 3,
+    exercises 5.2.5-8/9; also the CM-2 sorting paper):
+
+    - positive numbers (sign bit 0): invert the most significant bit;
+    - negative numbers (sign bit 1): invert all 16 bits.
+
+    Decoding is the inverse: patterns with MSB 1 came from positives
+    (invert the MSB back); patterns with MSB 0 came from negatives
+    (invert everything). The encoding orders [-inf < ... < -0 < +0 <
+    ... < +inf < NaN(+)], with negative-payload NaNs first. *)
+
+val encode_bits : int -> int
+(** Host-side encode of one 16-bit pattern. *)
+
+val decode_bits : int -> int
+(** Host-side decode; [decode_bits (encode_bits u) = u]. *)
+
+val encode_tile :
+  Ascend.Block.t ->
+  ?vec:int ->
+  src:Ascend.Local_tensor.t ->
+  dst:Ascend.Local_tensor.t ->
+  tmp:Ascend.Local_tensor.t ->
+  len:int ->
+  unit ->
+  unit
+(** Vector-engine encode of a UB tile of [U16] key patterns:
+    [dst = src xor ((src >> 15) * 0x7FFF or 0x8000)], built from the
+    shift / multiply / or / xor vector instructions. [tmp] is a [U16]
+    scratch tile of at least [len] elements. *)
+
+val decode_tile :
+  Ascend.Block.t ->
+  ?vec:int ->
+  src:Ascend.Local_tensor.t ->
+  dst:Ascend.Local_tensor.t ->
+  tmp:Ascend.Local_tensor.t ->
+  len:int ->
+  unit ->
+  unit
+(** Vector-engine inverse of {!encode_tile}. *)

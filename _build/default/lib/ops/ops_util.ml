@@ -1,0 +1,104 @@
+open Ascend
+
+let bitcast_f16_to_u16 device x =
+  if not (Dtype.equal (Global_tensor.dtype x) Dtype.F16) then
+    invalid_arg "Ops_util.bitcast_f16_to_u16: input must be f16";
+  let n = Global_tensor.length x in
+  let u =
+    Device.alloc device Dtype.U16 n ~name:(Global_tensor.name x ^ "_bits")
+  in
+  if Device.functional device then
+    for i = 0 to n - 1 do
+      Global_tensor.set u i
+        (float_of_int (Fp16.of_float (Global_tensor.get x i)))
+    done;
+  u
+
+let bitcast_u16_to_f16 device u =
+  if not (Dtype.equal (Global_tensor.dtype u) Dtype.U16) then
+    invalid_arg "Ops_util.bitcast_u16_to_f16: input must be u16";
+  let n = Global_tensor.length u in
+  let x =
+    Device.alloc device Dtype.F16 n ~name:(Global_tensor.name u ^ "_vals")
+  in
+  if Device.functional device then
+    for i = 0 to n - 1 do
+      Global_tensor.set x i
+        (Fp16.to_float (int_of_float (Global_tensor.get u i)))
+    done;
+  x
+
+let read_scalar gt i ~default =
+  if Global_tensor.is_backed gt then Global_tensor.get gt i else default
+
+let ub_tile = 8192
+
+let slice device gt ~off ~len =
+  if off < 0 || len <= 0 || off + len > Global_tensor.length gt then
+    invalid_arg "Ops_util.slice: range out of bounds";
+  let dt = Global_tensor.dtype gt in
+  let out =
+    Device.alloc device dt len ~name:(Global_tensor.name gt ^ "_slice")
+  in
+  let blocks = Device.num_cores device in
+  let vpc = (Device.cost device).Cost_model.vec_per_core in
+  let vchunk = Scan.Kernel_util.ceil_div len (blocks * vpc) in
+  let body ctx =
+    let i = Block.idx ctx in
+    let ubs =
+      Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile)
+    in
+    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
+    Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
+        for t = 0 to max_tiles - 1 do
+          for v = 0 to vpc - 1 do
+            let lo = ((i * vpc) + v) * vchunk in
+            let hi = min len (lo + vchunk) in
+            let o = lo + (t * ub_tile) in
+            if o < hi then begin
+              let l = min ub_tile (hi - o) in
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:gt
+                ~src_off:(off + o) ~dst:ubs.(v) ~len:l ();
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ubs.(v)
+                ~dst:out ~dst_off:o ~len:l ()
+            end
+          done
+        done)
+  in
+  let stats = Launch.run ~name:"slice" device ~blocks body in
+  (out, stats)
+
+let blit device ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  if len <= 0 || src_off < 0 || dst_off < 0
+     || src_off + len > Global_tensor.length src
+     || dst_off + len > Global_tensor.length dst
+  then invalid_arg "Ops_util.blit: range out of bounds";
+  if not (Dtype.equal (Global_tensor.dtype src) (Global_tensor.dtype dst))
+  then invalid_arg "Ops_util.blit: data types differ";
+  let dt = Global_tensor.dtype src in
+  let blocks = Device.num_cores device in
+  let vpc = (Device.cost device).Cost_model.vec_per_core in
+  let vchunk = Scan.Kernel_util.ceil_div len (blocks * vpc) in
+  let body ctx =
+    let i = Block.idx ctx in
+    let ubs =
+      Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile)
+    in
+    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
+    Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
+        for t = 0 to max_tiles - 1 do
+          for v = 0 to vpc - 1 do
+            let lo = ((i * vpc) + v) * vchunk in
+            let hi = min len (lo + vchunk) in
+            let o = lo + (t * ub_tile) in
+            if o < hi then begin
+              let l = min ub_tile (hi - o) in
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src
+                ~src_off:(src_off + o) ~dst:ubs.(v) ~len:l ();
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ubs.(v)
+                ~dst ~dst_off:(dst_off + o) ~len:l ()
+            end
+          done
+        done)
+  in
+  Launch.run ~name:"blit" device ~blocks body

@@ -1,0 +1,36 @@
+(** Shared helpers for the operator kernels. *)
+
+val bitcast_f16_to_u16 :
+  Ascend.Device.t -> Ascend.Global_tensor.t -> Ascend.Global_tensor.t
+(** Reinterpret an [F16] tensor as its [U16] bit patterns. On hardware
+    this is a zero-cost type pun on the same buffer; the simulator
+    materialises a host-side view with no engine cost or traffic. *)
+
+val bitcast_u16_to_f16 :
+  Ascend.Device.t -> Ascend.Global_tensor.t -> Ascend.Global_tensor.t
+(** Inverse reinterpretation. *)
+
+val read_scalar : Ascend.Global_tensor.t -> int -> default:float -> float
+(** Host-side readback of one element; returns [default] when the
+    device runs cost-only (documenting the analytic substitution). *)
+
+val slice :
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  off:int ->
+  len:int ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Materialise [gt\[off, off+len)] as a fresh contiguous tensor with a
+    multi-core streaming copy (a PyTorch [.contiguous()] slice). *)
+
+val blit :
+  Ascend.Device.t ->
+  src:Ascend.Global_tensor.t ->
+  ?src_off:int ->
+  dst:Ascend.Global_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  Ascend.Stats.t
+(** Streaming copy of [len] elements between regions of two global
+    tensors (same data type), through the vector-core MTEs. *)

@@ -1,0 +1,35 @@
+(** LSB radix sort of fp16 (or raw u16) keys built on {!Split}.
+
+    The sort loops over the 16 bits of the keys from least to most
+    significant; each iteration extracts the current bit with vector
+    shift/and instructions (the RadixSingle pre-pass) and performs one
+    stable {!Split} whose parallel splits run on the cube units through
+    the int8 exclusive MCScan. Sixteen stable bit-splits yield a fully
+    sorted, stable result.
+
+    fp16 keys are supported through the order-preserving encoding of
+    {!Float_codec} applied in a pre-processing pass and undone in a
+    post-processing pass; NaN payloads order after +inf. Pass
+    [with_indices] to additionally return each output element's input
+    index (the PyTorch [sort()] API). *)
+
+type result = {
+  values : Ascend.Global_tensor.t;  (** Sorted values (input dtype). *)
+  indices : Ascend.Global_tensor.t option;  (** [I32] source indices. *)
+  stats : Ascend.Stats.t;  (** Combined over all passes. *)
+}
+
+val run :
+  ?s:int ->
+  ?with_indices:bool ->
+  ?descending:bool ->
+  ?bits:int ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  result
+(** Input must be [F16] or [U16]. [bits] (default 16) limits the
+    number of radix passes — low-precision keys sort proportionally
+    faster, the low-bit-width scenario of Section 6.3. For [U16]
+    inputs, [bits < 16] requires the keys to actually fit in [bits]
+    bits for a correct result. Defaults: [s = 128],
+    [with_indices = false], [descending = false]. *)

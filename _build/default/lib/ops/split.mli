@@ -1,0 +1,46 @@
+(** SplitInd: stable parallel split with output indices.
+
+    Reorganises the input so that all elements whose flag is true come
+    first (in their original order), followed by all elements whose
+    flag is false (also in order). Optionally produces, for every
+    output element, the index it came from — the feature that lets the
+    radix sort satisfy the PyTorch [sort()] API.
+
+    Implementation (Section 5): an {e exclusive} MCScan over the int8
+    flag array yields, for every position, the number of preceding true
+    elements; within each UB tile the vector cores then use
+    [GatherMask] twice (once with the flags, once with their
+    complement) and write the two compacted runs at the offsets the
+    scan dictates — true run at [e(tile)], false run at
+    [T + tile_offset - e(tile)] where [T] is the total true count.
+
+    In cost-only device mode the gather counts are unknown; the kernel
+    substitutes [expected_density] (documented analytic expectation)
+    for traffic accounting. *)
+
+type result = {
+  values : Ascend.Global_tensor.t;  (** Same dtype/length as the input. *)
+  indices : Ascend.Global_tensor.t option;
+      (** [I32] source index per output element when requested. *)
+  true_count : int;  (** Number of true flags (0 in cost-only mode). *)
+  stats : Ascend.Stats.t;
+}
+
+val run :
+  ?s:int ->
+  ?expected_density:float ->
+  ?with_indices:bool ->
+  ?indices_in:Ascend.Global_tensor.t ->
+  ?emit_falses:bool ->
+  Ascend.Device.t ->
+  x:Ascend.Global_tensor.t ->
+  flags:Ascend.Global_tensor.t ->
+  unit ->
+  result
+(** [x] must be a 16-bit data type ([F16], [I16] or [U16]); [flags]
+    must be [I8] of the same length with 0/1 entries. [indices_in]
+    (an [I32] tensor of source indices, for chaining radix passes)
+    replaces the generated [arange] indices. [emit_falses:false]
+    restricts the output to the true run (the compress special case).
+    Defaults: [s = 128], [expected_density = 0.5],
+    [with_indices = false], [emit_falses = true]. *)

@@ -1,0 +1,56 @@
+(** Top-p (nucleus) sampling — the Llama3 [sample_top_p] pipeline.
+
+    Given a probability vector, (1) sort it in descending order,
+    (2) compute the cumulative sum of the sorted probabilities,
+    (3) zero out every token whose {e preceding} cumulative mass
+    already exceeds [p], and (4) draw one weighted sample from the
+    surviving (renormalised-by-construction) prefix, mapping it back to
+    the original token id through the sort indices.
+
+    With the sort implemented as a radix sort, the operator executes
+    17 scans per call — 16 inside the radix sort (one per fp16 bit)
+    plus the explicit cumulative sum — which is what makes the cube
+    scans pay off end to end (Figure 13).
+
+    {!sample_baseline} runs the same pipeline on the stock operators
+    (bitonic [torch.sort] + vector-only [torch.cumsum]); it returns no
+    token id because the stock sort path is modelled values-only. *)
+
+type result = {
+  token : int option;  (** Sampled original token id. *)
+  kept : int;  (** Nucleus size (0 in cost-only mode). *)
+  stats : Ascend.Stats.t;
+}
+
+val sample :
+  ?s:int ->
+  Ascend.Device.t ->
+  probs:Ascend.Global_tensor.t ->
+  p:float ->
+  theta:float ->
+  result
+(** [probs] must be [F16], non-negative; [p] in (0, 1]; [theta] in
+    [0, 1) is the uniform draw. Default [s = 128]. *)
+
+val sample_batch :
+  ?s:int ->
+  Ascend.Device.t ->
+  probs:Ascend.Global_tensor.t ->
+  batch:int ->
+  len:int ->
+  p:float ->
+  thetas:float array ->
+  result array
+(** Top-p over a row-major [(batch, len)] probability tensor with one
+    uniform draw per row — the constant-batch LLM serving shape the
+    paper's Section 5 describes. Each row is sliced contiguous and runs
+    the full pipeline; the per-row stats are in each result. *)
+
+val sample_baseline :
+  Ascend.Device.t ->
+  probs:Ascend.Global_tensor.t ->
+  p:float ->
+  theta:float ->
+  result
+(** Same pipeline over [torch.sort] + [torch.cumsum]; input length must
+    be a power of two (bitonic baseline). [token] is [None]. *)

@@ -1,0 +1,33 @@
+(** Parallel weighted sampling by inverse transform.
+
+    Given [n] non-negative weights, draws index [i] with probability
+    proportional to [w_i]: scan the weights with MCScan, scale the
+    uniform draw [theta] by the total, mark every position whose
+    cumulative sum exceeds the target with a vector compare pass, and
+    locate the first marked position with {!Split} (its first output
+    index). Unlike the stock [torch.multinomial], the support size is
+    unbounded. *)
+
+val sample :
+  ?s:int ->
+  Ascend.Device.t ->
+  weights:Ascend.Global_tensor.t ->
+  theta:float ->
+  int * Ascend.Stats.t
+(** [weights] must be [F16] with non-negative entries and positive sum;
+    [theta] in [0, 1). Returns the sampled index. In cost-only mode
+    the data path is skipped and index 0 is returned (the expected
+    flag density used for traffic is [1 - theta]). *)
+
+val sample_many :
+  ?s:int ->
+  Ascend.Device.t ->
+  weights:Ascend.Global_tensor.t ->
+  thetas:float array ->
+  int array * Ascend.Stats.t
+(** Draw one sample per uniform draw with a single scan and a single
+    streaming pass over the cdf (the multi-sample scenario of Section 5;
+    amortises the scan across all draws). The draws are searched in
+    sorted order; results are returned in the input order. Per tile the
+    pass spends two vector instructions per draw that lands in it.
+    Cost-only mode assumes uniformly spread draws. *)

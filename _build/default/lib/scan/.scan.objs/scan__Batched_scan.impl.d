@@ -1,0 +1,1 @@
+lib/scan/batched_scan.ml: Array Ascend Block Const_mat Cost_model Device Dtype Engine Fun Global_tensor Kernel_util Launch List Mem_kind Mte Scan_ul1 Vec

@@ -1,0 +1,1 @@
+lib/scan/batched_scan.mli: Ascend

@@ -1,0 +1,1 @@
+lib/scan/const_mat.ml: Ascend Block Cost_model Dtype Local_tensor

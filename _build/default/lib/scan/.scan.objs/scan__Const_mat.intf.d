@@ -1,0 +1,1 @@
+lib/scan/const_mat.mli: Ascend

@@ -1,0 +1,1 @@
+lib/scan/cube_reduce.ml: Ascend Block Const_mat Cost_model Cube Device Dtype Engine Global_tensor Kernel_util Launch List Local_tensor Mem_kind Mte Vec

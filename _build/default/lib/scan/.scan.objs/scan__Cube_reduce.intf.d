@@ -1,0 +1,1 @@
+lib/scan/cube_reduce.mli: Ascend

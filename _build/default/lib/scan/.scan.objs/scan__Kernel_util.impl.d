@@ -1,0 +1,1 @@
+lib/scan/kernel_util.ml: Ascend Cube Engine Mte Vec

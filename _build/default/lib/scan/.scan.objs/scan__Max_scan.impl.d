@@ -1,0 +1,1 @@
+lib/scan/max_scan.ml: Ascend Block Cost_model Device Dtype Engine Float Global_tensor Kernel_util Launch List Mem_kind Mte Printf Vec

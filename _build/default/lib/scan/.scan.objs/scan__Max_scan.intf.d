@@ -1,0 +1,1 @@
+lib/scan/max_scan.mli: Ascend

@@ -1,0 +1,1 @@
+lib/scan/mcscan.ml: Ascend Block Const_mat Cost_model Device Dtype Engine Global_tensor Kernel_util Launch List Mem_kind Mte Printf Vec

@@ -1,0 +1,1 @@
+lib/scan/reference.ml: Array Float Fun Stdlib

@@ -1,0 +1,1 @@
+lib/scan/reference.mli:

@@ -1,0 +1,1 @@
+lib/scan/scan_api.ml: Array Ascend Fun Mcscan Printf Reference Scan_u Scan_ul1 Scan_vec_only Tcu_scan

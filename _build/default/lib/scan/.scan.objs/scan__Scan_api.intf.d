@@ -1,0 +1,1 @@
+lib/scan/scan_api.mli: Ascend

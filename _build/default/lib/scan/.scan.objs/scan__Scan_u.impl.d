@@ -1,0 +1,1 @@
+lib/scan/scan_u.ml: Ascend Block Const_mat Device Dtype Engine Global_tensor Kernel_util Launch Mem_kind Mte

@@ -1,0 +1,1 @@
+lib/scan/scan_u.mli: Ascend

@@ -1,0 +1,1 @@
+lib/scan/scan_ul1.ml: Ascend Block Const_mat Cube Device Dtype Engine Global_tensor Kernel_util Launch Local_tensor Mem_kind Mte Vec

@@ -1,0 +1,1 @@
+lib/scan/scan_ul1.mli: Ascend

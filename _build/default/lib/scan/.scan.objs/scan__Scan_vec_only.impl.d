@@ -1,0 +1,1 @@
+lib/scan/scan_vec_only.ml: Ascend Block Device Dtype Engine Global_tensor Launch Mem_kind Mte Printf Vec

@@ -1,0 +1,1 @@
+lib/scan/scan_vec_only.mli: Ascend

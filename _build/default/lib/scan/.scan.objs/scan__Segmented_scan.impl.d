@@ -1,0 +1,1 @@
+lib/scan/segmented_scan.ml: Ascend Block Cost_model Device Dtype Engine Fp16 Global_tensor Kernel_util Launch List Local_tensor Mem_kind Mte Vec

@@ -1,0 +1,1 @@
+lib/scan/segmented_scan.mli: Ascend

@@ -1,0 +1,1 @@
+lib/scan/tcu_scan.ml: Ascend Block Cost_model Device Dtype Engine Fun Global_tensor Kernel_util Launch List Mem_kind Mte Printf Scan_ul1 Stats Vec

@@ -1,0 +1,1 @@
+lib/scan/tcu_scan.mli: Ascend

@@ -1,0 +1,112 @@
+open Ascend
+
+let check ~batch ~len x =
+  if batch <= 0 || len <= 0 then
+    invalid_arg "Batched_scan: batch and len must be positive";
+  if Global_tensor.length x < batch * len then
+    invalid_arg "Batched_scan: tensor shorter than batch * len";
+  if not (Dtype.equal (Global_tensor.dtype x) Dtype.F16) then
+    invalid_arg "Batched_scan: input must be f16"
+
+(* ScanU-based schedule: block [i] owns row pairs [p = i, i+B, ...];
+   the cube core interleaves the tile-local scans of both rows of the
+   pair, vector core [v] finishes row [2p + v]. *)
+let run_u ?(s = 128) device ~batch ~len x =
+  if s <= 0 then invalid_arg "Batched_scan.run_u: s must be positive";
+  check ~batch ~len x;
+  let y =
+    Device.alloc device Dtype.F16 (batch * len)
+      ~name:(Global_tensor.name x ^ "_bscanu")
+  in
+  let tile = s * s in
+  let ntiles = Kernel_util.ceil_div len tile in
+  let blocks = Device.num_cores device in
+  let vpc = (Device.cost device).Cost_model.vec_per_core in
+  let npairs = Kernel_util.ceil_div batch vpc in
+  let body ctx =
+    let i = Block.idx ctx in
+    let mine = List.filter (fun p -> p mod blocks = i)
+                 (List.init npairs Fun.id) in
+    if mine <> [] then begin
+      let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
+      let l0c = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
+      let u =
+        Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b
+          ~dtype:Dtype.F16 ~s Const_mat.Upper
+      in
+      let ubs =
+        List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 tile)
+      in
+      let iters = List.length mine * ntiles in
+      Block.pipelined ctx ~iters:(max 1 iters) (fun () ->
+          List.iter
+            (fun p ->
+              let partials = Array.make vpc 0.0 in
+              for t = 0 to ntiles - 1 do
+                let toff = t * tile in
+                let tlen = min tile (len - toff) in
+                for v = 0 to vpc - 1 do
+                  let j = (p * vpc) + v in
+                  if j < batch then begin
+                    let off = (j * len) + toff in
+                    Kernel_util.cube_local_scans ctx ~x ~off ~len:tlen ~s ~l0a
+                      ~u ~l0c ~y;
+                    let ub = List.nth ubs v in
+                    Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:y
+                      ~src_off:off ~dst:ub ~len:tlen ();
+                    let partial = ref partials.(v) in
+                    Kernel_util.propagate_rows ctx ~vec:v ~ub ~len:tlen ~s
+                      ~partial;
+                    partials.(v) <- !partial;
+                    Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
+                      ~dst:y ~dst_off:off ~len:tlen ()
+                  end
+                done
+              done)
+            mine)
+    end
+  in
+  let stats = Launch.run ~name:"batched_scan_u" device ~blocks body in
+  (y, stats)
+
+(* ScanUL1-based schedule: block [i] runs a full ScanUL1 on every row
+   [j = i, i+B, ...] using its cube core and vector core 0. *)
+let run_ul1 ?(s = 128) device ~batch ~len x =
+  if s <= 0 then invalid_arg "Batched_scan.run_ul1: s must be positive";
+  check ~batch ~len x;
+  let y =
+    Device.alloc device Dtype.F16 (batch * len)
+      ~name:(Global_tensor.name x ^ "_bscanul1")
+  in
+  let tile = s * s in
+  let ntiles = Kernel_util.ceil_div len tile in
+  let blocks = Device.num_cores device in
+  let body ctx =
+    let i = Block.idx ctx in
+    let mine = List.filter (fun j -> j mod blocks = i)
+                 (List.init batch Fun.id) in
+    if mine <> [] then begin
+      let bufs = Scan_ul1.alloc_bufs ctx ~s in
+      let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
+      let iters = List.length mine * ntiles in
+      Block.pipelined ctx ~iters:(max 1 iters) (fun () ->
+          List.iter
+            (fun j ->
+              let partial = ref 0.0 in
+              for t = 0 to ntiles - 1 do
+                let toff = t * tile in
+                let tlen = min tile (len - toff) in
+                let off = (j * len) + toff in
+                Scan_ul1.cube_tile ctx ~x ~y ~off ~len:tlen ~s ~bufs;
+                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y
+                  ~src_off:off ~dst:ub ~len:tlen ();
+                Vec.adds ctx ~src:ub ~dst:ub ~scalar:!partial ~len:tlen ();
+                partial := Vec.get ctx ub (tlen - 1);
+                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub ~dst:y
+                  ~dst_off:off ~len:tlen ()
+              done)
+            mine)
+    end
+  in
+  let stats = Launch.run ~name:"batched_scan_ul1" device ~blocks body in
+  (y, stats)

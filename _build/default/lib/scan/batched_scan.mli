@@ -1,0 +1,36 @@
+(** Batched scans: the prefix sum of a batch of equal-length arrays.
+
+    The input is one [F16] global tensor in row-major [(batch, len)]
+    layout; each row is scanned independently.
+
+    Two schedules are provided, mirroring Section 4.2:
+
+    - {!run_u} builds on ScanU and exploits the 2-to-1
+      vector-to-cube-core ratio of the split 910B architecture: each
+      cube core computes the tile-local scans of {e two} batch rows,
+      and the AI core's two vector cores complete the prefix of one row
+      each. All 40 vector cores are busy once the batch size reaches
+      twice the AI-core count.
+    - {!run_ul1} extends ScanUL1: each AI core runs a complete ScanUL1
+      on a separate row, so at most one vector core per AI core is used
+      but the per-row vector work is [s] times smaller.
+
+    Their complementary regimes are the subject of Figures 5 and 12:
+    ScanU wins for large batches of short rows, ScanUL1 for small
+    batches of long rows. *)
+
+val run_u :
+  ?s:int ->
+  Ascend.Device.t ->
+  batch:int ->
+  len:int ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+
+val run_ul1 :
+  ?s:int ->
+  Ascend.Device.t ->
+  batch:int ->
+  len:int ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t

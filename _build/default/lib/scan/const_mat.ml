@@ -1,0 +1,40 @@
+open Ascend
+
+type which = Upper | Lower | Strict_lower | Ones | Ident
+
+let expected ~s:_ which ~i ~j =
+  match which with
+  | Upper -> if i <= j then 1.0 else 0.0
+  | Lower -> if i >= j then 1.0 else 0.0
+  | Strict_lower -> if i > j then 1.0 else 0.0
+  | Ones -> 1.0
+  | Ident -> if i = j then 1.0 else 0.0
+
+let structure_of = function
+  | Upper -> Local_tensor.Upper_ones
+  | Lower -> Local_tensor.Lower_ones
+  | Strict_lower -> Local_tensor.Strict_lower_ones
+  | Ones -> Local_tensor.All_ones
+  | Ident -> Local_tensor.Identity
+
+let fill lt ~s which =
+  if Local_tensor.length lt < s * s then
+    invalid_arg "Const_mat.fill: tensor shorter than s*s";
+  for i = 0 to s - 1 do
+    for j = 0 to s - 1 do
+      Local_tensor.set lt ((i * s) + j) (expected ~s which ~i ~j)
+    done
+  done;
+  Local_tensor.set_structure lt (structure_of which)
+
+let load ctx ~engine ~kind ~dtype ~s which =
+  if s <= 0 then invalid_arg "Const_mat.load: s must be positive";
+  let lt = Block.alloc ctx kind dtype (s * s) in
+  (* Charged as one DataCopy of the statically pre-allocated GM
+     constant into the cube hierarchy. *)
+  let bytes = s * s * Dtype.size_bytes dtype in
+  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  Block.note_gm_traffic ctx ~read:bytes ~write:0;
+  if Block.functional ctx then fill lt ~s which
+  else Local_tensor.set_structure lt (structure_of which);
+  lt

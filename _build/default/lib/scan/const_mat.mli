@@ -1,0 +1,33 @@
+(** The constant matrices of the matmul-scan identities.
+
+    [U_s] (upper-triangular ones), [L_s] (lower-triangular ones),
+    [L_s^-] (strictly lower-triangular ones) and [1_s] (all ones) are
+    the right/left operands of Equation 1:
+
+    {[ scan(z) = A @ U + L^- @ A @ 1 ]}
+
+    On the real device these are statically pre-allocated in global
+    memory and DataCopied into the cube hierarchy once per kernel; the
+    load is charged accordingly. The returned tensor carries the
+    matching structure tag so the simulator can evaluate products
+    against it in O(s^2). *)
+
+type which = Upper | Lower | Strict_lower | Ones | Ident
+
+val load :
+  Ascend.Block.t ->
+  engine:Ascend.Engine.t ->
+  kind:Ascend.Mem_kind.t ->
+  dtype:Ascend.Dtype.t ->
+  s:int ->
+  which ->
+  Ascend.Local_tensor.t
+(** Allocate an [s x s] local tensor in [kind], charge the MTE load, and
+    (in functional mode) fill the pattern. *)
+
+val fill : Ascend.Local_tensor.t -> s:int -> which -> unit
+(** Host-side pattern fill with structure tagging (no cost); exposed for
+    tests. *)
+
+val expected : s:int -> which -> i:int -> j:int -> float
+(** The (i, j) entry of the pattern; exposed for tests. *)

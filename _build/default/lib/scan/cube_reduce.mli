@@ -1,0 +1,24 @@
+(** Sum reduction on the cube units (matmul-only, after Dakkak et al.'s
+    tensor-core reduction and the paper's Section 2.2 lineage).
+
+    Each block accumulates [C += A_t @ 1_s] over its tiles directly in
+    the L0C accumulation buffer, so column 0 of [C] ends up holding the
+    per-row-position totals; one final [1_{1 x s} @ C] matmul collapses
+    them into the block sum, which a single vector core then combines
+    across blocks. The input is read exactly once and the vector cores
+    stay almost idle — the complementary resource profile to the
+    vector reduction ({!run_vec}). *)
+
+val run_cube :
+  ?s:int ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  float * Ascend.Global_tensor.t * Ascend.Stats.t
+(** Returns (host value, 1-element [F32] tensor, stats). Input must be
+    [F16]; default [s = 128]. The host value is 0 in cost-only mode. *)
+
+val run_vec :
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  float * Ascend.Global_tensor.t * Ascend.Stats.t
+(** The conventional vector-core streaming reduction, for comparison. *)

@@ -1,0 +1,48 @@
+open Ascend
+
+let ceil_div a b = (a + b - 1) / b
+let round_up a m = ceil_div a m * m
+
+let hillis_steele_tile ctx ~vec ~op ~buf ~tmp ~len =
+  let d = ref 1 in
+  while !d < len do
+    (* tmp.(i) = op buf.(i) buf.(i-d) for i >= d; the head is copied. *)
+    Vec.binop ctx ~vec op ~src0:buf ~src0_off:!d ~src1:buf ~src1_off:0
+      ~dst:tmp ~dst_off:!d ~len:(len - !d) ();
+    Vec.copy ctx ~vec ~src:buf ~dst:tmp ~len:!d ();
+    Vec.copy ctx ~vec ~src:tmp ~dst:buf ~len ();
+    d := !d * 2
+  done
+
+let segmented_hillis_steele_tile ctx ~vec ~v ~f ~tmp_v ~tmp_f ~zero ~len =
+  let d = ref 1 in
+  while !d < len do
+    (* Contribution from d positions back, zeroed where the current
+       element already starts (or follows a start within d). *)
+    Vec.select ctx ~vec ~mask_off:!d ~mask:f ~src0_off:0 ~src0:zero
+      ~src1_off:0 ~src1:v ~dst_off:!d ~dst:tmp_v ~len:(len - !d) ();
+    Vec.binop ctx ~vec Vec.Add ~src0:v ~src0_off:!d ~src1:tmp_v
+      ~src1_off:!d ~dst:v ~dst_off:!d ~len:(len - !d) ();
+    (* Flags propagate by OR, through a copy to avoid aliasing. *)
+    Vec.copy ctx ~vec ~src:f ~dst:tmp_f ~len ();
+    Vec.bit_op ctx ~vec Vec.Or ~src0:tmp_f ~src0_off:!d ~src1:tmp_f
+      ~src1_off:0 ~dst:f ~dst_off:!d ~len:(len - !d) ();
+    d := !d * 2
+  done
+
+let propagate_rows ctx ~vec ~ub ~len ~s ~partial =
+  let nrows = ceil_div len s in
+  for r = 0 to nrows - 1 do
+    let row_off = r * s in
+    let row_len = min s (len - row_off) in
+    Vec.adds ctx ~vec ~src:ub ~src_off:row_off ~dst:ub ~dst_off:row_off
+      ~scalar:!partial ~len:row_len ();
+    partial := Vec.get ctx ~vec ub (row_off + row_len - 1)
+  done
+
+let cube_local_scans ctx ~x ~off ~len ~s ~l0a ~u ~l0c ~y =
+  let rows = ceil_div len s in
+  Mte.copy_in ctx ~engine:Engine.Cube_mte_in ~src:x ~src_off:off ~dst:l0a ~len ();
+  Cube.mmad ctx ~a:l0a ~b:u ~c:l0c ~m:rows ~k:s ~n:s ~accumulate:false;
+  Mte.copy_out ctx ~engine:Engine.Cube_mte_out ~src:l0c ~dst:y ~dst_off:off
+    ~len ()

@@ -1,0 +1,172 @@
+open Ascend
+
+let ub_tile_elems = 16384
+
+(* Phase I: cube computes tile-local scans into [loc]; vector cores
+   re-read the input and write per-vector-sub-block sums into [r]. *)
+let phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt ctx =
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let tile = s * s in
+  let lo = i * chunk in
+  let hi = min n (lo + chunk) in
+  let blen = hi - lo in
+  if blen > 0 then begin
+    let l0a = Block.alloc ctx Mem_kind.L0a in_dt tile in
+    let acc_dt =
+      match in_dt with Dtype.I8 -> Dtype.I32 | _ -> Dtype.F32
+    in
+    let l0c = Block.alloc ctx Mem_kind.L0c acc_dt tile in
+    let u =
+      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b
+        ~dtype:in_dt ~s Const_mat.Upper
+    in
+    let ubs =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) in_dt ub_tile_elems)
+    in
+    let stage =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v)
+                                (Global_tensor.dtype r) 16)
+    in
+    let ntiles = Kernel_util.ceil_div blen tile in
+    Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
+        (* Cube units: local scans of all s-rows of the block. *)
+        for t = 0 to ntiles - 1 do
+          let off = lo + (t * tile) in
+          let len = min tile (hi - off) in
+          Kernel_util.cube_local_scans ctx ~x ~off ~len ~s ~l0a ~u ~l0c ~y:loc
+        done;
+        (* Vector units, in parallel: recompute the reductions. *)
+        List.iteri
+          (fun v ub ->
+            let vlo = lo + (v * half) in
+            let vhi = min hi (vlo + half) in
+            if vhi > vlo then begin
+              let acc = ref 0.0 in
+              let vtiles = Kernel_util.ceil_div (vhi - vlo) ub_tile_elems in
+              for t = 0 to vtiles - 1 do
+                let off = vlo + (t * ub_tile_elems) in
+                let len = min ub_tile_elems (vhi - off) in
+                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
+                  ~src_off:off ~dst:ub ~len ();
+                acc := !acc +. Vec.reduce_sum ctx ~vec:v ~src:ub ~len ()
+              done;
+              let st = List.nth stage v in
+              Vec.set ctx ~vec:v st 0 !acc;
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:st ~dst:r
+                ~dst_off:((i * vpc) + v) ~len:1 ()
+            end)
+          ubs)
+  end
+
+(* Phase II: every vector core scans [r] locally, then propagates the
+   running partial through the tile-local scans of its sub-block. *)
+let phase2 ~loc ~y ~r ~s ~chunk ~half ~n ~out_dt ~exclusive ctx =
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let lo = i * chunk in
+  let hi = min n (lo + chunk) in
+  if hi > lo then begin
+    let rlen = Global_tensor.length r in
+    let rubs =
+      List.init vpc (fun v ->
+          Block.alloc ctx (Mem_kind.Ub v) (Global_tensor.dtype r) rlen)
+    in
+    let ubs =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) out_dt ub_tile_elems)
+    in
+    let zeros =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) out_dt 16)
+    in
+    let max_vtiles = Kernel_util.ceil_div half ub_tile_elems in
+    (* Both vector cores of the AI core run inside one pipelined
+       section so their engines overlap. *)
+    Block.pipelined ctx ~iters:(max 1 max_vtiles) (fun () ->
+        for v = 0 to vpc - 1 do
+          let vlo = lo + (v * half) in
+          let vhi = min hi (vlo + half) in
+          if vhi > vlo then begin
+            let rub = List.nth rubs v in
+            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:r ~dst:rub
+              ~len:rlen ();
+            let k = (i * vpc) + v in
+            let base =
+              if k = 0 then 0.0
+              else Vec.reduce_sum ctx ~vec:v ~src:rub ~len:k ()
+            in
+            let partial = ref base in
+            let ub = List.nth ubs v in
+            let vtiles = Kernel_util.ceil_div (vhi - vlo) ub_tile_elems in
+            for t = 0 to vtiles - 1 do
+              let off = vlo + (t * ub_tile_elems) in
+              let len = min ub_tile_elems (vhi - off) in
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:loc
+                ~src_off:off ~dst:ub ~len ();
+              Kernel_util.propagate_rows ctx ~vec:v ~ub ~len ~s ~partial;
+              if exclusive then begin
+                (* Shift right by one; the global first element becomes
+                   zero and the last inclusive value is discarded. *)
+                let wlen = if off + len >= n then len - 1 else len in
+                if wlen > 0 then
+                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
+                    ~dst:y ~dst_off:(off + 1) ~len:wlen ();
+                if off = 0 then begin
+                  let z = List.nth zeros v in
+                  Vec.set ctx ~vec:v z 0 0.0;
+                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:z
+                    ~dst:y ~dst_off:0 ~len:1 ()
+                end
+              end
+              else
+                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub ~dst:y
+                  ~dst_off:off ~len ()
+            done
+          end
+        done)
+  end
+
+let run ?(s = 128) ?blocks ?(exclusive = false) device x =
+  if s <= 0 || s land 1 = 1 then
+    invalid_arg "Mcscan.run: s must be positive and even";
+  let in_dt = Global_tensor.dtype x in
+  let loc_dt, out_dt =
+    match in_dt with
+    | Dtype.F16 -> (Dtype.F16, Dtype.F16)
+    | Dtype.I8 -> (Dtype.I16, Dtype.I32)
+    | d ->
+        invalid_arg
+          (Printf.sprintf "Mcscan.run: unsupported input dtype %s"
+             (Dtype.to_string d))
+  in
+  let n = Global_tensor.length x in
+  if n = 0 then invalid_arg "Mcscan.run: empty input";
+  let blocks =
+    match blocks with Some b -> b | None -> Device.num_cores device
+  in
+  if blocks < 1 then invalid_arg "Mcscan.run: blocks must be >= 1";
+  let vpc = (Device.cost device).Cost_model.vec_per_core in
+  let tile = s * s in
+  (* Block chunks are tile-aligned; vector sub-blocks are row-aligned
+     halves of the chunk ([s] is even so [chunk / vpc] stays a multiple
+     of [s] whenever it is itself rounded to rows). *)
+  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) tile in
+  let half = Kernel_util.round_up (Kernel_util.ceil_div chunk vpc) s in
+  let name = Global_tensor.name x in
+  let loc = Device.alloc device loc_dt n ~name:(name ^ "_mcscan_loc") in
+  let y = Device.alloc device out_dt n ~name:(name ^ "_mcscan_out") in
+  let r =
+    Device.alloc device
+      (match in_dt with Dtype.I8 -> Dtype.I32 | _ -> Dtype.F32)
+      (blocks * vpc)
+      ~name:(name ^ "_mcscan_r")
+  in
+  let stats =
+    Launch.run_phases
+      ~name:(if exclusive then "mcscan_exclusive" else "mcscan")
+      device ~blocks
+      [
+        phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt;
+        phase2 ~loc ~y ~r ~s ~chunk ~half ~n ~out_dt ~exclusive;
+      ]
+  in
+  (y, stats)

@@ -1,0 +1,36 @@
+(** MCScan (Algorithm 3): multi-core scan for large 1-D arrays.
+
+    The input is partitioned into per-AI-core blocks; two phases are
+    separated by a [SyncAll] barrier:
+
+    + {b Phase I} — on every block in parallel, the cube unit computes
+      the tile-local scans of all [s]-rows ([A @ U]) and streams them to
+      a temporary in global memory, while {e at the same time} the
+      block's vector cores re-read the raw input and reduce it to one
+      sum per vector sub-block, written to the reduction array [r].
+      This partial {e recomputation} of the reductions on both unit
+      types (instead of deriving them from the local scans) is the
+      distinguishing feature of the algorithm: it keeps cube and vector
+      units fully busy in parallel with no intra-phase dependency.
+    + {b Phase II} — every vector core loads [r], computes the prefix
+      of its predecessors in its scratchpad, and propagates it through
+      the tile-local scans row by row while writing the final output.
+
+    Data types: [F16] input produces [F16] output ([F16] local scans);
+    [I8] input produces [I32] output with the tile-local scans stored as
+    [I16] (an [s]-row of int8 sums is bounded by [s * 127 <= 16256], so
+    16 bits always suffice), halving the intermediate traffic — the key
+    to the int8 throughput advantage of Figure 9.
+
+    In cost-only device mode the kernel has no data-dependent control
+    flow, so it models arbitrarily large inputs exactly. *)
+
+val run :
+  ?s:int ->
+  ?blocks:int ->
+  ?exclusive:bool ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Defaults: [s = 128], [blocks] = the device's AI-core count,
+    [exclusive = false]. Input must be [F16] or [I8]. *)

@@ -1,0 +1,53 @@
+type algo = Vec_only | U | Ul1 | Mc | Tcu
+
+let algo_to_string = function
+  | Vec_only -> "vec_only"
+  | U -> "scanu"
+  | Ul1 -> "scanul1"
+  | Mc -> "mcscan"
+  | Tcu -> "tcu"
+
+let algo_of_string = function
+  | "vec_only" | "cumsum" -> Some Vec_only
+  | "scanu" | "u" -> Some U
+  | "scanul1" | "ul1" -> Some Ul1
+  | "mcscan" | "mc" -> Some Mc
+  | "tcu" -> Some Tcu
+  | _ -> None
+
+let all_algos = [ Vec_only; U; Ul1; Mc; Tcu ]
+
+let run ?s ?(exclusive = false) ~algo device x =
+  match algo, exclusive with
+  | Mc, _ -> Mcscan.run ?s ~exclusive device x
+  | (Vec_only | U | Ul1 | Tcu), true ->
+      invalid_arg
+        (Printf.sprintf "Scan_api.run: %s does not support exclusive scans"
+           (algo_to_string algo))
+  | Vec_only, false -> Scan_vec_only.run device x
+  | U, false -> Scan_u.run ?s device x
+  | Ul1, false -> Scan_ul1.run ?s device x
+  | Tcu, false -> Tcu_scan.run ?s device x
+
+let check_against_reference ?(round = Fun.id) ?(exclusive = false) ~input
+    ~output () =
+  let expected =
+    if exclusive then Reference.exclusive_scan ~round input
+    else Reference.inclusive_scan ~round input
+  in
+  let n = Array.length input in
+  if Ascend.Global_tensor.length output <> n then
+    Error
+      (Printf.sprintf "length mismatch: expected %d, got %d" n
+         (Ascend.Global_tensor.length output))
+  else begin
+    let bad = ref None in
+    for i = n - 1 downto 0 do
+      let got = Ascend.Global_tensor.get output i in
+      if got <> expected.(i) then bad := Some (i, expected.(i), got)
+    done;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, want, got) ->
+        Error (Printf.sprintf "index %d: expected %g, got %g" i want got)
+  end

@@ -1,0 +1,32 @@
+(** Unified front end over the scan kernels. *)
+
+type algo =
+  | Vec_only  (** CumSum baseline ({!Scan_vec_only}). *)
+  | U  (** Algorithm 1 ({!Scan_u}). *)
+  | Ul1  (** Algorithm 2 ({!Scan_ul1}). *)
+  | Mc  (** Algorithm 3 ({!Mcscan}). *)
+  | Tcu  (** Recursive matmul-only extension ({!Tcu_scan}). *)
+
+val algo_of_string : string -> algo option
+val algo_to_string : algo -> string
+val all_algos : algo list
+
+val run :
+  ?s:int ->
+  ?exclusive:bool ->
+  algo:algo ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Dispatch to the selected kernel. [exclusive] is only supported by
+    [Mc]; requesting it elsewhere raises [Invalid_argument]. *)
+
+val check_against_reference :
+  ?round:(float -> float) ->
+  ?exclusive:bool ->
+  input:float array ->
+  output:Ascend.Global_tensor.t ->
+  unit ->
+  (unit, string) result
+(** Compare a kernel output against {!Reference}; the error carries the
+    first mismatching index and values. *)

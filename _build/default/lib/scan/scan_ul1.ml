@@ -1,0 +1,95 @@
+open Ascend
+
+type bufs = {
+  l0a : Local_tensor.t;
+  l0b : Local_tensor.t;
+  c1 : Local_tensor.t;
+  c2 : Local_tensor.t;
+  c1_l1 : Local_tensor.t;
+  u_l1 : Local_tensor.t;
+  lminus_l1 : Local_tensor.t;
+  ones_l1 : Local_tensor.t;
+}
+
+let alloc_bufs ctx ~s =
+  let tile = s * s in
+  {
+    l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile;
+    l0b = Block.alloc ctx Mem_kind.L0b Dtype.F16 tile;
+    c1 = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile;
+    c2 = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile;
+    c1_l1 = Block.alloc ctx Mem_kind.L1 Dtype.F16 tile;
+    u_l1 =
+      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L1
+        ~dtype:Dtype.F16 ~s Const_mat.Upper;
+    lminus_l1 =
+      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L1
+        ~dtype:Dtype.F16 ~s Const_mat.Strict_lower;
+    ones_l1 =
+      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L1
+        ~dtype:Dtype.F16 ~s Const_mat.Ones;
+  }
+
+(* One ScanUL1 tile (Algorithm 2, lines 6-13): local scan of length
+   [len] <= s^2 at [x[off ..]], written to [y[off ..]]. For tail tiles
+   with fewer than [s] rows the L^- operand is the [rows x rows]
+   leading submatrix (the strided L1 -> L0A copy extracts it; we charge
+   the full-matrix move, which is conservative). *)
+let cube_tile ctx ~x ~y ~off ~len ~s ~bufs =
+  let rows = Kernel_util.ceil_div len s in
+  Mte.copy_in ctx ~engine:Engine.Cube_mte_in ~src:x ~src_off:off ~dst:bufs.l0a
+    ~len ();
+  (* C1 = A @ 1 (accumulation off; A stays resident in L0A). *)
+  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.ones_l1 ~dst:bufs.l0b
+    ~len:(s * s) ();
+  Cube.mmad ctx ~a:bufs.l0a ~b:bufs.l0b ~c:bufs.c1 ~m:rows ~k:s ~n:s
+    ~accumulate:false;
+  (* Stage C1 in L1, casting the fp32 accumulator back to fp16 so it
+     can be a matmul operand again. *)
+  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.c1 ~dst:bufs.c1_l1
+    ~len:(rows * s) ();
+  (* C2 = A @ U. *)
+  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.u_l1 ~dst:bufs.l0b
+    ~len:(s * s) ();
+  Cube.mmad ctx ~a:bufs.l0a ~b:bufs.l0b ~c:bufs.c2 ~m:rows ~k:s ~n:s
+    ~accumulate:false;
+  (* C2 += L^- @ C1 (accumulation on; all input buffers free after). *)
+  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.lminus_l1 ~dst:bufs.l0a
+    ~len:(s * s) ();
+  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.c1_l1 ~dst:bufs.l0b
+    ~len:(rows * s) ();
+  Cube.mmad ctx ~a:bufs.l0a ~b:bufs.l0b ~c:bufs.c2 ~m:rows ~k:rows ~n:s
+    ~accumulate:true;
+  Mte.copy_out ctx ~engine:Engine.Cube_mte_out ~src:bufs.c2 ~dst:y
+    ~dst_off:off ~len ()
+
+let run ?(s = 128) device x =
+  if s <= 0 then invalid_arg "Scan_ul1.run: s must be positive";
+  if not (Dtype.equal (Global_tensor.dtype x) Dtype.F16) then
+    invalid_arg "Scan_ul1.run: input must be f16";
+  let n = Global_tensor.length x in
+  let y =
+    Device.alloc device Dtype.F16 n ~name:(Global_tensor.name x ^ "_scanul1")
+  in
+  let tile = s * s in
+  let ntiles = Kernel_util.ceil_div n tile in
+  let body ctx =
+    let bufs = alloc_bufs ctx ~s in
+    let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
+    let partial = ref 0.0 in
+    Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
+        for t = 0 to ntiles - 1 do
+          let off = t * tile in
+          let len = min tile (n - off) in
+          cube_tile ctx ~x ~y ~off ~len ~s ~bufs;
+          (* Vector unit: one scalar add over the whole tile. *)
+          Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y ~src_off:off
+            ~dst:ub ~len ();
+          Vec.adds ctx ~src:ub ~dst:ub ~scalar:!partial ~len ();
+          partial := Vec.get ctx ub (len - 1);
+          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub ~dst:y
+            ~dst_off:off ~len ()
+        done)
+  in
+  let stats = Launch.run ~name:"scan_ul1" device ~blocks:1 body in
+  (y, stats)

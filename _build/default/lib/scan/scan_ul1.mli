@@ -1,0 +1,41 @@
+(** ScanUL1 (Algorithm 2): single-cube scan via Equation 1.
+
+    For each tile [z] of length [s^2], viewed as the [s x s] row-major
+    matrix [A], the cube unit evaluates
+
+    {[ scan(z) = A @ U_s + L_s^- @ A @ 1_s ]}
+
+    as the sequence [C1 = A @ 1], [C2 = A @ U], [C2 += L^- @ C1]: the
+    first two multiplications share the left operand [A] in L0A, and the
+    third uses the cube accumulation buffer, so each input element is
+    loaded into the cube core exactly once. A single vector core then
+    only adds one scalar (the previous tile's last value) per whole
+    tile, an [s]-fold reduction of vector work compared to ScanU. *)
+
+val run :
+  ?s:int ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Default [s = 128]. Input must be [F16]; output is [F16]. *)
+
+(** {2 Building blocks} (reused by the batched kernel) *)
+
+type bufs
+(** The per-block cube-side buffer set: L0A/L0B operands, two L0C
+    accumulators, and the U / L^- / 1 constants plus a C1 staging area
+    in L1. *)
+
+val alloc_bufs : Ascend.Block.t -> s:int -> bufs
+
+val cube_tile :
+  Ascend.Block.t ->
+  x:Ascend.Global_tensor.t ->
+  y:Ascend.Global_tensor.t ->
+  off:int ->
+  len:int ->
+  s:int ->
+  bufs:bufs ->
+  unit
+(** Evaluate Equation 1 for one tile [x\[off, off+len)], writing the
+    tile-local scan to [y\[off, off+len)]. *)

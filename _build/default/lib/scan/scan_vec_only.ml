@@ -1,0 +1,34 @@
+open Ascend
+
+let run ?(rows = 128) ?(cols = 128) device x =
+  let n = Global_tensor.length x in
+  let dt = Global_tensor.dtype x in
+  (match dt with
+  | Dtype.F16 | Dtype.F32 -> ()
+  | d ->
+      invalid_arg
+        (Printf.sprintf "Scan_vec_only.run: unsupported input dtype %s"
+           (Dtype.to_string d)));
+  let y = Device.alloc device dt n ~name:(Global_tensor.name x ^ "_cumsum") in
+  let tile = rows * cols in
+  let ntiles = (n + tile - 1) / tile in
+  let body ctx =
+    let ub_in = Block.alloc ctx (Mem_kind.Ub 0) dt tile in
+    let ub_out = Block.alloc ctx (Mem_kind.Ub 0) dt tile in
+    let partial = ref 0.0 in
+    Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
+        for t = 0 to ntiles - 1 do
+          let off = t * tile in
+          let len = min tile (n - off) in
+          let trows = (len + cols - 1) / cols in
+          Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:x ~src_off:off
+            ~dst:ub_in ~len ();
+          Vec.cumsum ctx ~src:ub_in ~dst:ub_out ~rows:trows ~cols ();
+          Vec.adds ctx ~src:ub_out ~dst:ub_out ~scalar:!partial ~len ();
+          partial := Vec.get ctx ub_out (len - 1);
+          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub_out ~dst:y
+            ~dst_off:off ~len ()
+        done)
+  in
+  let stats = Launch.run ~name:"cumsum_vec_only" device ~blocks:1 body in
+  (y, stats)

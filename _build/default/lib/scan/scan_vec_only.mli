@@ -1,0 +1,17 @@
+(** Vector-only scan baseline: the CumSum AscendC API.
+
+    Runs on a single vector core, scanning the input through
+    [rows x cols] UB tiles with the composite CumSum instruction and
+    propagating the running partial between tiles. This is the
+    [vec_only] baseline of Figure 3 (configured, like the paper, with
+    CumSumInfo parameters 128 and 128), and the stand-in for the
+    unoptimised [torch.cumsum] baseline elsewhere. *)
+
+val run :
+  ?rows:int ->
+  ?cols:int ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Defaults: [rows = 128], [cols = 128]. Input must be [F16] or [F32];
+    the output has the same data type. *)

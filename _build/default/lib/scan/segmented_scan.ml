@@ -1,0 +1,167 @@
+open Ascend
+
+let ub_tile = 8192
+
+type bufs = {
+  v : Local_tensor.t;
+  f : Local_tensor.t;
+  tmp_v : Local_tensor.t;
+  tmp_f : Local_tensor.t;
+  zero : Local_tensor.t;
+}
+
+let alloc_bufs ctx ~vec =
+  let ub dt n = Block.alloc ctx (Mem_kind.Ub vec) dt n in
+  let b =
+    {
+      v = ub Dtype.F16 ub_tile;
+      f = ub Dtype.I8 ub_tile;
+      tmp_v = ub Dtype.F16 ub_tile;
+      tmp_f = ub Dtype.I8 ub_tile;
+      zero = ub Dtype.F16 ub_tile;
+    }
+  in
+  Vec.dup ctx ~vec ~dst:b.zero ~scalar:0.0 ~len:ub_tile ();
+  b
+
+(* Scan one tile's pairs in UB and return (last value with [base]
+   applied, tile had a boundary). The applied last value is the carry
+   into the next tile. *)
+let scan_tile ctx ~vec ~b ~x ~flags ~off ~len ~base =
+  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in vec) ~src:x ~src_off:off ~dst:b.v
+    ~len ();
+  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in vec) ~src:flags ~src_off:off
+    ~dst:b.f ~len ();
+  Kernel_util.segmented_hillis_steele_tile ctx ~vec ~v:b.v ~f:b.f
+    ~tmp_v:b.tmp_v ~tmp_f:b.tmp_f ~zero:b.zero ~len;
+  (* Elements not preceded by an in-tile boundary continue the incoming
+     segment: add the carry there. *)
+  Vec.adds ctx ~vec ~src:b.v ~dst:b.tmp_v ~scalar:base ~len ();
+  Vec.select ctx ~vec ~mask:b.f ~src0:b.v ~src1:b.tmp_v ~dst:b.v ~len ();
+  let last_v = Vec.get ctx ~vec b.v (len - 1) in
+  let last_f = Vec.get ctx ~vec b.f (len - 1) <> 0.0 in
+  (last_v, last_f)
+
+(* Phase I: per-sub-block carries (end value from base 0, had-boundary
+   flag) into rv / rf — the recomputation pass. *)
+let phase1 ~x ~flags ~rv ~rf ~chunk ~half ~n ctx =
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let lo = i * chunk in
+  let hi = min n (lo + chunk) in
+  if hi > lo then begin
+    let bufs = List.init vpc (fun v -> alloc_bufs ctx ~vec:v) in
+    let stage_v =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F32 16)
+    in
+    let stage_f =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.I8 16)
+    in
+    let vtiles = Kernel_util.ceil_div half ub_tile in
+    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
+        List.iteri
+          (fun v b ->
+            let vlo = lo + (v * half) in
+            let vhi = min hi (vlo + half) in
+            if vhi > vlo then begin
+              let carry = ref 0.0 and seen = ref false in
+              let t = ref vlo in
+              while !t < vhi do
+                let len = min ub_tile (vhi - !t) in
+                let last_v, last_f =
+                  scan_tile ctx ~vec:v ~b ~x ~flags ~off:!t ~len ~base:!carry
+                in
+                carry := last_v;
+                seen := !seen || last_f;
+                t := !t + ub_tile
+              done;
+              let k = (i * vpc) + v in
+              Vec.set ctx ~vec:v (List.nth stage_v v) 0 !carry;
+              Vec.set ctx ~vec:v (List.nth stage_f v) 0
+                (if !seen then 1.0 else 0.0);
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
+                ~src:(List.nth stage_v v) ~dst:rv ~dst_off:k ~len:1 ();
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
+                ~src:(List.nth stage_f v) ~dst:rf ~dst_off:k ~len:1 ()
+            end)
+          bufs)
+  end
+
+(* Phase II: fold the carries of all preceding sub-blocks, then rescan
+   each tile applying the running carry and write the output. *)
+let phase2 ~x ~flags ~y ~rv ~rf ~chunk ~half ~n ctx =
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let lo = i * chunk in
+  let hi = min n (lo + chunk) in
+  if hi > lo then begin
+    let rlen = Global_tensor.length rv in
+    let bufs = List.init vpc (fun v -> alloc_bufs ctx ~vec:v) in
+    let rvub =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F32 rlen)
+    in
+    let rfub =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.I8 rlen)
+    in
+    let vtiles = Kernel_util.ceil_div half ub_tile in
+    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
+        List.iteri
+          (fun v b ->
+            let vlo = lo + (v * half) in
+            let vhi = min hi (vlo + half) in
+            if vhi > vlo then begin
+              let k = (i * vpc) + v in
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:rv
+                ~dst:(List.nth rvub v) ~len:rlen ();
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:rf
+                ~dst:(List.nth rfub v) ~len:rlen ();
+              (* Serial fold over at most blocks*vpc carries. *)
+              let base = ref 0.0 in
+              for j = 0 to k - 1 do
+                let vj = Vec.get ctx ~vec:v (List.nth rvub v) j in
+                let fj = Vec.get ctx ~vec:v (List.nth rfub v) j in
+                base := Fp16.round (if fj <> 0.0 then vj else !base +. vj)
+              done;
+              let carry = ref !base in
+              let t = ref vlo in
+              while !t < vhi do
+                let len = min ub_tile (vhi - !t) in
+                let last_v, _ =
+                  scan_tile ctx ~vec:v ~b ~x ~flags ~off:!t ~len ~base:!carry
+                in
+                carry := last_v;
+                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:b.v
+                  ~dst:y ~dst_off:!t ~len ();
+                t := !t + ub_tile
+              done
+            end)
+          bufs)
+  end
+
+let run ?blocks device ~x ~flags () =
+  if not (Dtype.equal (Global_tensor.dtype x) Dtype.F16) then
+    invalid_arg "Segmented_scan.run: x must be f16";
+  if not (Dtype.equal (Global_tensor.dtype flags) Dtype.I8) then
+    invalid_arg "Segmented_scan.run: flags must be i8";
+  let n = Global_tensor.length x in
+  if Global_tensor.length flags <> n then
+    invalid_arg "Segmented_scan.run: length mismatch";
+  if n = 0 then invalid_arg "Segmented_scan.run: empty input";
+  let blocks =
+    match blocks with Some b -> b | None -> Device.num_cores device
+  in
+  let vpc = (Device.cost device).Cost_model.vec_per_core in
+  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) ub_tile in
+  let half = Kernel_util.round_up (Kernel_util.ceil_div chunk vpc) ub_tile in
+  let name = Global_tensor.name x in
+  let y = Device.alloc device Dtype.F16 n ~name:(name ^ "_segscan") in
+  let rv = Device.alloc device Dtype.F32 (blocks * vpc) ~name:(name ^ "_seg_rv") in
+  let rf = Device.alloc device Dtype.I8 (blocks * vpc) ~name:(name ^ "_seg_rf") in
+  let stats =
+    Launch.run_phases ~name:"segmented_scan" device ~blocks
+      [
+        phase1 ~x ~flags ~rv ~rf ~chunk ~half ~n;
+        phase2 ~x ~flags ~y ~rv ~rf ~chunk ~half ~n;
+      ]
+  in
+  (y, stats)

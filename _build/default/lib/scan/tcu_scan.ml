@@ -1,0 +1,100 @@
+open Ascend
+
+(* Phase A: tile-local UL1 scans across all blocks; the last value of
+   every tile is extracted into the carry array [t]. *)
+let phase_local ~x ~y ~t ~s ~n ctx =
+  let tile = s * s in
+  let ntiles = Kernel_util.ceil_div n tile in
+  let blocks = Block.num_blocks ctx in
+  let i = Block.idx ctx in
+  let mine = List.filter (fun k -> k mod blocks = i)
+               (List.init ntiles Fun.id) in
+  if mine <> [] then begin
+    let bufs = Scan_ul1.alloc_bufs ctx ~s in
+    let carry = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 16 in
+    Block.pipelined ctx ~iters:(List.length mine) (fun () ->
+        List.iter
+          (fun k ->
+            let off = k * tile in
+            let len = min tile (n - off) in
+            Scan_ul1.cube_tile ctx ~x ~y ~off ~len ~s ~bufs;
+            (* Extract the tile's last (inclusive) value into t.(k). *)
+            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y
+              ~src_off:(off + len - 1) ~dst:carry ~len:1 ();
+            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:carry ~dst:t
+              ~dst_off:k ~len:1 ())
+          mine)
+  end
+
+(* Phase B: broadcast-add the scanned carry of the previous tile. *)
+let phase_add ~y ~scanned_t ~s ~n ctx =
+  let tile = s * s in
+  let ntiles = Kernel_util.ceil_div n tile in
+  let blocks = Block.num_blocks ctx in
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let mine = List.filter (fun k -> k mod blocks = i)
+               (List.init ntiles Fun.id) in
+  if mine <> [] then begin
+    let ubs =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 tile)
+    in
+    let carries =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 16)
+    in
+    Block.pipelined ctx ~iters:(List.length mine) (fun () ->
+        List.iteri
+          (fun idx k ->
+            if k > 0 then begin
+              (* Tiles alternate between the AI core's vector cores. *)
+              let v = idx mod vpc in
+              let off = k * tile in
+              let len = min tile (n - off) in
+              let ub = List.nth ubs v and carry = List.nth carries v in
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:scanned_t
+                ~src_off:(k - 1) ~dst:carry ~len:1 ();
+              let c = Vec.get ctx ~vec:v carry 0 in
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:y ~src_off:off
+                ~dst:ub ~len ();
+              Vec.adds ctx ~vec:v ~src:ub ~dst:ub ~scalar:c ~len ();
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub ~dst:y
+                ~dst_off:off ~len ()
+            end)
+          mine)
+  end
+
+let rec scan_rec ?(s = 128) device x ~depth =
+  let n = Global_tensor.length x in
+  let tile = s * s in
+  let name = Global_tensor.name x in
+  if n <= tile then begin
+    let y, stats = Scan_ul1.run ~s device x in
+    (y, [ stats ])
+  end
+  else begin
+    let ntiles = Kernel_util.ceil_div n tile in
+    let y = Device.alloc device Dtype.F16 n ~name:(name ^ "_tcu_y") in
+    let t =
+      Device.alloc device Dtype.F16 ntiles
+        ~name:(Printf.sprintf "%s_tcu_carry%d" name depth)
+    in
+    let blocks = Device.num_cores device in
+    let s1 =
+      Launch.run ~name:(Printf.sprintf "tcu_local_d%d" depth) device ~blocks
+        (phase_local ~x ~y ~t ~s ~n)
+    in
+    let scanned_t, rec_stats = scan_rec ~s device t ~depth:(depth + 1) in
+    let s2 =
+      Launch.run ~name:(Printf.sprintf "tcu_add_d%d" depth) device ~blocks
+        (phase_add ~y ~scanned_t ~s ~n)
+    in
+    (y, (s1 :: rec_stats) @ [ s2 ])
+  end
+
+let run ?(s = 128) device x =
+  if s <= 0 then invalid_arg "Tcu_scan.run: s must be positive";
+  if not (Dtype.equal (Global_tensor.dtype x) Dtype.F16) then
+    invalid_arg "Tcu_scan.run: input must be f16";
+  if Global_tensor.length x = 0 then invalid_arg "Tcu_scan.run: empty input";
+  let y, stats = scan_rec ~s device x ~depth:0 in
+  (y, Stats.combine ~name:"tcu_scan" stats)

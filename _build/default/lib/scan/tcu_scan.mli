@@ -1,0 +1,25 @@
+(** Recursive matmul-only scan in the spirit of the TCU-model algorithm
+    of Zouzias & McColl (Euro-Par 2023) — an extension beyond the
+    paper's implemented kernels (its Section 2.2 discusses why the
+    original strided formulation maps poorly to real memory systems;
+    this variant trades the strided accesses for one extra pass).
+
+    Structure (Scan-Scan-Add with logarithmic recursion depth):
+
+    + every [s^2]-tile receives a tile-local ScanUL1 evaluation of
+      Equation 1, in parallel across all AI cores; the last value of
+      each tile is also extracted into a carry array [t];
+    + [t] (one element per tile, i.e. [n / s^2] elements) is scanned by
+      a recursive invocation;
+    + the scanned carries are broadcast-added to the tiles, in parallel.
+
+    The recursion depth is [ceil (log_{s^2} n)], so the span is
+    logarithmic in the input length, at the price of SSA-level global
+    traffic (about [4N] elements versus MCScan's effective [2.5N]). *)
+
+val run :
+  ?s:int ->
+  Ascend.Device.t ->
+  Ascend.Global_tensor.t ->
+  Ascend.Global_tensor.t * Ascend.Stats.t
+(** Default [s = 128]. Input must be [F16]; output is [F16]. *)

@@ -1,0 +1,1 @@
+lib/workload/generators.ml: Array Ascend Float Fun Random Stdlib

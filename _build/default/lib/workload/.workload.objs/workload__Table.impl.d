@@ -1,0 +1,1 @@
+lib/workload/table.ml: Buffer Char Filename List Printf String Sys

@@ -1,0 +1,17 @@
+(** The performance metrics used by the paper's figures. *)
+
+val scan_bandwidth : Ascend.Stats.t -> n:int -> esize:int -> float
+(** Effective scan bandwidth in bytes/s: [2 * n * esize / time] —
+    [n] elements read plus [n] written, regardless of the algorithm's
+    internal traffic (the paper's GB/s metric). *)
+
+val giga_elements_per_second : Ascend.Stats.t -> n:int -> float
+
+val speedup : baseline:Ascend.Stats.t -> Ascend.Stats.t -> float
+(** [baseline.seconds / this.seconds]. *)
+
+val gb : float -> float
+(** Bytes/s to GB/s (1e9). *)
+
+val percent_of_peak : ?peak:float -> float -> float
+(** Bandwidth as a percentage of the device peak (default 800 GB/s). *)

@@ -1,0 +1,1 @@
+test/test_batched.ml: Alcotest Array Ascend Device Dtype Fp16 Global_tensor List Printf Scan

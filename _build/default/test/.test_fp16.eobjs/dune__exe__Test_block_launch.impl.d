@@ -1,0 +1,1 @@
+test/test_block_launch.ml: Alcotest Ascend Block Cost_model Device Dtype Engine Global_tensor Launch List Local_tensor Mem_kind Stats

@@ -1,0 +1,1 @@
+test/test_const_reference.ml: Alcotest Array Ascend List Printf Scan

@@ -1,0 +1,1 @@
+test/test_const_reference.mli:

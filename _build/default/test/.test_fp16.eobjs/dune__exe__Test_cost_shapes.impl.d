@@ -1,0 +1,1 @@
+test/test_cost_shapes.ml: Alcotest Ascend Device Dtype Ops Printf Scan Stats Workload

@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Array Ascend Block Cost_model Cube Device Dtype Local_tensor Mem_kind Printf Scan

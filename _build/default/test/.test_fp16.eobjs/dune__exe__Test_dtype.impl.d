@@ -1,0 +1,1 @@
+test/test_dtype.ml: Alcotest Ascend Dtype Float List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_engine_mem.ml: Alcotest Ascend Engine List Mem_kind

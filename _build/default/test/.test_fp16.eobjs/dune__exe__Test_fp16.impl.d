@@ -1,0 +1,1 @@
+test/test_fp16.ml: Alcotest Ascend Float Fp16 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_host_buffer.ml: Alcotest Array Ascend Dtype Host_buffer

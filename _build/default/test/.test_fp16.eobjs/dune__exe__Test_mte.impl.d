@@ -1,0 +1,1 @@
+test/test_mte.ml: Alcotest Array Ascend Block Cost_model Device Dtype Engine Float Global_tensor List Local_tensor Mem_kind Mte Scan

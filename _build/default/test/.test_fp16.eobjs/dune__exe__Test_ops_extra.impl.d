@@ -1,0 +1,1 @@
+test/test_ops_extra.ml: Alcotest Array Ascend Block Device Dtype Float Fp16 Global_tensor List Local_tensor Mem_kind Ops Printf Scalar_unit Stats Vec Workload

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Ascend Device Dtype Float Fp16 Fun Global_tensor List Ops Option QCheck QCheck_alcotest Scan

@@ -1,0 +1,1 @@
+test/test_radix.ml: Alcotest Array Ascend Device Dtype Global_tensor List Ops Option Scan Stats Workload

@@ -1,0 +1,1 @@
+test/test_reduce_maxscan.ml: Alcotest Array Ascend Device Dtype Float Global_tensor List Ops Printf Random Scan Stats

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Ascend Device Dtype Float Global_tensor List Ops Printf Scan Stats Workload

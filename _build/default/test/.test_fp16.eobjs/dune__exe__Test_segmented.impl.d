@@ -1,0 +1,1 @@
+test/test_segmented.ml: Alcotest Array Ascend Block Device Dtype Float Global_tensor List Local_tensor Mem_kind Printf Random Scan Vec

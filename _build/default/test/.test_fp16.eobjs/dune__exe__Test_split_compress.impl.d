@@ -1,0 +1,1 @@
+test/test_split_compress.ml: Alcotest Array Ascend Device Dtype Global_tensor List Ops Printf Scan Stats Workload

@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Array Ascend Device Dtype Global_tensor Ops Scan Stats Workload

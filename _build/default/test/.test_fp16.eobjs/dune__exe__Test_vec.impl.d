@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Ascend Block Device Dtype Engine Fp16 Local_tensor Mem_kind Scan Stdlib Vec

@@ -1,0 +1,210 @@
+(* Unit tests of block timing semantics, local allocation, and the
+   launch-level scheduling / bandwidth model. *)
+
+open Ascend
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_floatish msg a b = Alcotest.(check (float 1e-9)) msg a b
+
+let device () = Device.create ()
+
+let test_serial_charges_sum () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.charge ctx Engine.Cube 100.0;
+  Block.charge ctx (Engine.Vec 0) 50.0;
+  check_floatish "serial = sum" 150.0 (Block.elapsed_cycles ctx)
+
+let test_pipelined_formula () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.pipelined ctx ~iters:10 (fun () ->
+      Block.charge ctx Engine.Cube 1000.0;
+      Block.charge ctx (Engine.Vec 0) 400.0;
+      Block.charge ctx (Engine.Vec_mte_in 0) 100.0);
+  (* max 1000 + (1500 - 1000) / 10 = 1050 *)
+  check_floatish "pipelined" 1050.0 (Block.elapsed_cycles ctx)
+
+let test_pipelined_iters_one_is_serial () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.pipelined ctx ~iters:1 (fun () ->
+      Block.charge ctx Engine.Cube 10.0;
+      Block.charge ctx (Engine.Vec 0) 20.0);
+  check_floatish "iters=1 = serial" 30.0 (Block.elapsed_cycles ctx)
+
+let test_pipelined_no_nesting () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Alcotest.check_raises "nesting"
+    (Invalid_argument "Block.pipelined: sections do not nest") (fun () ->
+      Block.pipelined ctx ~iters:2 (fun () ->
+          Block.pipelined ctx ~iters:2 (fun () -> ())))
+
+let test_alloc_capacity () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  (* L0A holds 64 KiB = 32768 f16 elements. *)
+  let _ = Block.alloc ctx Mem_kind.L0a Dtype.F16 16384 in
+  let _ = Block.alloc ctx Mem_kind.L0a Dtype.F16 16384 in
+  check_bool "alloc overflow raises" true
+    (try
+       ignore (Block.alloc ctx Mem_kind.L0a Dtype.F16 1);
+       false
+     with Failure _ -> true);
+  Block.reset_mem ctx Mem_kind.L0a;
+  let t = Block.alloc ctx Mem_kind.L0a Dtype.F16 32768 in
+  check_int "post-reset full alloc" 32768 (Local_tensor.length t)
+
+let test_gm_traffic_and_touched () =
+  let dev = device () in
+  let x = Device.alloc dev Dtype.F16 1000 ~name:"x" in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.note_gm_traffic ctx ~read:100 ~write:50;
+  Block.note_touched ctx x;
+  Block.note_touched ctx x;
+  let r = Block.finish ctx in
+  check_int "read" 100 r.Block.gm_read_bytes;
+  check_int "write" 50 r.Block.gm_write_bytes;
+  check_int "touched dedup" 1 (List.length r.Block.touched);
+  check_int "touched bytes" 2000 (snd (List.hd r.Block.touched))
+
+let test_launch_compute_bound () =
+  let dev = device () in
+  let cm = Device.cost dev in
+  (* One block burning 1.8e6 cycles = 1 ms of compute, no traffic. *)
+  let st =
+    Launch.run dev ~blocks:1 (fun ctx -> Block.charge ctx Engine.Cube 1.8e6)
+  in
+  check_floatish "time = launch + compute"
+    (cm.Cost_model.kernel_launch_seconds +. 1e-3)
+    st.Stats.seconds;
+  check_bool "not bandwidth bound" false
+    (List.hd st.Stats.phases).Stats.bandwidth_bound
+
+let test_launch_round_robin () =
+  let dev = device () in
+  (* 40 blocks of equal cost on 20 cores: 2 per core. *)
+  let st =
+    Launch.run dev ~blocks:40 (fun ctx -> Block.charge ctx Engine.Cube 1.8e6)
+  in
+  let cm = Device.cost dev in
+  check_floatish "two rounds" (cm.Cost_model.kernel_launch_seconds +. 2e-3)
+    st.Stats.seconds;
+  check_int "cores used" 20 st.Stats.cores_used
+
+let test_launch_bandwidth_cap () =
+  (* Shrink L2 so a small tensor's footprint spills to HBM: 20 blocks
+     each claiming 40 MB of traffic -> 800 MB at 800 GB/s = 1 ms,
+     dominating negligible compute. *)
+  let cost = { Cost_model.default with Cost_model.l2_capacity_bytes = 1024 } in
+  let dev = Device.create ~cost () in
+  let big = Device.alloc dev Dtype.F16 4096 ~name:"big" in
+  let st =
+    Launch.run dev ~blocks:20 (fun ctx ->
+        Block.note_touched ctx big;
+        Block.note_gm_traffic ctx ~read:(40 * 1000 * 1000) ~write:0;
+        Block.charge ctx Engine.Cube 100.0)
+  in
+  let expected = cost.Cost_model.kernel_launch_seconds +. 1e-3 in
+  check_floatish "bandwidth bound time" expected st.Stats.seconds;
+  check_bool "flagged bandwidth bound" true
+    (List.hd st.Stats.phases).Stats.bandwidth_bound
+
+let test_launch_l2_bandwidth () =
+  let dev = device () in
+  let cm = Device.cost dev in
+  (* Small footprint: the same traffic runs at the L2 rate. *)
+  let small = Device.alloc dev Dtype.F16 1024 ~name:"small" in
+  let st =
+    Launch.run dev ~blocks:1 (fun ctx ->
+        Block.note_touched ctx small;
+        Block.note_gm_traffic ctx ~read:(4 * 1000 * 1000) ~write:0)
+  in
+  let expected =
+    cm.Cost_model.kernel_launch_seconds
+    +. (4e6 /. cm.Cost_model.l2_bandwidth)
+  in
+  check_floatish "l2 rate" expected st.Stats.seconds
+
+let test_phases_add_sync () =
+  let dev = device () in
+  let cm = Device.cost dev in
+  let nop _ = () in
+  let st1 = Launch.run_phases dev ~blocks:1 [ nop ] in
+  let st3 = Launch.run_phases dev ~blocks:1 [ nop; nop; nop ] in
+  check_floatish "two syncs"
+    (2.0 *. cm.Cost_model.sync_all_seconds)
+    (st3.Stats.seconds -. st1.Stats.seconds)
+
+let test_launch_validation () =
+  let dev = device () in
+  Alcotest.check_raises "no phases"
+    (Invalid_argument "Launch.run_phases: no phases") (fun () ->
+      ignore (Launch.run_phases dev ~blocks:1 []));
+  Alcotest.check_raises "blocks < 1"
+    (Invalid_argument "Launch.run_phases: blocks must be >= 1") (fun () ->
+      ignore (Launch.run dev ~blocks:0 (fun _ -> ())))
+
+let test_stats_combine () =
+  let dev = device () in
+  let mk () = Launch.run dev ~blocks:2 (fun ctx ->
+      Block.charge ctx Engine.Cube 1000.0;
+      Block.note_gm_traffic ctx ~read:10 ~write:20)
+  in
+  let a = mk () and b = mk () in
+  let c = Stats.combine ~name:"both" [ a; b ] in
+  check_floatish "seconds add" (a.Stats.seconds +. b.Stats.seconds)
+    c.Stats.seconds;
+  check_int "reads add" 40 c.Stats.gm_read_bytes;
+  check_int "writes add" 80 c.Stats.gm_write_bytes;
+  check_int "phases concat" 2 (List.length c.Stats.phases);
+  let busy name st =
+    match List.assoc_opt name st.Stats.engine_busy with
+    | Some v -> v
+    | None -> Alcotest.failf "engine %s missing" name
+  in
+  check_floatish "busy adds" (busy "cube" a +. busy "cube" b) (busy "cube" c)
+
+let test_device_modes () =
+  let dev = Device.create ~mode:Device.Cost_only () in
+  check_bool "not functional" false (Device.functional dev);
+  let t = Device.alloc dev Dtype.F16 100 ~name:"t" in
+  check_bool "unbacked" false (Global_tensor.is_backed t);
+  check_bool "buffer raises" true
+    (try
+       ignore (Global_tensor.buffer t);
+       false
+     with Invalid_argument _ -> true);
+  let devf = device () in
+  let tf = Device.of_array devf Dtype.F16 ~name:"tf" [| 1.0; 2.0 |] in
+  check_floatish "of_array" 2.0 (Global_tensor.get tf 1);
+  check_int "allocated bytes" (100 * 2 + 0) (Device.allocated_bytes dev)
+
+let () =
+  Alcotest.run "block_launch"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "serial sum" `Quick test_serial_charges_sum;
+          Alcotest.test_case "pipelined formula" `Quick test_pipelined_formula;
+          Alcotest.test_case "iters=1 serial" `Quick
+            test_pipelined_iters_one_is_serial;
+          Alcotest.test_case "no nesting" `Quick test_pipelined_no_nesting;
+          Alcotest.test_case "alloc capacity" `Quick test_alloc_capacity;
+          Alcotest.test_case "traffic/touched" `Quick
+            test_gm_traffic_and_touched;
+        ] );
+      ( "launch",
+        [
+          Alcotest.test_case "compute bound" `Quick test_launch_compute_bound;
+          Alcotest.test_case "round robin" `Quick test_launch_round_robin;
+          Alcotest.test_case "bandwidth cap" `Quick test_launch_bandwidth_cap;
+          Alcotest.test_case "l2 bandwidth" `Quick test_launch_l2_bandwidth;
+          Alcotest.test_case "phase syncs" `Quick test_phases_add_sync;
+          Alcotest.test_case "validation" `Quick test_launch_validation;
+          Alcotest.test_case "stats combine" `Quick test_stats_combine;
+          Alcotest.test_case "device modes" `Quick test_device_modes;
+        ] );
+    ]

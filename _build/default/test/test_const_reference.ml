@@ -1,0 +1,133 @@
+(* Unit tests of the constant matrices and the host-side oracles. *)
+
+let check_float = Alcotest.(check (float 0.0))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_const_patterns () =
+  let s = 5 in
+  List.iter
+    (fun (which, name, f) ->
+      for i = 0 to s - 1 do
+        for j = 0 to s - 1 do
+          check_float
+            (Printf.sprintf "%s[%d,%d]" name i j)
+            (f i j)
+            (Scan.Const_mat.expected ~s which ~i ~j)
+        done
+      done)
+    [
+      (Scan.Const_mat.Upper, "U", fun i j -> if i <= j then 1.0 else 0.0);
+      (Scan.Const_mat.Lower, "L", fun i j -> if i >= j then 1.0 else 0.0);
+      (Scan.Const_mat.Strict_lower, "L-", fun i j -> if i > j then 1.0 else 0.0);
+      (Scan.Const_mat.Ones, "1", fun _ _ -> 1.0);
+      (Scan.Const_mat.Ident, "I", fun i j -> if i = j then 1.0 else 0.0);
+    ]
+
+let test_const_fill_and_structure () =
+  let dev = Ascend.Device.create () in
+  let ctx = Ascend.Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  let lt =
+    Scan.Const_mat.load ctx ~engine:Ascend.Engine.Cube_mte_in
+      ~kind:Ascend.Mem_kind.L0b ~dtype:Ascend.Dtype.F16 ~s:4
+      Scan.Const_mat.Strict_lower
+  in
+  check_bool "tag" true
+    (Ascend.Local_tensor.structure lt = Ascend.Local_tensor.Strict_lower_ones);
+  check_float "diag zero" 0.0 (Ascend.Local_tensor.get lt 5);
+  check_float "below diag" 1.0 (Ascend.Local_tensor.get lt 4);
+  (* The load charges an MTE copy. *)
+  let r = Ascend.Block.finish ctx in
+  check_bool "charged" true
+    (r.Ascend.Block.busy.(Ascend.Engine.index ~vec_per_core:2
+                            Ascend.Engine.Cube_mte_in)
+     > 0.0)
+
+let test_inclusive_exclusive () =
+  let x = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (array (float 0.0)))
+    "inclusive" [| 1.0; 3.0; 6.0; 10.0 |]
+    (Scan.Reference.inclusive_scan x);
+  Alcotest.(check (array (float 0.0)))
+    "exclusive" [| 0.0; 1.0; 3.0; 6.0 |]
+    (Scan.Reference.exclusive_scan x);
+  Alcotest.(check (array (float 0.0))) "empty" [||]
+    (Scan.Reference.inclusive_scan [||])
+
+let test_scan_rounding_hook () =
+  (* With fp16 rounding, 2048 + 1 stays 2048. *)
+  let x = Array.make 3 0.0 in
+  x.(0) <- 2048.0;
+  x.(1) <- 1.0;
+  x.(2) <- 1.0;
+  let y = Scan.Reference.inclusive_scan ~round:Ascend.Fp16.round x in
+  check_float "sticky" 2048.0 y.(2)
+
+let test_batched_oracle () =
+  let x = [| 1.0; 1.0; 1.0; 2.0; 2.0; 2.0 |] in
+  Alcotest.(check (array (float 0.0)))
+    "rows independent"
+    [| 1.0; 2.0; 3.0; 2.0; 4.0; 6.0 |]
+    (Scan.Reference.batched_inclusive ~batch:2 ~len:3 x)
+
+let test_split_oracle () =
+  let x = [| 10.0; 20.0; 30.0; 40.0 |] in
+  let flags = [| 0.0; 1.0; 0.0; 1.0 |] in
+  let vals, idxs = Scan.Reference.split x ~flags in
+  Alcotest.(check (array (float 0.0))) "values" [| 20.0; 40.0; 10.0; 30.0 |] vals;
+  Alcotest.(check (array int)) "indices" [| 1; 3; 0; 2 |] idxs
+
+let test_compress_oracle () =
+  let x = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check (array (float 0.0)))
+    "compress" [| 1.0; 3.0 |]
+    (Scan.Reference.compress x ~mask:[| 1.0; 0.0; 1.0 |])
+
+let test_sort_oracle () =
+  let x = [| 3.0; 1.0; 2.0; 1.0 |] in
+  let vals, idxs = Scan.Reference.stable_sort_with_indices x in
+  Alcotest.(check (array (float 0.0))) "sorted" [| 1.0; 1.0; 2.0; 3.0 |] vals;
+  Alcotest.(check (array int)) "stable indices" [| 1; 3; 2; 0 |] idxs;
+  check_bool "is_sorted yes" true (Scan.Reference.is_sorted vals);
+  check_bool "is_sorted no" false (Scan.Reference.is_sorted x)
+
+let test_topk_oracle () =
+  let x = [| 5.0; 1.0; 5.0; 3.0 |] in
+  let vals, idxs = Scan.Reference.top_k x ~k:3 in
+  Alcotest.(check (array (float 0.0))) "topk" [| 5.0; 5.0; 3.0 |] vals;
+  Alcotest.(check (array int)) "topk idx" [| 0; 2; 3 |] idxs
+
+let test_top_p_count () =
+  let probs = [| 0.5; 0.3; 0.15; 0.05 |] in
+  check_int "p=0.4 keeps 1" 1 (Scan.Reference.top_p_threshold_count probs ~p:0.4);
+  check_int "p=0.5 keeps 2 (exact boundary not exceeded)" 2
+    (Scan.Reference.top_p_threshold_count probs ~p:0.5);
+  check_int "p=0.85 keeps 3" 3
+    (Scan.Reference.top_p_threshold_count probs ~p:0.85);
+  check_int "p=1 keeps all" 4 (Scan.Reference.top_p_threshold_count probs ~p:1.0)
+
+let test_sum () = check_float "sum" 6.0 (Scan.Reference.sum [| 1.0; 2.0; 3.0 |])
+
+let () =
+  Alcotest.run "const_reference"
+    [
+      ( "const_mat",
+        [
+          Alcotest.test_case "patterns" `Quick test_const_patterns;
+          Alcotest.test_case "fill/structure/cost" `Quick
+            test_const_fill_and_structure;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "inclusive/exclusive" `Quick
+            test_inclusive_exclusive;
+          Alcotest.test_case "rounding hook" `Quick test_scan_rounding_hook;
+          Alcotest.test_case "batched" `Quick test_batched_oracle;
+          Alcotest.test_case "split" `Quick test_split_oracle;
+          Alcotest.test_case "compress" `Quick test_compress_oracle;
+          Alcotest.test_case "sort" `Quick test_sort_oracle;
+          Alcotest.test_case "topk" `Quick test_topk_oracle;
+          Alcotest.test_case "top-p count" `Quick test_top_p_count;
+          Alcotest.test_case "sum" `Quick test_sum;
+        ] );
+    ]

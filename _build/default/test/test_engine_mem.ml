@@ -1,0 +1,81 @@
+(* Unit tests of the engine enumeration and local memory descriptions. *)
+
+open Ascend
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_engine_count () =
+  check_int "2 vec cores" 10 (Engine.count ~vec_per_core:2);
+  check_int "1 vec core" 7 (Engine.count ~vec_per_core:1);
+  check_int "all list length" 10
+    (List.length (Engine.all ~vec_per_core:2))
+
+let test_engine_index_dense_unique () =
+  let vec_per_core = 2 in
+  let engines = Engine.all ~vec_per_core in
+  let idxs = List.map (Engine.index ~vec_per_core) engines in
+  let sorted = List.sort_uniq compare idxs in
+  check_int "dense unique" (List.length engines) (List.length sorted);
+  check_int "min 0" 0 (List.hd sorted);
+  check_int "max count-1"
+    (Engine.count ~vec_per_core - 1)
+    (List.nth sorted (List.length sorted - 1))
+
+let test_engine_vec_range () =
+  Alcotest.check_raises "vec index out of range"
+    (Invalid_argument "Engine: vector core 2 out of range [0,2)") (fun () ->
+      ignore (Engine.index ~vec_per_core:2 (Engine.Vec 2)))
+
+let test_engine_is_mte () =
+  check_bool "cube mte" true (Engine.is_mte Engine.Cube_mte_in);
+  check_bool "vec mte" true (Engine.is_mte (Engine.Vec_mte_out 1));
+  check_bool "cube" false (Engine.is_mte Engine.Cube);
+  check_bool "scalar" false (Engine.is_mte Engine.Scalar);
+  check_bool "vec" false (Engine.is_mte (Engine.Vec 0))
+
+let test_engine_equal () =
+  check_bool "same vec" true (Engine.equal (Engine.Vec 1) (Engine.Vec 1));
+  check_bool "diff vec" false (Engine.equal (Engine.Vec 0) (Engine.Vec 1));
+  check_bool "diff kind" false (Engine.equal Engine.Cube Engine.Scalar)
+
+let test_mem_capacities () =
+  check_int "ub" (192 * 1024) (Mem_kind.capacity_bytes (Mem_kind.Ub 0));
+  check_int "l1" (1024 * 1024) (Mem_kind.capacity_bytes Mem_kind.L1);
+  check_int "l0a" (64 * 1024) (Mem_kind.capacity_bytes Mem_kind.L0a);
+  check_int "l0b" (64 * 1024) (Mem_kind.capacity_bytes Mem_kind.L0b);
+  check_int "l0c" (256 * 1024) (Mem_kind.capacity_bytes Mem_kind.L0c)
+
+let test_mem_owner () =
+  check_bool "ub0 -> vec0" true
+    (Engine.equal (Mem_kind.owner ~vec_per_core:2 (Mem_kind.Ub 0)) (Engine.Vec 0));
+  check_bool "l0a -> cube" true
+    (Engine.equal (Mem_kind.owner ~vec_per_core:2 Mem_kind.L0a) Engine.Cube);
+  Alcotest.check_raises "ub index range"
+    (Invalid_argument "Mem_kind.owner: vector core index out of range")
+    (fun () -> ignore (Mem_kind.owner ~vec_per_core:2 (Mem_kind.Ub 5)))
+
+let test_mem_equal () =
+  check_bool "ub same" true (Mem_kind.equal (Mem_kind.Ub 1) (Mem_kind.Ub 1));
+  check_bool "ub diff" false (Mem_kind.equal (Mem_kind.Ub 0) (Mem_kind.Ub 1));
+  check_bool "l1 vs l0a" false (Mem_kind.equal Mem_kind.L1 Mem_kind.L0a)
+
+let () =
+  Alcotest.run "engine_mem"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "count" `Quick test_engine_count;
+          Alcotest.test_case "dense unique index" `Quick
+            test_engine_index_dense_unique;
+          Alcotest.test_case "vec range" `Quick test_engine_vec_range;
+          Alcotest.test_case "is_mte" `Quick test_engine_is_mte;
+          Alcotest.test_case "equal" `Quick test_engine_equal;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "capacities" `Quick test_mem_capacities;
+          Alcotest.test_case "owner" `Quick test_mem_owner;
+          Alcotest.test_case "equal" `Quick test_mem_equal;
+        ] );
+    ]

@@ -1,0 +1,150 @@
+(* Unit tests of the binary16 codec. *)
+
+open Ascend
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 0.0))
+let check_bool = Alcotest.(check bool)
+
+let test_constants () =
+  check_float "zero" 0.0 (Fp16.to_float Fp16.zero);
+  check_float "one" 1.0 (Fp16.to_float Fp16.one);
+  check_float "neg zero" (-0.0) (Fp16.to_float Fp16.neg_zero);
+  check_bool "neg zero sign" true (1.0 /. Fp16.to_float Fp16.neg_zero < 0.0);
+  check_float "+inf" infinity (Fp16.to_float Fp16.pos_infinity);
+  check_float "-inf" neg_infinity (Fp16.to_float Fp16.neg_infinity);
+  check_bool "nan" true (Float.is_nan (Fp16.to_float Fp16.nan))
+
+let test_exact_values () =
+  List.iter
+    (fun v -> check_float (string_of_float v) v (Fp16.round v))
+    [ 0.0; 1.0; -1.0; 0.5; -0.5; 2.0; 1024.0; 2048.0; 65504.0; -65504.0;
+      0.25; 0.125; 1.5; 3.0; 100.0; -100.0; 2.0 ** -14.0; 2.0 ** -24.0 ]
+
+let test_integer_exactness () =
+  (* All integers up to 2048 are exactly representable. *)
+  for i = 0 to 2048 do
+    let v = float_of_int i in
+    if Fp16.round v <> v then
+      Alcotest.failf "integer %d not exact in fp16" i
+  done;
+  (* 2049 is not. *)
+  check_bool "2049 rounds" true (Fp16.round 2049.0 <> 2049.0)
+
+let test_rounding_nearest_even () =
+  (* Between 2048 and 2050 the spacing is 2; 2049 ties to even 2048. *)
+  check_float "2049 -> 2048" 2048.0 (Fp16.round 2049.0);
+  check_float "2051 -> 2052" 2052.0 (Fp16.round 2051.0);
+  (* 1 + 2^-11 is exactly between 1 and 1+2^-10; ties to even (1.0). *)
+  check_float "tie to even at 1" 1.0 (Fp16.round (1.0 +. (2.0 ** -11.0)));
+  check_float "above tie rounds up"
+    (1.0 +. (2.0 ** -10.0))
+    (Fp16.round (1.0 +. (2.0 ** -11.0) +. (2.0 ** -20.0)))
+
+let test_overflow_underflow () =
+  check_float "overflow" infinity (Fp16.round 65520.0);
+  check_float "neg overflow" neg_infinity (Fp16.round (-65520.0));
+  check_float "max stays" 65504.0 (Fp16.round 65505.0);
+  check_float "underflow to zero" 0.0 (Fp16.round (2.0 ** -26.0));
+  check_bool "tiny negative keeps sign" true
+    (1.0 /. Fp16.round (-.(2.0 ** -26.0)) < 0.0);
+  (* Smallest subnormal survives. *)
+  check_float "min subnormal" (2.0 ** -24.0) (Fp16.round (2.0 ** -24.0))
+
+let test_subnormals () =
+  (* 3 * 2^-24 is a subnormal with two bits set. *)
+  let v = 3.0 *. (2.0 ** -24.0) in
+  check_float "subnormal exact" v (Fp16.round v);
+  let h = Fp16.of_float v in
+  check_int "subnormal exponent field" 0 (Fp16.bits_exponent h);
+  check_int "subnormal mantissa" 3 (Fp16.bits_mantissa h)
+
+let test_bit_fields () =
+  let h = Fp16.of_float (-1.5) in
+  check_int "sign" 1 (Fp16.bits_sign h);
+  check_int "exponent" 15 (Fp16.bits_exponent h);
+  check_int "mantissa" 512 (Fp16.bits_mantissa h)
+
+let test_roundtrip_all_finite () =
+  (* Every finite bit pattern decodes and re-encodes to itself. *)
+  for bits = 0 to 0xFFFF do
+    if Fp16.is_finite bits then begin
+      let v = Fp16.to_float bits in
+      let bits' = Fp16.of_float v in
+      if bits <> bits' && not (bits = 0x8000 && bits' = 0x8000) then
+        if not (v = 0.0 && bits land 0x7FFF = 0) then
+          Alcotest.failf "roundtrip failed for 0x%04X (%g -> 0x%04X)" bits v
+            bits'
+    end
+  done
+
+let test_nan_handling () =
+  check_int "nan canonical" Fp16.nan (Fp16.of_float Float.nan);
+  check_bool "is_nan" true (Fp16.is_nan (Fp16.of_float Float.nan));
+  check_bool "inf not nan" false (Fp16.is_nan Fp16.pos_infinity);
+  check_bool "inf is infinite" true (Fp16.is_infinite Fp16.pos_infinity)
+
+let test_arith () =
+  check_float "add rounds" 2048.0 (Fp16.add 2048.0 1.0);
+  check_float "add exact" 3.0 (Fp16.add 1.0 2.0);
+  check_float "mul" 6.0 (Fp16.mul 2.0 3.0);
+  check_float "sub" (-1.0) (Fp16.sub 1.0 2.0)
+
+let test_compare_value () =
+  check_bool "order" true (Fp16.compare_value (Fp16.of_float 1.0) (Fp16.of_float 2.0) < 0);
+  check_int "-0 = +0" 0 (Fp16.compare_value Fp16.neg_zero Fp16.zero);
+  check_bool "nan last" true (Fp16.compare_value Fp16.nan Fp16.pos_infinity > 0)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_float . to_float = id on patterns" ~count:2000
+    QCheck.(int_bound 0xFFFF)
+    (fun bits ->
+      QCheck.assume (Fp16.is_finite bits && bits <> 0x8000);
+      Fp16.of_float (Fp16.to_float bits) = bits)
+
+let prop_round_idempotent =
+  QCheck.Test.make ~name:"round is idempotent" ~count:2000
+    QCheck.(float_bound_inclusive 65504.0)
+    (fun v -> Fp16.round (Fp16.round v) = Fp16.round v)
+
+let prop_round_monotone =
+  QCheck.Test.make ~name:"round is monotone" ~count:2000
+    QCheck.(pair (float_bound_inclusive 60000.0) (float_bound_inclusive 60000.0))
+    (fun (a, b) ->
+      let a, b = (Float.min a b, Float.max a b) in
+      Fp16.round a <= Fp16.round b)
+
+let prop_round_error_bound =
+  QCheck.Test.make ~name:"relative rounding error <= 2^-11" ~count:2000
+    QCheck.(float_range 0.001 60000.0)
+    (fun v -> Float.abs (Fp16.round v -. v) <= Float.abs v *. (2.0 ** -11.0))
+
+let () =
+  Alcotest.run "fp16"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "exact values" `Quick test_exact_values;
+          Alcotest.test_case "integer exactness" `Quick test_integer_exactness;
+          Alcotest.test_case "round to nearest even" `Quick
+            test_rounding_nearest_even;
+          Alcotest.test_case "overflow/underflow" `Quick
+            test_overflow_underflow;
+          Alcotest.test_case "subnormals" `Quick test_subnormals;
+          Alcotest.test_case "bit fields" `Quick test_bit_fields;
+          Alcotest.test_case "roundtrip all finite" `Quick
+            test_roundtrip_all_finite;
+          Alcotest.test_case "nan handling" `Quick test_nan_handling;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "compare" `Quick test_compare_value;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_roundtrip;
+            prop_round_idempotent;
+            prop_round_monotone;
+            prop_round_error_bound;
+          ] );
+    ]

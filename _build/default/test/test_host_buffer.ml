@@ -1,0 +1,90 @@
+(* Unit tests of the dtype-faithful host buffers. *)
+
+open Ascend
+
+let check_float = Alcotest.(check (float 0.0))
+let check_int = Alcotest.(check int)
+
+let test_create_and_access () =
+  let b = Host_buffer.create Dtype.F16 10 in
+  check_int "length" 10 (Host_buffer.length b);
+  check_int "bytes" 20 (Host_buffer.size_bytes b);
+  check_float "zero init" 0.0 (Host_buffer.get b 5);
+  Host_buffer.set b 3 1.5;
+  check_float "set/get" 1.5 (Host_buffer.get b 3)
+
+let test_rounding_on_set () =
+  let b = Host_buffer.create Dtype.F16 2 in
+  Host_buffer.set b 0 2049.0;
+  check_float "f16 rounded" 2048.0 (Host_buffer.get b 0);
+  let bi = Host_buffer.create Dtype.I8 2 in
+  Host_buffer.set bi 0 200.0;
+  check_float "i8 wrapped" (-56.0) (Host_buffer.get bi 0)
+
+let test_bounds () =
+  let b = Host_buffer.create Dtype.F32 4 in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "index out of bounds") (fun () ->
+      ignore (Host_buffer.get b 4));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Host_buffer.create: negative length") (fun () ->
+      ignore (Host_buffer.create Dtype.F32 (-1)))
+
+let test_blit_same_dtype () =
+  let a = Host_buffer.of_array Dtype.F16 [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Host_buffer.create Dtype.F16 4 in
+  Host_buffer.blit ~src:a ~src_off:1 ~dst:b ~dst_off:0 ~len:3;
+  check_float "blit0" 2.0 (Host_buffer.get b 0);
+  check_float "blit2" 4.0 (Host_buffer.get b 2);
+  check_float "untouched" 0.0 (Host_buffer.get b 3)
+
+let test_blit_cast () =
+  (* F32 -> F16 blit must round; F16 -> I8 must truncate/wrap. *)
+  let a = Host_buffer.of_array Dtype.F32 [| 2049.0; 1.5 |] in
+  let b = Host_buffer.create Dtype.F16 2 in
+  Host_buffer.blit ~src:a ~src_off:0 ~dst:b ~dst_off:0 ~len:2;
+  check_float "rounded" 2048.0 (Host_buffer.get b 0);
+  check_float "exact" 1.5 (Host_buffer.get b 1);
+  let c = Host_buffer.create Dtype.I8 2 in
+  Host_buffer.blit ~src:b ~src_off:0 ~dst:c ~dst_off:0 ~len:2;
+  check_float "truncated" 1.0 (Host_buffer.get c 1)
+
+let test_blit_bounds () =
+  let a = Host_buffer.create Dtype.F16 4 in
+  let b = Host_buffer.create Dtype.F16 4 in
+  Alcotest.check_raises "overrun"
+    (Invalid_argument "Host_buffer.blit: range out of bounds") (fun () ->
+      Host_buffer.blit ~src:a ~src_off:2 ~dst:b ~dst_off:0 ~len:3)
+
+let test_fill_copy_roundtrip () =
+  let a = Host_buffer.create Dtype.F16 8 in
+  Host_buffer.fill a 2049.0;
+  check_float "fill rounds" 2048.0 (Host_buffer.get a 7);
+  let b = Host_buffer.copy a in
+  Host_buffer.set b 0 1.0;
+  check_float "copy is deep" 2048.0 (Host_buffer.get a 0);
+  let arr = Host_buffer.to_array a in
+  check_int "to_array length" 8 (Array.length arr);
+  check_float "to_array value" 2048.0 arr.(3)
+
+let test_set_cast () =
+  let b = Host_buffer.create Dtype.I16 1 in
+  Host_buffer.set_cast b 0 ~from:Dtype.F32 7.9;
+  check_float "cast truncates" 7.0 (Host_buffer.get b 0)
+
+let () =
+  Alcotest.run "host_buffer"
+    [
+      ( "buffer",
+        [
+          Alcotest.test_case "create/access" `Quick test_create_and_access;
+          Alcotest.test_case "rounding on set" `Quick test_rounding_on_set;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "blit same dtype" `Quick test_blit_same_dtype;
+          Alcotest.test_case "blit cast" `Quick test_blit_cast;
+          Alcotest.test_case "blit bounds" `Quick test_blit_bounds;
+          Alcotest.test_case "fill/copy/to_array" `Quick
+            test_fill_copy_roundtrip;
+          Alcotest.test_case "set_cast" `Quick test_set_cast;
+        ] );
+    ]

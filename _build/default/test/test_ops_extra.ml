@@ -1,0 +1,191 @@
+(* Unit tests of the operator-layer utilities: the generic map kernel,
+   slices, bitcasts, the indexed gather, and the simpler baselines. *)
+
+open Ascend
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+let check_int = Alcotest.(check int)
+
+(* Map_kernel. *)
+
+let test_map_kernel_basic () =
+  let n = 30000 in
+  let dev = Device.create () in
+  let data = Array.init n (fun i -> float_of_int (i mod 100)) in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" data in
+  let y = Device.alloc dev Dtype.F16 n ~name:"y" in
+  let st =
+    Ops.Map_kernel.run dev ~inputs:[ x ] ~output:y
+      ~f:(fun ctx ~vec ~ins ~out ~scratch:_ ~len ->
+        match ins with
+        | [ src ] -> Vec.muls ctx ~vec ~src ~dst:out ~scalar:2.0 ~len ()
+        | _ -> assert false)
+  in
+  for i = 0 to n - 1 do
+    if Global_tensor.get y i <> 2.0 *. data.(i) then
+      Alcotest.failf "map mismatch at %d" i
+  done;
+  check_bool "reads input" true (st.Stats.gm_read_bytes >= 2 * n);
+  check_bool "writes output" true (st.Stats.gm_write_bytes >= 2 * n)
+
+let test_map_kernel_two_inputs_and_scratch () =
+  let n = 10000 in
+  let dev = Device.create () in
+  let a = Device.of_array dev Dtype.F16 ~name:"a"
+      (Array.init n (fun i -> float_of_int (i mod 10))) in
+  let b = Device.of_array dev Dtype.F16 ~name:"b"
+      (Array.init n (fun i -> float_of_int (i mod 7))) in
+  let y = Device.alloc dev Dtype.F16 n ~name:"y" in
+  ignore
+    (Ops.Map_kernel.run ~scratch:[ Dtype.F16 ] dev ~inputs:[ a; b ] ~output:y
+       ~f:(fun ctx ~vec ~ins ~out ~scratch ~len ->
+         match ins, scratch with
+         | [ a; b ], [ t ] ->
+             Vec.binop ctx ~vec Vec.Max ~src0:a ~src1:b ~dst:t ~len ();
+             Vec.adds ctx ~vec ~src:t ~dst:out ~scalar:1.0 ~len ()
+         | _ -> assert false));
+  for i = 0 to n - 1 do
+    let expect = Float.max (float_of_int (i mod 10)) (float_of_int (i mod 7)) +. 1.0 in
+    if Global_tensor.get y i <> expect then Alcotest.failf "mismatch at %d" i
+  done
+
+let test_map_kernel_validation () =
+  let dev = Device.create () in
+  let a = Device.of_array dev Dtype.F16 ~name:"a" [| 1.0 |] in
+  let y = Device.alloc dev Dtype.F16 2 ~name:"y" in
+  check_bool "length mismatch" true
+    (try
+       ignore
+         (Ops.Map_kernel.run dev ~inputs:[ a ] ~output:y
+            ~f:(fun _ ~vec:_ ~ins:_ ~out:_ ~scratch:_ ~len:_ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* Ops_util. *)
+
+let test_slice () =
+  let n = 20000 in
+  let dev = Device.create () in
+  let data = Array.init n float_of_int in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" data in
+  let y, _ = Ops.Ops_util.slice dev x ~off:1000 ~len:500 in
+  check_int "length" 500 (Global_tensor.length y);
+  check_float "first" (Fp16.round 1000.0) (Global_tensor.get y 0);
+  check_float "last" (Fp16.round 1499.0) (Global_tensor.get y 499);
+  check_bool "bounds" true
+    (try
+       ignore (Ops.Ops_util.slice dev x ~off:(n - 10) ~len:20);
+       false
+     with Invalid_argument _ -> true)
+
+let test_bitcast_roundtrip () =
+  let dev = Device.create () in
+  let data = [| 1.5; -2.0; 0.0; 65504.0; -0.25 |] in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" data in
+  let u = Ops.Ops_util.bitcast_f16_to_u16 dev x in
+  check_float "one bits" (float_of_int (Fp16.of_float 1.5)) (Global_tensor.get u 0);
+  let back = Ops.Ops_util.bitcast_u16_to_f16 dev u in
+  Array.iteri
+    (fun i v -> check_float (Printf.sprintf "rt %d" i) v (Global_tensor.get back i))
+    data
+
+let test_gather_elements () =
+  let dev = Device.create () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  let src = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 8 in
+  let idx = Block.alloc ctx (Mem_kind.Ub 0) Dtype.I32 4 in
+  let dst = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 4 in
+  for i = 0 to 7 do Local_tensor.set src i (float_of_int (10 * i)) done;
+  List.iteri (fun i v -> Local_tensor.set idx i v) [ 7.0; 0.0; 3.0; 3.0 ];
+  Vec.gather_elements ctx ~src ~idx ~dst ~len:4 ();
+  check_float "g0" 70.0 (Local_tensor.get dst 0);
+  check_float "g1" 0.0 (Local_tensor.get dst 1);
+  check_float "g3" 30.0 (Local_tensor.get dst 3);
+  Local_tensor.set idx 0 99.0;
+  check_bool "oob index" true
+    (try
+       Vec.gather_elements ctx ~src ~idx ~dst ~len:4 ();
+       false
+     with Invalid_argument _ -> true)
+
+(* Baselines. *)
+
+let test_clone_identity () =
+  let n = 50000 in
+  let dev = Device.create () in
+  let data = Workload.Generators.uniform_f16 ~seed:1 n in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" data in
+  let y, st = Ops.Baseline.clone dev x in
+  for i = 0 to n - 1 do
+    if Global_tensor.get y i <> data.(i) then Alcotest.failf "clone mismatch %d" i
+  done;
+  check_int "traffic = 2n elems" (2 * 2 * n) (Stats.gm_bytes st)
+
+let test_baseline_cumsum_named () =
+  let dev = Device.create () in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" (Array.make 100 1.0) in
+  let y, st = Ops.Baseline.cumsum dev x in
+  check_float "last" 100.0 (Global_tensor.get y 99);
+  check_bool "renamed" true (st.Stats.name = "torch_cumsum")
+
+let test_baseline_sort_validation () =
+  let dev = Device.create () in
+  let x3 = Device.of_array dev Dtype.F16 ~name:"x" [| 3.0; 1.0; 2.0 |] in
+  check_bool "non power of two" true
+    (try
+       ignore (Ops.Baseline.sort dev x3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_multinomial_binary_search () =
+  (* Non-uniform weights: first index whose cdf exceeds the target. *)
+  let dev = Device.create () in
+  let w = Device.of_array dev Dtype.F16 ~name:"w" [| 1.0; 0.0; 3.0; 0.0; 4.0 |] in
+  (* cdf = 1 1 4 4 8; total 8. *)
+  List.iter
+    (fun (theta, expect) ->
+      let got, _ = Ops.Baseline.multinomial dev ~weights:w ~theta in
+      check_int (Printf.sprintf "theta=%g" theta) expect got)
+    [ (0.0, 0); (0.124, 0); (0.126, 2); (0.499, 2); (0.51, 4); (0.99, 4) ]
+
+let test_scalar_unit_costs () =
+  let dev = Device.create () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" [| 5.0 |] in
+  let t0 = Block.elapsed_cycles ctx in
+  let v = Scalar_unit.gm_read ctx x 0 in
+  check_float "reads value" 5.0 v;
+  check_bool "charged" true (Block.elapsed_cycles ctx > t0);
+  Scalar_unit.gm_write ctx x 0 7.0;
+  check_float "writes value" 7.0 (Global_tensor.get x 0);
+  let r = Block.finish ctx in
+  check_int "scalar traffic" 4 (r.Block.gm_read_bytes + r.Block.gm_write_bytes)
+
+let () =
+  Alcotest.run "ops_extra"
+    [
+      ( "map_kernel",
+        [
+          Alcotest.test_case "basic" `Quick test_map_kernel_basic;
+          Alcotest.test_case "two inputs + scratch" `Quick
+            test_map_kernel_two_inputs_and_scratch;
+          Alcotest.test_case "validation" `Quick test_map_kernel_validation;
+        ] );
+      ( "ops_util",
+        [
+          Alcotest.test_case "slice" `Quick test_slice;
+          Alcotest.test_case "bitcast roundtrip" `Quick test_bitcast_roundtrip;
+          Alcotest.test_case "gather_elements" `Quick test_gather_elements;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "clone" `Quick test_clone_identity;
+          Alcotest.test_case "cumsum name" `Quick test_baseline_cumsum_named;
+          Alcotest.test_case "sort validation" `Quick
+            test_baseline_sort_validation;
+          Alcotest.test_case "multinomial search" `Quick
+            test_multinomial_binary_search;
+          Alcotest.test_case "scalar unit" `Quick test_scalar_unit_costs;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* Integration tests of the cube reduction, the max-scan kernel and the
+   multi-draw weighted sampler. *)
+
+open Ascend
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+let check_int = Alcotest.(check int)
+
+(* Cube reduction. *)
+
+let reduce_case ~seed n () =
+  let data =
+    let rng = Random.State.make [| seed |] in
+    Array.init n (fun _ -> float_of_int (Random.State.int rng 7 - 3))
+  in
+  let expect = Scan.Reference.sum data in
+  let dev = Device.create () in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" data in
+  let total_cube, out, _ = Scan.Cube_reduce.run_cube dev x in
+  check_float (Printf.sprintf "cube n=%d" n) expect total_cube;
+  check_float "tensor result" expect (Global_tensor.get out 0);
+  let total_vec, _, _ = Scan.Cube_reduce.run_vec dev x in
+  check_float (Printf.sprintf "vec n=%d" n) expect total_vec
+
+let test_reduce_engine_profiles () =
+  (* The cube reduction must spend its compute on the cube engine, the
+     vector reduction on the vector engines. *)
+  let n = 200000 in
+  let dev = Device.create ~mode:Device.Cost_only () in
+  let x = Device.alloc dev Dtype.F16 n ~name:"x" in
+  let busy name (st : Stats.t) =
+    match List.assoc_opt name st.Stats.engine_busy with
+    | Some c -> c
+    | None -> 0.0
+  in
+  let _, _, st_cube = Scan.Cube_reduce.run_cube dev x in
+  let _, _, st_vec = Scan.Cube_reduce.run_vec dev x in
+  check_bool "cube reduce uses cube" true
+    (busy "cube" st_cube > 10.0 *. busy "vec0" st_cube);
+  check_bool "vec reduce uses vec" true
+    (busy "vec0" st_vec > 10.0 *. busy "cube" st_vec);
+  (* Both read the input exactly once (plus per-block constant loads
+     and partials). *)
+  check_bool "cube traffic ~ n" true
+    (st_cube.Stats.gm_read_bytes < (2 * n) + 1_000_000);
+  check_bool "vec traffic ~ n" true
+    (st_vec.Stats.gm_read_bytes < (2 * n) + 10000)
+
+(* Max scan. *)
+
+let max_scan_case ~seed ~dt n () =
+  let rng = Random.State.make [| seed |] in
+  let data =
+    Array.init n (fun _ -> float_of_int (Random.State.int rng 2000 - 1000))
+  in
+  let dev = Device.create () in
+  let x = Device.of_array dev dt ~name:"x" data in
+  let y, _ = Scan.Max_scan.run dev x in
+  let acc = ref neg_infinity in
+  Array.iteri
+    (fun i v ->
+      acc := Float.max !acc v;
+      if Global_tensor.get y i <> !acc then
+        Alcotest.failf "max scan mismatch at %d" i)
+    data
+
+let test_max_scan_monotone_indices () =
+  (* The Segmented_scan use case: boundary markers (i+1 or 0). *)
+  let n = 30000 in
+  let data =
+    Array.init n (fun i -> if i mod 977 = 0 then float_of_int (i + 1) else 0.0)
+  in
+  let dev = Device.create () in
+  let x = Device.of_array dev Dtype.I32 ~name:"b" data in
+  let y, _ = Scan.Max_scan.run dev x in
+  for i = 0 to n - 1 do
+    let expect = float_of_int ((i / 977 * 977) + 1) in
+    if Global_tensor.get y i <> expect then
+      Alcotest.failf "boundary scan mismatch at %d" i
+  done
+
+let test_max_scan_validation () =
+  let dev = Device.create () in
+  let xi = Device.of_array dev Dtype.I8 ~name:"x" [| 1.0 |] in
+  check_bool "dtype" true
+    (try
+       ignore (Scan.Max_scan.run dev xi);
+       false
+     with Invalid_argument _ -> true)
+
+(* Multi-draw weighted sampling. *)
+
+let test_sample_many_matches_single () =
+  let n = 3000 in
+  let w = Array.make n 1.0 in
+  let dev = Device.create () in
+  let wt = Device.of_array dev Dtype.F16 ~name:"w" w in
+  let thetas = [| 0.9; 0.1; 0.5005; 0.0; 0.333 |] in
+  let many, _ = Ops.Weighted_sampling.sample_many dev ~weights:wt ~thetas in
+  Array.iteri
+    (fun j theta ->
+      let single, _ = Ops.Weighted_sampling.sample dev ~weights:wt ~theta in
+      check_int (Printf.sprintf "draw %d" j) single many.(j))
+    thetas
+
+let test_sample_many_order_preserved () =
+  (* Results come back in input order even though the search is sorted. *)
+  let n = 1000 in
+  let dev = Device.create () in
+  let wt = Device.of_array dev Dtype.F16 ~name:"w" (Array.make n 1.0) in
+  let thetas = [| 0.75; 0.25 |] in
+  let s, _ = Ops.Weighted_sampling.sample_many dev ~weights:wt ~thetas in
+  check_int "first draw" 750 s.(0);
+  check_int "second draw" 250 s.(1)
+
+let test_sample_many_on_point_mass () =
+  let n = 9000 in
+  let w = Array.make n 0.0 in
+  w.(4242) <- 3.0;
+  let dev = Device.create () in
+  let wt = Device.of_array dev Dtype.F16 ~name:"w" w in
+  let thetas = Array.init 7 (fun j -> float_of_int j /. 8.0) in
+  let s, _ = Ops.Weighted_sampling.sample_many dev ~weights:wt ~thetas in
+  Array.iter (fun idx -> check_int "point mass" 4242 idx) s
+
+let test_sample_many_scan_amortised () =
+  (* k draws must cost far less than k single-draw pipelines. *)
+  let n = 200000 in
+  let dev = Device.create ~mode:Device.Cost_only () in
+  let wt = Device.alloc dev Dtype.F16 n ~name:"w" in
+  let thetas = Array.init 32 (fun j -> float_of_int j /. 33.0) in
+  let _, st_many = Ops.Weighted_sampling.sample_many dev ~weights:wt ~thetas in
+  let _, st_one = Ops.Weighted_sampling.sample dev ~weights:wt ~theta:0.5 in
+  check_bool "amortised" true
+    (st_many.Stats.seconds < 8.0 *. st_one.Stats.seconds)
+
+let () =
+  Alcotest.run "reduce_maxscan"
+    [
+      ( "cube_reduce",
+        [
+          Alcotest.test_case "small" `Quick (reduce_case ~seed:1 1000);
+          Alcotest.test_case "one element" `Quick (reduce_case ~seed:2 1);
+          Alcotest.test_case "tile boundary" `Quick (reduce_case ~seed:3 16384);
+          Alcotest.test_case "tail tile" `Quick (reduce_case ~seed:4 16385);
+          Alcotest.test_case "large" `Quick (reduce_case ~seed:5 300000);
+          Alcotest.test_case "engine profiles" `Quick
+            test_reduce_engine_profiles;
+        ] );
+      ( "max_scan",
+        [
+          Alcotest.test_case "f16" `Quick (max_scan_case ~seed:6 ~dt:Dtype.F16 20000);
+          Alcotest.test_case "f32" `Quick (max_scan_case ~seed:7 ~dt:Dtype.F32 20000);
+          Alcotest.test_case "i32" `Quick (max_scan_case ~seed:8 ~dt:Dtype.I32 20000);
+          Alcotest.test_case "tiny" `Quick (max_scan_case ~seed:9 ~dt:Dtype.F32 3);
+          Alcotest.test_case "boundary markers" `Quick
+            test_max_scan_monotone_indices;
+          Alcotest.test_case "validation" `Quick test_max_scan_validation;
+        ] );
+      ( "sample_many",
+        [
+          Alcotest.test_case "matches single" `Quick
+            test_sample_many_matches_single;
+          Alcotest.test_case "order preserved" `Quick
+            test_sample_many_order_preserved;
+          Alcotest.test_case "point mass" `Quick test_sample_many_on_point_mass;
+          Alcotest.test_case "scan amortised" `Quick
+            test_sample_many_scan_amortised;
+        ] );
+    ]

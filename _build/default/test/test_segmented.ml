@@ -1,0 +1,190 @@
+(* Integration tests of the segmented scan (and the in-UB network
+   helpers it is built from). *)
+
+open Ascend
+
+let check_bool = Alcotest.(check bool)
+
+(* Host oracle. *)
+let segmented_oracle x flags =
+  let n = Array.length x in
+  let y = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    if flags.(i) <> 0.0 then acc := 0.0;
+    acc := !acc +. x.(i);
+    y.(i) <- !acc
+  done;
+  y
+
+let run_case ~name x flags =
+  let dev = Device.create () in
+  let xt = Device.of_array dev Dtype.F16 ~name:"x" x in
+  let ft = Device.of_array dev Dtype.I8 ~name:"f" flags in
+  let y, stats = Scan.Segmented_scan.run dev ~x:xt ~flags:ft () in
+  let expect = segmented_oracle x flags in
+  Array.iteri
+    (fun i e ->
+      if Global_tensor.get y i <> e then
+        Alcotest.failf "%s: mismatch at %d (%g <> %g)" name i
+          (Global_tensor.get y i) e)
+    expect;
+  stats
+
+(* Exact fp16 data: values in {-1, 0, 1}; segments short enough that
+   every partial stays well inside the exact integer range. *)
+let values ~seed n =
+  let rng = Random.State.make [| seed |] in
+  Array.init n (fun _ -> float_of_int (Random.State.int rng 3 - 1))
+
+let seg_flags ~seed ~avg_len n =
+  let rng = Random.State.make [| seed |] in
+  Array.init n (fun i ->
+      if i = 0 || Random.State.int rng avg_len = 0 then 1.0 else 0.0)
+
+let test_basic_shapes () =
+  List.iter
+    (fun (n, avg) ->
+      ignore
+        (run_case
+           ~name:(Printf.sprintf "n=%d avg=%d" n avg)
+           (values ~seed:n n)
+           (seg_flags ~seed:(n + 1) ~avg_len:avg n)))
+    [ (1, 1); (100, 5); (8192, 40); (8193, 7); (30000, 100); (50000, 3) ]
+
+let test_single_segment_equals_scan () =
+  let n = 20000 in
+  let x = Array.init n (fun i -> if i mod 37 = 0 then 1.0 else 0.0) in
+  let flags = Array.make n 0.0 in
+  flags.(0) <- 1.0;
+  let dev = Device.create () in
+  let xt = Device.of_array dev Dtype.F16 ~name:"x" x in
+  let ft = Device.of_array dev Dtype.I8 ~name:"f" flags in
+  let y, _ = Scan.Segmented_scan.run dev ~x:xt ~flags:ft () in
+  let plain, _ = Scan.Mcscan.run dev xt in
+  for i = 0 to n - 1 do
+    if Global_tensor.get y i <> Global_tensor.get plain i then
+      Alcotest.failf "diverges from plain scan at %d" i
+  done
+
+let test_all_boundaries_is_identity () =
+  let n = 5000 in
+  let x = values ~seed:9 n in
+  let flags = Array.make n 1.0 in
+  let dev = Device.create () in
+  let xt = Device.of_array dev Dtype.F16 ~name:"x" x in
+  let ft = Device.of_array dev Dtype.I8 ~name:"f" flags in
+  let y, _ = Scan.Segmented_scan.run dev ~x:xt ~flags:ft () in
+  for i = 0 to n - 1 do
+    if Global_tensor.get y i <> x.(i) then Alcotest.failf "not identity at %d" i
+  done
+
+let test_boundary_at_tile_edges () =
+  (* Boundaries exactly at 8192-tile and sub-block edges; sparse ones
+     keep every segment sum exactly representable in fp16. *)
+  let n = 3 * 8192 in
+  let x = Array.init n (fun i -> if i mod 5 = 0 then 1.0 else 0.0) in
+  let flags = Array.make n 0.0 in
+  flags.(0) <- 1.0;
+  flags.(8191) <- 1.0;
+  flags.(8192) <- 1.0;
+  flags.(16384) <- 1.0;
+  ignore (run_case ~name:"tile edges" x flags)
+
+let test_implicit_first_segment () =
+  (* flags.(0) = 0 must still behave as a segment start. *)
+  let n = 1000 in
+  let x = Array.make n 1.0 in
+  let flags = Array.make n 0.0 in
+  flags.(500) <- 1.0;
+  let dev = Device.create () in
+  let xt = Device.of_array dev Dtype.F16 ~name:"x" x in
+  let ft = Device.of_array dev Dtype.I8 ~name:"f" flags in
+  let y, _ = Scan.Segmented_scan.run dev ~x:xt ~flags:ft () in
+  check_bool "prefix before flag" true (Global_tensor.get y 499 = 500.0);
+  check_bool "restart at flag" true (Global_tensor.get y 500 = 1.0)
+
+let test_validation () =
+  let dev = Device.create () in
+  let x = Device.of_array dev Dtype.F16 ~name:"x" [| 1.0 |] in
+  let f2 = Device.of_array dev Dtype.I8 ~name:"f" [| 1.0; 0.0 |] in
+  check_bool "length mismatch" true
+    (try
+       ignore (Scan.Segmented_scan.run dev ~x ~flags:f2 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* The in-UB Hillis-Steele helpers. *)
+
+let test_hillis_steele_add_max () =
+  let dev = Device.create () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  let n = 100 in
+  let buf = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F32 n in
+  let tmp = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F32 n in
+  let data = Array.init n (fun i -> float_of_int ((i * 7 mod 5) - 2)) in
+  Array.iteri (fun i v -> Local_tensor.set buf i v) data;
+  Scan.Kernel_util.hillis_steele_tile ctx ~vec:0 ~op:Vec.Add ~buf ~tmp ~len:n;
+  let expect = Scan.Reference.inclusive_scan data in
+  for i = 0 to n - 1 do
+    if Local_tensor.get buf i <> expect.(i) then
+      Alcotest.failf "hs add mismatch at %d" i
+  done;
+  Array.iteri (fun i v -> Local_tensor.set buf i v) data;
+  Scan.Kernel_util.hillis_steele_tile ctx ~vec:0 ~op:Vec.Max ~buf ~tmp ~len:n;
+  let acc = ref neg_infinity in
+  for i = 0 to n - 1 do
+    acc := Float.max !acc data.(i);
+    if Local_tensor.get buf i <> !acc then
+      Alcotest.failf "hs max mismatch at %d" i
+  done
+
+let test_segmented_network_tile () =
+  let dev = Device.create () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  let n = 257 in
+  let ub dt = Block.alloc ctx (Mem_kind.Ub 0) dt 512 in
+  let v = ub Dtype.F16 and tmp_v = ub Dtype.F16 and zero = ub Dtype.F16 in
+  let f = ub Dtype.I8 and tmp_f = ub Dtype.I8 in
+  let data = values ~seed:3 n and flags = seg_flags ~seed:4 ~avg_len:10 n in
+  Array.iteri (fun i x -> Local_tensor.set v i x) data;
+  Array.iteri (fun i x -> Local_tensor.set f i x) flags;
+  Vec.dup ctx ~dst:zero ~scalar:0.0 ~len:512 ();
+  Scan.Kernel_util.segmented_hillis_steele_tile ctx ~vec:0 ~v ~f ~tmp_v ~tmp_f
+    ~zero ~len:n;
+  let expect = segmented_oracle data flags in
+  for i = 0 to n - 1 do
+    if Local_tensor.get v i <> expect.(i) then
+      Alcotest.failf "segmented network mismatch at %d" i
+  done;
+  (* Scanned flags: boundary seen up to i. *)
+  let seen = ref false in
+  for i = 0 to n - 1 do
+    if flags.(i) <> 0.0 then seen := true;
+    let got = Local_tensor.get f i <> 0.0 in
+    if got <> !seen then Alcotest.failf "flag or-scan mismatch at %d" i
+  done
+
+let () =
+  Alcotest.run "segmented"
+    [
+      ( "segmented_scan",
+        [
+          Alcotest.test_case "shapes" `Quick test_basic_shapes;
+          Alcotest.test_case "single segment = plain scan" `Quick
+            test_single_segment_equals_scan;
+          Alcotest.test_case "all boundaries = identity" `Quick
+            test_all_boundaries_is_identity;
+          Alcotest.test_case "tile edges" `Quick test_boundary_at_tile_edges;
+          Alcotest.test_case "implicit first segment" `Quick
+            test_implicit_first_segment;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "networks",
+        [
+          Alcotest.test_case "hillis-steele add/max" `Quick
+            test_hillis_steele_add_max;
+          Alcotest.test_case "segmented network" `Quick
+            test_segmented_network_tile;
+        ] );
+    ]
