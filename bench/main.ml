@@ -587,6 +587,85 @@ let ablation_cumsum_config () =
   emit t
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: fault-detection coverage and resilient-run overhead.   *)
+
+let robustness () =
+  let n = pow2 14 in
+  let input = Array.init n (fun i -> if i mod 37 = 0 then 1.0 else 0.0) in
+  let algos =
+    [ ("vec_only", Scan.Scan_api.Vec_only); ("scanu", Scan.Scan_api.U);
+      ("scanul1", Scan.Scan_api.Ul1); ("mcscan", Scan.Scan_api.Mc);
+      ("tcu", Scan.Scan_api.Tcu) ]
+  in
+  let trials = 24 in
+  let rate = 0.02 in
+  (* Coverage: fraction of fault-injected runs whose corruption the
+     reference oracle catches. Only trials where a data-corrupting
+     fault actually fired count (stalls cost time, not bits; and a
+     flip can land on padding the kernel never reads back). *)
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Robustness R1: fault-detection coverage (%d seeds, rate %.0f%%, \
+            n = %d) and resilient overhead at rate 0"
+           trials (100.0 *. rate) n)
+      ~columns:
+        [ "algo"; "corrupted runs"; "detected"; "coverage"; "plain us";
+          "resilient us"; "overhead" ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      let corrupted = ref 0 and detected = ref 0 in
+      for seed = 1 to trials do
+        let d =
+          Ascend.Device.create
+            ~fault:(Ascend.Fault.config ~seed ~rate ())
+            ()
+        in
+        let x = Ascend.Device.of_array d Ascend.Dtype.F16 ~name:"x" input in
+        let y, st = Scan.Scan_api.run ~algo d x in
+        let corrupting =
+          List.exists
+            (fun (e : Ascend.Fault.event) -> Ascend.Fault.corrupts_data e.kind)
+            st.Ascend.Stats.faults
+        in
+        if corrupting then begin
+          incr corrupted;
+          match
+            Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round
+              ~input ~output:y ()
+          with
+          | Error _ -> incr detected
+          | Ok () -> ()
+        end
+      done;
+      (* Overhead: at fault rate 0 the resilient launcher runs exactly
+         one attempt; its simulated time should match a plain run. *)
+      let d = dev_fn () in
+      let x = Ascend.Device.of_array d Ascend.Dtype.F16 ~name:"x" input in
+      let _, plain = Scan.Scan_api.run ~algo d x in
+      let r = Runtime.Resilient.scan ~algo (dev_fn ()) ~input in
+      let overhead =
+        100.0
+        *. (r.Runtime.Resilient.stats.Ascend.Stats.seconds
+            -. plain.Ascend.Stats.seconds)
+        /. plain.Ascend.Stats.seconds
+      in
+      Table.add_row t
+        [ name; string_of_int !corrupted; string_of_int !detected;
+          (if !corrupted = 0 then "n/a"
+           else
+             Table.fmt_float
+               (100.0 *. float_of_int !detected /. float_of_int !corrupted)
+             ^ "%");
+          us plain.Ascend.Stats.seconds;
+          us r.Runtime.Resilient.stats.Ascend.Stats.seconds;
+          Table.fmt_float overhead ^ "%" ])
+    algos;
+  emit t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of the simulator itself.     *)
 
 let bechamel_suite () =
@@ -658,6 +737,7 @@ let () =
   ablation_extensions ();
   ablation_topk ();
   ablation_cumsum_config ();
+  robustness ();
   Printf.printf "\nFunctionally verified against reference oracles: %s\n"
     (String.concat ", " (List.rev !verified));
   bechamel_suite ();

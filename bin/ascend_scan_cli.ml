@@ -14,12 +14,35 @@
 
 open Cmdliner
 
-let make_device cost_only =
+(* Argument-validation failures beyond what cmdliner can express; they
+   exit 2 with a usage pointer, unlike runtime kernel errors (exit 1). *)
+exception Usage_error of string
+
+let check_n n =
+  if n < 1 then
+    raise (Usage_error (Printf.sprintf "N must be >= 1 (got %d)" n))
+
+let make_device ?faults ?(sanitize = false) cost_only =
+  let fault =
+    Option.map
+      (fun (seed, rate) -> Ascend.Fault.config ~seed ~rate ())
+      faults
+  in
   Ascend.Device.create
     ~mode:(if cost_only then Ascend.Device.Cost_only else Ascend.Device.Functional)
-    ()
+    ?fault ~sanitize ()
 
 let print_stats st = Format.printf "%a@." Ascend.Stats.pp st
+
+(* Post-run robustness reports: the fault log and the sanitizer
+   diagnostics, whenever the corresponding flag armed them. *)
+let print_robustness device =
+  (match Ascend.Device.fault device with
+  | Some f -> Format.printf "%a@." Ascend.Fault.pp_summary f
+  | None -> ());
+  match Ascend.Device.sanitizer device with
+  | Some san -> Format.printf "%a@." Ascend.Sanitizer.pp_report san
+  | None -> ()
 
 (* Common options. *)
 
@@ -40,6 +63,47 @@ let cost_only_arg =
     value & flag
     & info [ "cost-only" ]
         ~doc:"Skip functional computation; model timing only (allows huge N).")
+
+let faults_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ seed; rate ] -> (
+        match (int_of_string_opt seed, float_of_string_opt rate) with
+        | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
+            Ok (seed, rate)
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "invalid fault spec %S: RATE must be a float in [0,1] and \
+                    SEED an integer"
+                   s)))
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "invalid fault spec %S: expected SEED:RATE, e.g. \
+                             42:0.001" s))
+  in
+  Arg.conv ~docv:"SEED:RATE"
+    (parse, fun fmt (seed, rate) -> Format.fprintf fmt "%d:%g" seed rate)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "inject-faults" ] ~docv:"SEED:RATE"
+        ~doc:
+          "Arm the deterministic fault injector: each MTE transfer faults \
+           with probability RATE, drawn from a splitmix64 stream seeded with \
+           SEED.")
+
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Arm the hardware sanitizer: record out-of-bounds tensor accesses \
+           and cross-block global-memory hazards, and print the report.")
 
 (* scan subcommand. *)
 
@@ -66,36 +130,67 @@ let scan_cmd =
   let check_arg =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate against the reference oracle.")
   in
-  let run algo n s exclusive cost_only check seed =
-    let device = make_device cost_only in
-    let x =
-      if cost_only then Ascend.Device.alloc device Ascend.Dtype.F16 n ~name:"x"
-      else
-        Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x"
-          (Array.init n (fun i -> if (i + seed) mod 53 = 0 then 1.0 else 0.0))
-    in
-    let y, st = Scan.Scan_api.run ~s ~exclusive ~algo device x in
-    print_stats st;
-    Format.printf "effective scan bandwidth: %.1f GB/s@."
-      (Workload.Metrics.scan_bandwidth st ~n ~esize:2 /. 1e9);
-    if check && not cost_only then begin
-      let input =
-        Array.init n (fun i -> if (i + seed) mod 53 = 0 then 1.0 else 0.0)
+  let resilient_arg =
+    Arg.(
+      value & flag
+      & info [ "resilient" ]
+          ~doc:
+            "Run through the self-checking resilient launcher: validate the \
+             output against a checksum oracle, retry on detected corruption \
+             and degrade to the vector-only kernel when retries are \
+             exhausted. Requires functional mode.")
+  in
+  let run algo n s exclusive cost_only check resilient faults sanitize seed =
+    check_n n;
+    if resilient && cost_only then
+      raise (Usage_error "--resilient requires functional mode (drop --cost-only)");
+    let device = make_device ?faults ~sanitize cost_only in
+    let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
+    if resilient then begin
+      let input = Array.init n gen in
+      let oracle =
+        if check then Runtime.Resilient.Reference else Runtime.Resilient.Checksum
       in
-      match
-        Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round
-          ~exclusive ~input ~output:y ()
-      with
-      | Ok () -> Format.printf "check: ok@."
-      | Error e ->
-          Format.printf "check: FAILED (%s)@." e;
-          exit 1
+      let r =
+        Runtime.Resilient.scan ~s ~exclusive ~oracle
+          ~fallback:Scan.Scan_api.Vec_only ~algo device ~input
+      in
+      Format.printf "%a@."
+        (Runtime.Resilient.pp_report (fun fmt y ->
+             Format.fprintf fmt "y[n-1] = %g"
+               (Ascend.Global_tensor.get y (n - 1))))
+        r;
+      print_stats r.Runtime.Resilient.stats;
+      print_robustness device;
+      if not r.Runtime.Resilient.ok then exit 1
+    end
+    else begin
+      let x =
+        if cost_only then Ascend.Device.alloc device Ascend.Dtype.F16 n ~name:"x"
+        else Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x" (Array.init n gen)
+      in
+      let y, st = Scan.Scan_api.run ~s ~exclusive ~algo device x in
+      print_stats st;
+      Format.printf "effective scan bandwidth: %.1f GB/s@."
+        (Workload.Metrics.scan_bandwidth st ~n ~esize:2 /. 1e9);
+      print_robustness device;
+      if check && not cost_only then begin
+        let input = Array.init n gen in
+        match
+          Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round
+            ~exclusive ~input ~output:y ()
+        with
+        | Ok () -> Format.printf "check: ok@."
+        | Error e ->
+            Format.printf "check: FAILED (%s)@." e;
+            exit 1
+      end
     end
   in
   let term =
     Term.(
       const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ cost_only_arg
-      $ check_arg $ seed_arg)
+      $ check_arg $ resilient_arg $ faults_arg $ sanitize_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "scan" ~doc:"Run a parallel scan algorithm.") term
 
@@ -108,8 +203,9 @@ let sort_cmd =
   let bits_arg =
     Arg.(value & opt int 16 & info [ "bits" ] ~docv:"BITS" ~doc:"Radix passes (u16 keys).")
   in
-  let run n s bits baseline cost_only seed =
-    let device = make_device cost_only in
+  let run n s bits baseline cost_only faults sanitize seed =
+    check_n n;
+    let device = make_device ?faults ~sanitize cost_only in
     (* Fewer than 16 bits selects the low-precision u16 key path. *)
     let dtype = if bits < 16 then Ascend.Dtype.U16 else Ascend.Dtype.F16 in
     let x =
@@ -124,6 +220,7 @@ let sort_cmd =
     in
     let r = Ops.Radix_sort.run ~s ~bits device x in
     print_stats r.Ops.Radix_sort.stats;
+    print_robustness device;
     if not cost_only then begin
       let sorted = ref true in
       for i = 1 to n - 1 do
@@ -150,7 +247,7 @@ let sort_cmd =
   let term =
     Term.(
       const run $ n_arg $ s_arg $ bits_arg $ baseline_arg $ cost_only_arg
-      $ seed_arg)
+      $ faults_arg $ sanitize_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "sort" ~doc:"Run the cube-split radix sort.") term
 
@@ -257,4 +354,21 @@ let info_cmd =
 let () =
   let doc = "Parallel scans and scan-based operators on a simulated Ascend accelerator." in
   let main = Cmd.group (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
-  exit (Cmd.eval main)
+  (* Unknown flags and malformed arguments exit 2 with a usage pointer
+     rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
+     aborted by injected fault corruption) exit 1 with a clean message
+     instead of an uncaught exception backtrace. *)
+  let code =
+    try
+      let c = Cmd.eval ~catch:false main in
+      if c = Cmd.Exit.cli_error then 2 else c
+    with
+    | Usage_error msg ->
+        Format.eprintf "ascend_scan_cli: error: %s@." msg;
+        Format.eprintf "usage: ascend_scan_cli COMMAND [OPTION]... (see --help)@.";
+        2
+    | Invalid_argument msg | Failure msg ->
+        Format.eprintf "ascend_scan_cli: runtime error: %s@." msg;
+        1
+  in
+  exit code

@@ -24,6 +24,13 @@ type result = {
 }
 
 let make ~device ~idx ~num_blocks =
+  if num_blocks < 1 then
+    invalid_arg
+      (Printf.sprintf "Block.make: num_blocks must be >= 1 (got %d)" num_blocks);
+  if idx < 0 || idx >= num_blocks then
+    invalid_arg
+      (Printf.sprintf "Block.make: block index %d out of range [0,%d)" idx
+         num_blocks);
   let cm = Device.cost device in
   let vec_per_core = cm.Cost_model.vec_per_core in
   let n = Engine.count ~vec_per_core in
@@ -52,6 +59,14 @@ let num_blocks t = t.num_blocks
 let device t = t.device
 let cost t = Device.cost t.device
 let functional t = Device.functional t.device
+let fault t = Device.fault t.device
+let sanitizer t = Device.sanitizer t.device
+
+let assume_disjoint_writes t gt ~reason =
+  match sanitizer t with
+  | None -> ()
+  | Some san ->
+      Sanitizer.exempt_tensor san ~tensor_id:(Global_tensor.id gt) ~reason
 
 let charge t engine cycles =
   let i = Engine.index ~vec_per_core:t.vec_per_core engine in

@@ -42,6 +42,19 @@ val cost : t -> Cost_model.t
 val functional : t -> bool
 (** Whether engine ops should compute data (device not in cost-only). *)
 
+val fault : t -> Fault.t option
+(** The device fault model, consulted by the MTE ops. *)
+
+val sanitizer : t -> Sanitizer.t option
+(** The device sanitizer, consulted by the engine-op modules. *)
+
+val assume_disjoint_writes : t -> Global_tensor.t -> reason:string -> unit
+(** Hazard annotation: exclude [gt] from the sanitizer's cross-block
+    hazard analysis for the current phase. Used by scatter kernels
+    whose blocks write data-dependent but provably disjoint ranges
+    (e.g. the split/compress gather phase), which the span-based
+    analysis would otherwise flag. No-op without a sanitizer. *)
+
 val charge : t -> Engine.t -> float -> unit
 (** Charge [cycles] to an engine; called by the engine-op modules. *)
 

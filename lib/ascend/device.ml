@@ -5,13 +5,25 @@ type t = {
   mode : mode;
   mutable next_id : int;
   mutable allocated_bytes : int;
+  fault : Fault.t option;
+  sanitizer : Sanitizer.t option;
 }
 
-let create ?(cost = Cost_model.default) ?(mode = Functional) () =
-  { cost; mode; next_id = 0; allocated_bytes = 0 }
+let create ?(cost = Cost_model.default) ?(mode = Functional) ?fault
+    ?(sanitize = false) () =
+  {
+    cost;
+    mode;
+    next_id = 0;
+    allocated_bytes = 0;
+    fault = Option.map Fault.create fault;
+    sanitizer = (if sanitize then Some (Sanitizer.create ()) else None);
+  }
 
 let cost t = t.cost
 let mode t = t.mode
+let fault t = t.fault
+let sanitizer t = t.sanitizer
 
 let functional t =
   match t.mode with Functional -> true | Cost_only -> false
@@ -20,7 +32,9 @@ let num_cores t = t.cost.Cost_model.num_ai_cores
 let num_vec_cores t = num_cores t * t.cost.Cost_model.vec_per_core
 
 let alloc t dtype length ~name =
-  if length < 0 then invalid_arg "Device.alloc: negative length";
+  if length < 0 then
+    invalid_arg
+      (Printf.sprintf "Device.alloc: negative length %d for %S" length name);
   let id = t.next_id in
   t.next_id <- id + 1;
   t.allocated_bytes <- t.allocated_bytes + (length * Dtype.size_bytes dtype);
@@ -34,7 +48,13 @@ let of_array t dtype ~name a =
 let allocated_bytes t = t.allocated_bytes
 
 let pp fmt t =
-  Format.fprintf fmt "device(%s, %d cores, %d MiB allocated)"
+  Format.fprintf fmt "device(%s, %d cores, %d MiB allocated%s%s)"
     (match t.mode with Functional -> "functional" | Cost_only -> "cost-only")
     (num_cores t)
     (t.allocated_bytes / 1024 / 1024)
+    (match t.fault with
+    | Some f ->
+        let cfg = Fault.config_of f in
+        Printf.sprintf ", faults seed=%d rate=%g" cfg.Fault.seed cfg.Fault.rate
+    | None -> "")
+    (match t.sanitizer with Some _ -> ", sanitized" | None -> "")

@@ -15,12 +15,28 @@ type mode = Functional | Cost_only
 
 type t
 
-val create : ?cost:Cost_model.t -> ?mode:mode -> unit -> t
-(** Defaults: {!Cost_model.default}, [Functional]. *)
+val create :
+  ?cost:Cost_model.t ->
+  ?mode:mode ->
+  ?fault:Fault.config ->
+  ?sanitize:bool ->
+  unit ->
+  t
+(** Defaults: {!Cost_model.default}, [Functional], no fault injection,
+    no sanitizer. [fault] attaches a seeded {!Fault} model consulted by
+    the MTEs on every GM<->UB [DataCopy]; [sanitize] enables the
+    {!Sanitizer} (out-of-bounds, queue and missing-[SyncAll] hazard
+    diagnostics). *)
 
 val cost : t -> Cost_model.t
 val mode : t -> mode
 val functional : t -> bool
+
+val fault : t -> Fault.t option
+(** The device fault model, if fault injection is enabled. *)
+
+val sanitizer : t -> Sanitizer.t option
+(** The device sanitizer, if validation mode is enabled. *)
 
 val num_cores : t -> int
 val num_vec_cores : t -> int

@@ -1,0 +1,108 @@
+(** Deterministic, seeded fault injection for the simulated device.
+
+    Real accelerator fleets see silent data corruption, ECC events and
+    stalled engines; this module turns the simulator into a testbed for
+    detecting and surviving them. A fault model is attached to a device
+    at {!Device.create} time and consulted by the MTEs on every
+    [DataCopy] between global memory and the scratchpads:
+
+    - {!Bit_flip}: one payload bit of one transferred element flips (in
+      the binary16 encoding for fp16 lanes, in the two's-complement
+      field for integer lanes);
+    - {!Dropped_copy}: the transfer never lands (destination keeps its
+      previous contents) but is still charged;
+    - {!Truncated_copy}: only a prefix of the burst lands;
+    - {!Engine_stall}: the transfer completes correctly but at a
+      multiple of its normal latency.
+
+    Faults are drawn from a seeded splitmix64 stream, so a given seed
+    reproduces the exact same fault schedule. Every injected fault is
+    appended to a log; {!Launch.run_phases} snapshots the log so each
+    {!Stats.t} carries the faults injected during that launch. *)
+
+type kind = Bit_flip | Dropped_copy | Truncated_copy | Engine_stall
+
+val kind_to_string : kind -> string
+val all_kinds : kind list
+
+val corrupts_data : kind -> bool
+(** Whether the kind corrupts payload data (everything except
+    [Engine_stall], which only costs time). *)
+
+type scope =
+  | All_mtes  (** Inject on every MTE transfer. *)
+  | Cube_mtes  (** Only cube-side MTEs (models a failing cube engine). *)
+  | Vec_mtes  (** Only vector-side MTEs. *)
+
+type config = {
+  seed : int;
+  rate : float;  (** Per-transfer injection probability in [0,1]. *)
+  kinds : kind list;
+  scope : scope;
+  stall_factor : float;  (** Latency multiplier of an injected stall. *)
+}
+
+val config :
+  ?kinds:kind list ->
+  ?scope:scope ->
+  ?stall_factor:float ->
+  seed:int ->
+  rate:float ->
+  unit ->
+  config
+(** Defaults: all kinds, [All_mtes], stall factor 8. Raises
+    [Invalid_argument] on a rate outside [0,1], an empty kind list or a
+    stall factor below 1. *)
+
+type event = {
+  seq : int;  (** Injection order, 0-based. *)
+  kind : kind;
+  op : string;  (** The MTE op, e.g. ["datacopy_in"]. *)
+  engine : string;
+  tensor : string;  (** Name of the global tensor of the transfer. *)
+  index : int;  (** Element index hit (flip/truncation point), -1 if n/a. *)
+  bit : int;  (** Flipped bit, -1 if n/a. *)
+  detail : string;
+}
+
+type action =
+  | No_fault
+  | Flip of { index : int; bit : int }
+      (** [index] is relative to the copied range. *)
+  | Drop
+  | Truncate of int  (** Number of leading elements that still land. *)
+  | Stall of float  (** Latency multiplier. *)
+
+type t
+
+val create : config -> t
+val config_of : t -> config
+
+val draw :
+  t ->
+  engine:Engine.t ->
+  op:string ->
+  tensor:string ->
+  dst_off:int ->
+  len:int ->
+  elem_bits:int ->
+  action
+(** Decide the fate of one transfer of [len] elements landing at
+    [dst_off]; records an event when a fault is injected. Out-of-scope
+    engines and empty transfers never fault. *)
+
+val flip_in_buffer : Host_buffer.t -> index:int -> bit:int -> unit
+(** Apply a bit flip to one element, respecting the buffer's dtype. *)
+
+val events : t -> event list
+(** All events, in injection order. *)
+
+val events_since : t -> int -> event list
+(** [events_since t n] returns events with [seq >= n], in order. *)
+
+val count : t -> int
+val count_kind : t -> kind -> int
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+val pp_summary : Format.formatter -> t -> unit

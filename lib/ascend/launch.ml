@@ -1,12 +1,15 @@
 let run_phase device ~blocks body =
   let cm = Device.cost device in
   let num_cores = Device.num_cores device in
+  let san = Device.sanitizer device in
+  Option.iter Sanitizer.begin_phase san;
   let results =
     List.init blocks (fun idx ->
         let ctx = Block.make ~device ~idx ~num_blocks:blocks in
         body ctx;
         Block.finish ctx)
   in
+  Option.iter Sanitizer.end_phase san;
   (* Round-robin block -> core assignment; a core's critical path is the
      sum of the blocks it executes. *)
   let core_cycles = Array.make (min blocks num_cores) 0.0 in
@@ -57,6 +60,9 @@ let run_phases ?(name = "kernel") device ~blocks bodies =
   if blocks < 1 then invalid_arg "Launch.run_phases: blocks must be >= 1";
   if bodies = [] then invalid_arg "Launch.run_phases: no phases";
   let cm = Device.cost device in
+  let fault_mark =
+    match Device.fault device with Some f -> Fault.count f | None -> 0
+  in
   let phases_results = List.map (run_phase device ~blocks) bodies in
   let phases = List.map fst phases_results in
   let results = List.concat_map snd phases_results in
@@ -108,6 +114,12 @@ let run_phases ?(name = "kernel") device ~blocks bodies =
     gm_write_bytes = gm_write;
     engine_busy;
     op_counts;
+    faults =
+      (match Device.fault device with
+      | Some f -> Fault.events_since f fault_mark
+      | None -> []);
+    retries = 0;
+    degraded = 0;
   }
 
 let run ?name device ~blocks body = run_phases ?name device ~blocks [ body ]

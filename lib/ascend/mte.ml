@@ -1,26 +1,72 @@
 let gm_bytes gt len = len * Dtype.size_bytes (Global_tensor.dtype gt)
 let local_bytes lt len = len * Dtype.size_bytes (Local_tensor.dtype lt)
 
-let check what ~len ~src_off ~dst_off ~src_len ~dst_len =
+let check ctx what ~tensor ~len ~src_off ~dst_off ~src_len ~dst_len =
   if len < 0 || src_off < 0 || dst_off < 0 || src_off + len > src_len
      || dst_off + len > dst_len
-  then
-    invalid_arg
-      (Printf.sprintf "Mte.%s: range out of bounds (len %d, src %d+/%d, dst %d+/%d)"
-         what len src_off src_len dst_off dst_len)
+  then begin
+    let msg =
+      Printf.sprintf "Mte.%s: range out of bounds (len %d, src %d+/%d, dst %d+/%d)"
+        what len src_off src_len dst_off dst_len
+    in
+    (match Block.sanitizer ctx with
+    | Some san ->
+        Sanitizer.record_oob san ~block:(Block.idx ctx) ~op:("Mte." ^ what)
+          ~tensor ~message:msg
+    | None -> ());
+    invalid_arg msg
+  end
+
+(* Record one GM access span for the cross-block hazard analysis. *)
+let san_access ctx gt ~write ~off ~len ~op =
+  match Block.sanitizer ctx with
+  | None -> ()
+  | Some san ->
+      Sanitizer.record_global_access san ~block:(Block.idx ctx)
+        ~tensor_id:(Global_tensor.id gt) ~tensor_name:(Global_tensor.name gt)
+        ~write ~off ~len ~op
+
+(* Consult the device fault model about one GM<->UB transfer. *)
+let draw_fault ctx ~engine ~op ~tensor ~dst_off ~len ~dst_dtype =
+  match Block.fault ctx with
+  | None -> Fault.No_fault
+  | Some f ->
+      Fault.draw f ~engine ~op ~tensor ~dst_off ~len
+        ~elem_bits:(8 * Dtype.size_bytes dst_dtype)
+
+let faulted_cycles act cycles =
+  match act with Fault.Stall m -> cycles *. m | _ -> cycles
 
 let copy_in ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   Block.count_op ctx "datacopy_in";
-  check "copy_in" ~len ~src_off ~dst_off
+  check ctx "copy_in" ~tensor:(Global_tensor.name src) ~len ~src_off ~dst_off
     ~src_len:(Global_tensor.length src) ~dst_len:(Local_tensor.length dst);
+  san_access ctx src ~write:false ~off:src_off ~len ~op:"datacopy_in";
   let bytes = gm_bytes src len in
-  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  let act =
+    draw_fault ctx ~engine ~op:"datacopy_in" ~tensor:(Global_tensor.name src)
+      ~dst_off ~len ~dst_dtype:(Local_tensor.dtype dst)
+  in
+  Block.charge ctx engine
+    (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
   Block.note_touched ctx src;
   if Block.functional ctx then begin
     Local_tensor.touch dst;
-    Host_buffer.blit ~src:(Global_tensor.buffer src) ~src_off
-      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
+    (match act with
+    | Fault.Drop -> ()
+    | Fault.Truncate keep ->
+        if keep > 0 then
+          Host_buffer.blit ~src:(Global_tensor.buffer src) ~src_off
+            ~dst:(Local_tensor.buffer dst) ~dst_off ~len:keep
+    | _ ->
+        Host_buffer.blit ~src:(Global_tensor.buffer src) ~src_off
+          ~dst:(Local_tensor.buffer dst) ~dst_off ~len);
+    match act with
+    | Fault.Flip { index; bit } ->
+        Fault.flip_in_buffer (Local_tensor.buffer dst) ~index:(dst_off + index)
+          ~bit
+    | _ -> ()
   end
 
 let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
@@ -30,31 +76,73 @@ let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     invalid_arg "Mte.copy_in_strided: negative burst or count";
   let len = burst * count in
   let bytes = gm_bytes src len in
-  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  if count > 0 then
+    san_access ctx src ~write:false ~off:src_off
+      ~len:(((count - 1) * src_stride) + burst)
+      ~op:"datacopy_in";
+  let act =
+    draw_fault ctx ~engine ~op:"datacopy_in" ~tensor:(Global_tensor.name src)
+      ~dst_off ~len ~dst_dtype:(Local_tensor.dtype dst)
+  in
+  Block.charge ctx engine
+    (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
   Block.note_touched ctx src;
   if Block.functional ctx then begin
     Local_tensor.touch dst;
+    let keep =
+      match act with
+      | Fault.Drop -> 0
+      | Fault.Truncate k -> k
+      | _ -> len
+    in
     for c = 0 to count - 1 do
-      Host_buffer.blit ~src:(Global_tensor.buffer src)
-        ~src_off:(src_off + (c * src_stride))
-        ~dst:(Local_tensor.buffer dst)
-        ~dst_off:(dst_off + (c * dst_stride))
-        ~len:burst
-    done
+      let blen = min burst (max 0 (keep - (c * burst))) in
+      if blen > 0 then
+        Host_buffer.blit ~src:(Global_tensor.buffer src)
+          ~src_off:(src_off + (c * src_stride))
+          ~dst:(Local_tensor.buffer dst)
+          ~dst_off:(dst_off + (c * dst_stride))
+          ~len:blen
+    done;
+    match act with
+    | Fault.Flip { index; bit } ->
+        let c = index / burst and j = index mod burst in
+        Fault.flip_in_buffer (Local_tensor.buffer dst)
+          ~index:(dst_off + (c * dst_stride) + j) ~bit
+    | _ -> ()
   end
 
 let copy_out ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   Block.count_op ctx "datacopy_out";
-  check "copy_out" ~len ~src_off ~dst_off
+  check ctx "copy_out" ~tensor:(Global_tensor.name dst) ~len ~src_off ~dst_off
     ~src_len:(Local_tensor.length src) ~dst_len:(Global_tensor.length dst);
+  san_access ctx dst ~write:true ~off:dst_off ~len ~op:"datacopy_out";
   let bytes = gm_bytes dst len in
-  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  let act =
+    draw_fault ctx ~engine ~op:"datacopy_out" ~tensor:(Global_tensor.name dst)
+      ~dst_off ~len ~dst_dtype:(Global_tensor.dtype dst)
+  in
+  Block.charge ctx engine
+    (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:0 ~write:bytes;
   Block.note_touched ctx dst;
-  if Block.functional ctx then
-    Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
-      ~dst:(Global_tensor.buffer dst) ~dst_off ~len
+  if Block.functional ctx then begin
+    (match act with
+    | Fault.Drop -> ()
+    | Fault.Truncate keep ->
+        if keep > 0 then
+          Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+            ~dst:(Global_tensor.buffer dst) ~dst_off ~len:keep
+    | _ ->
+        Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+          ~dst:(Global_tensor.buffer dst) ~dst_off ~len);
+    match act with
+    | Fault.Flip { index; bit } ->
+        Fault.flip_in_buffer (Global_tensor.buffer dst) ~index:(dst_off + index)
+          ~bit
+    | _ -> ()
+  end
 
 let copy_out_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     ~dst_stride ~burst ~count =
@@ -63,21 +151,47 @@ let copy_out_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     invalid_arg "Mte.copy_out_strided: negative burst or count";
   let len = burst * count in
   let bytes = gm_bytes dst len in
-  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  if count > 0 then
+    san_access ctx dst ~write:true ~off:dst_off
+      ~len:(((count - 1) * dst_stride) + burst)
+      ~op:"datacopy_out";
+  let act =
+    draw_fault ctx ~engine ~op:"datacopy_out" ~tensor:(Global_tensor.name dst)
+      ~dst_off ~len ~dst_dtype:(Global_tensor.dtype dst)
+  in
+  Block.charge ctx engine
+    (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:0 ~write:bytes;
   Block.note_touched ctx dst;
-  if Block.functional ctx then
+  if Block.functional ctx then begin
+    let keep =
+      match act with
+      | Fault.Drop -> 0
+      | Fault.Truncate k -> k
+      | _ -> len
+    in
     for c = 0 to count - 1 do
-      Host_buffer.blit ~src:(Local_tensor.buffer src)
-        ~src_off:(src_off + (c * src_stride))
-        ~dst:(Global_tensor.buffer dst)
-        ~dst_off:(dst_off + (c * dst_stride))
-        ~len:burst
-    done
+      let blen = min burst (max 0 (keep - (c * burst))) in
+      if blen > 0 then
+        Host_buffer.blit ~src:(Local_tensor.buffer src)
+          ~src_off:(src_off + (c * src_stride))
+          ~dst:(Global_tensor.buffer dst)
+          ~dst_off:(dst_off + (c * dst_stride))
+          ~len:blen
+    done;
+    match act with
+    | Fault.Flip { index; bit } ->
+        let c = index / burst and j = index mod burst in
+        Fault.flip_in_buffer (Global_tensor.buffer dst)
+          ~index:(dst_off + (c * dst_stride) + j) ~bit
+    | _ -> ()
+  end
 
+(* On-chip transfers: the scratchpad SRAM paths are assumed reliable,
+   so the fault model only targets the GM<->UB copies above. *)
 let copy_local ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   Block.count_op ctx "datacopy_local";
-  check "copy_local" ~len ~src_off ~dst_off
+  check ctx "copy_local" ~tensor:"(local)" ~len ~src_off ~dst_off
     ~src_len:(Local_tensor.length src) ~dst_len:(Local_tensor.length dst);
   let bytes = max (local_bytes src len) (local_bytes dst len) in
   Block.charge ctx engine (Cost_model.local_copy_cycles (Block.cost ctx) ~bytes);

@@ -17,6 +17,9 @@ type t = {
   gm_write_bytes : int;
   engine_busy : (string * float) list;
   op_counts : (string * int) list;
+  faults : Fault.event list;
+  retries : int;
+  degraded : int;
 }
 
 let op_count t name =
@@ -62,6 +65,9 @@ let combine ~name = function
            List.sort
              (fun (_, a) (_, b) -> compare b a)
              (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []));
+        faults = List.concat_map (fun s -> s.faults) stats;
+        retries = List.fold_left (fun acc s -> acc + s.retries) 0 stats;
+        degraded = List.fold_left (fun acc s -> acc + s.degraded) 0 stats;
       }
 let effective_bandwidth t ~bytes = float_of_int bytes /. t.seconds
 let elements_per_second t ~elements = float_of_int elements /. t.seconds
@@ -102,4 +108,13 @@ let pp fmt t =
       List.iteri
         (fun i (o, c) -> if i < 8 then Format.fprintf fmt " %s=%d" o c)
         ops);
+  if t.faults <> [] then begin
+    Format.fprintf fmt "@ faults injected: %d" (List.length t.faults);
+    List.iteri
+      (fun i e -> if i < 4 then Format.fprintf fmt "@   %a" Fault.pp_event e)
+      t.faults
+  end;
+  if t.retries > 0 || t.degraded > 0 then
+    Format.fprintf fmt "@ resilience: %d retries, %d degradations" t.retries
+      t.degraded;
   Format.fprintf fmt "@]"

@@ -26,6 +26,14 @@ type t = {
   op_counts : (string * int) list;
       (** Instructions issued per op name, summed over blocks (sorted
           descending by count). *)
+  faults : Fault.event list;
+      (** Faults injected during this launch (empty without a device
+          fault model). *)
+  retries : int;
+      (** Re-executions folded in by the resilient launcher. *)
+  degraded : int;
+      (** Fallback switches (e.g. cube path -> vector-only) folded in
+          by the resilient launcher. *)
 }
 
 val op_count : t -> string -> int

@@ -9,11 +9,20 @@ let require_ub what lt =
         (Printf.sprintf "Vec.%s: operand in %s; vector engines only access UB"
            what (Mem_kind.to_string k))
 
-let check_range what lt off len =
-  if off < 0 || len < 0 || off + len > Local_tensor.length lt then
-    invalid_arg
-      (Printf.sprintf "Vec.%s: range %d+%d out of bounds [0,%d)" what off len
-         (Local_tensor.length lt))
+let check_range ctx what lt off len =
+  if off < 0 || len < 0 || off + len > Local_tensor.length lt then begin
+    let msg =
+      Printf.sprintf "Vec.%s: range %d+%d out of bounds [0,%d)" what off len
+        (Local_tensor.length lt)
+    in
+    (match Block.sanitizer ctx with
+    | Some san ->
+        Sanitizer.record_oob san ~block:(Block.idx ctx) ~op:("Vec." ^ what)
+          ~tensor:(Mem_kind.to_string (Local_tensor.kind lt))
+          ~message:msg
+    | None -> ());
+    invalid_arg msg
+  end
 
 (* Charge [instrs] vector instructions processing [len] elements of the
    widest operand involved. *)
@@ -64,9 +73,9 @@ let binop ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
   require_ub "binop" src0;
   require_ub "binop" src1;
   require_ub "binop" dst;
-  check_range "binop" src0 src0_off len;
-  check_range "binop" src1 src1_off len;
-  check_range "binop" dst dst_off len;
+  check_range ctx "binop" src0 src0_off len;
+  check_range ctx "binop" src1 src1_off len;
+  check_range ctx "binop" dst dst_off len;
   tick ctx
     (match op with
     | Add -> "vadd" | Sub -> "vsub" | Mul -> "vmul" | Max -> "vmax"
@@ -81,8 +90,8 @@ let scalar_map name f ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
   tick ctx name;
   require_ub name src;
   require_ub name dst;
-  check_range name src src_off len;
-  check_range name dst dst_off len;
+  check_range ctx name src src_off len;
+  check_range ctx name dst dst_off len;
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
   map1 ctx f ~src ~src_off ~dst ~dst_off ~len
 
@@ -120,9 +129,9 @@ let compare ctx ?(vec = 0) cmp ~src0 ~src1 ~dst ~len () =
   require_ub "compare" src0;
   require_ub "compare" src1;
   require_ub "compare" dst;
-  check_range "compare" src0 0 len;
-  check_range "compare" src1 0 len;
-  check_range "compare" dst 0 len;
+  check_range ctx "compare" src0 0 len;
+  check_range ctx "compare" src1 0 len;
+  check_range ctx "compare" dst 0 len;
   tick ctx "vcompare";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src0);
   let test = fun_of_cmp cmp in
@@ -136,10 +145,10 @@ let select ctx ?(vec = 0) ?(mask_off = 0) ~mask ?(src0_off = 0) ~src0
   require_ub "select" src0;
   require_ub "select" src1;
   require_ub "select" dst;
-  check_range "select" mask mask_off len;
-  check_range "select" src0 src0_off len;
-  check_range "select" src1 src1_off len;
-  check_range "select" dst dst_off len;
+  check_range ctx "select" mask mask_off len;
+  check_range ctx "select" src0 src0_off len;
+  check_range ctx "select" src1 src1_off len;
+  check_range ctx "select" dst dst_off len;
   tick ctx "vselect";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
@@ -216,9 +225,9 @@ let bit_op ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
   require_ub "bit_op" src0;
   require_ub "bit_op" src1;
   require_ub "bit_op" dst;
-  check_range "bit_op" src0 src0_off len;
-  check_range "bit_op" src1 src1_off len;
-  check_range "bit_op" dst dst_off len;
+  check_range ctx "bit_op" src0 src0_off len;
+  check_range ctx "bit_op" src1 src1_off len;
+  check_range ctx "bit_op" dst dst_off len;
   tick ctx "vbitop";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
   let f = match op with
@@ -233,7 +242,7 @@ let bit_op ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
 
 let arange ctx ?(vec = 0) ~dst ?(dst_off = 0) ~start ~len () =
   require_ub "arange" dst;
-  check_range "arange" dst dst_off len;
+  check_range ctx "arange" dst dst_off len;
   tick ctx "arange";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
@@ -247,8 +256,8 @@ let arange ctx ?(vec = 0) ~dst ?(dst_off = 0) ~start ~len () =
 let cast ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   require_ub "cast" src;
   require_ub "cast" dst;
-  check_range "cast" src src_off len;
-  check_range "cast" dst dst_off len;
+  check_range ctx "cast" src src_off len;
+  check_range ctx "cast" dst dst_off len;
   tick ctx "vcast";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(max (esize src) (esize dst));
   if Block.functional ctx then begin
@@ -263,7 +272,7 @@ let cast ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
 
 let dup ctx ?(vec = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
   require_ub "dup" dst;
-  check_range "dup" dst dst_off len;
+  check_range ctx "dup" dst dst_off len;
   tick ctx "duplicate";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
@@ -279,7 +288,7 @@ let copy ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
 
 let reduce_sum ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   require_ub "reduce_sum" src;
-  check_range "reduce_sum" src src_off len;
+  check_range ctx "reduce_sum" src src_off len;
   tick ctx "reduce_sum";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src);
   charge_scalar ctx ~vec;
@@ -295,7 +304,7 @@ let reduce_sum ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
 
 let reduce_max ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   require_ub "reduce_max" src;
-  check_range "reduce_max" src src_off len;
+  check_range ctx "reduce_max" src src_off len;
   if len = 0 then invalid_arg "Vec.reduce_max: empty range";
   tick ctx "reduce_max";
   charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src);
@@ -314,8 +323,8 @@ let cumsum ctx ?(vec = 0) ~src ~dst ~rows ~cols () =
   require_ub "cumsum" src;
   require_ub "cumsum" dst;
   let len = rows * cols in
-  check_range "cumsum" src 0 len;
-  check_range "cumsum" dst 0 len;
+  check_range ctx "cumsum" src 0 len;
+  check_range ctx "cumsum" dst 0 len;
   let cm = Block.cost ctx in
   tick ctx "cumsum_api";
   let instrs =
@@ -341,8 +350,8 @@ let cumsum ctx ?(vec = 0) ~src ~dst ~rows ~cols () =
 let sort_region ctx ?(vec = 0) ?(descending = false) ~src ~dst ~len () =
   require_ub "sort_region" src;
   require_ub "sort_region" dst;
-  check_range "sort_region" src 0 len;
-  check_range "sort_region" dst 0 len;
+  check_range ctx "sort_region" src 0 len;
+  check_range ctx "sort_region" dst 0 len;
   if len = 0 then invalid_arg "Vec.sort_region: empty region";
   tick ctx "sort_region";
   (* One Sort32 sweep plus log4 merge passes, each region-sized. *)
@@ -367,10 +376,10 @@ let gather_mask ctx ?(vec = 0) ~src ?(src_off = 0) ~mask ?(mask_off = 0) ~dst
   require_ub "gather_mask" src;
   require_ub "gather_mask" mask;
   require_ub "gather_mask" dst;
-  check_range "gather_mask" src src_off len;
-  check_range "gather_mask" mask mask_off len;
+  check_range ctx "gather_mask" src src_off len;
+  check_range ctx "gather_mask" mask mask_off len;
   (* Destination holds at most [len] gathered elements. *)
-  check_range "gather_mask" dst dst_off 0;
+  check_range ctx "gather_mask" dst dst_off 0;
   tick ctx "gather_mask";
   charge_op ctx ~vec ~instrs:2 ~len ~esize:(esize src);
   charge_scalar ctx ~vec;
@@ -395,8 +404,8 @@ let gather_elements ctx ?(vec = 0) ~src ~idx ~dst ~len () =
   require_ub "gather_elements" idx;
   require_ub "gather_elements" dst;
   require_integer "gather_elements" idx;
-  check_range "gather_elements" idx 0 len;
-  check_range "gather_elements" dst 0 len;
+  check_range ctx "gather_elements" idx 0 len;
+  check_range ctx "gather_elements" dst 0 len;
   tick ctx "gather";
   charge_op ctx ~vec ~instrs:2 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
@@ -415,14 +424,14 @@ let gather_elements ctx ?(vec = 0) ~src ~idx ~dst ~len () =
 
 let get ctx ?(vec = 0) lt i =
   require_ub "get" lt;
-  check_range "get" lt i 0;
+  check_range ctx "get" lt i 0;
   tick ctx "scalar_get";
   charge_scalar ctx ~vec;
   if Block.functional ctx then Local_tensor.get lt i else 0.0
 
 let set ctx ?(vec = 0) lt i v =
   require_ub "set" lt;
-  check_range "set" lt i 0;
+  check_range ctx "set" lt i 0;
   tick ctx "scalar_set";
   charge_scalar ctx ~vec;
   if Block.functional ctx then Local_tensor.set lt i v

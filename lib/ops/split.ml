@@ -146,6 +146,16 @@ let run ?(s = 128) ?(expected_density = 0.5) ?(with_indices = false)
   let vchunk = Scan.Kernel_util.ceil_div n nvec in
   let body ctx =
     let i = Block.idx ctx in
+    (* Hazard annotation: blocks write z/zi at scan-computed offsets
+       whose bounding spans interleave, but the exclusive scan proves
+       the actual element ranges disjoint. *)
+    Block.assume_disjoint_writes ctx z
+      ~reason:"split gather: scan-computed scatter offsets are disjoint";
+    (match zi with
+    | Some zi ->
+        Block.assume_disjoint_writes ctx zi
+          ~reason:"split gather: scan-computed scatter offsets are disjoint"
+    | None -> ());
     let xdt = Global_tensor.dtype x in
     let bufs = Array.init vpc (fun v -> alloc_bufs ctx ~v ~xdt ~with_indices) in
     let ranges =

@@ -1,0 +1,148 @@
+open Ascend
+
+type oracle = Checksum | Reference
+
+let oracle_to_string = function
+  | Checksum -> "checksum"
+  | Reference -> "reference"
+
+type 'a report = {
+  value : 'a;
+  stats : Stats.t;
+  attempts : int;
+  detections : int;
+  degraded : bool;
+  ok : bool;
+}
+
+let run ?(name = "resilient") ?(max_attempts = 3) ?fallback ~validate attempt =
+  if max_attempts < 1 then
+    invalid_arg "Resilient.run: max_attempts must be >= 1";
+  let stats_acc = ref [] in
+  let detections = ref 0 in
+  let attempts = ref 0 in
+  let rec primary () =
+    incr attempts;
+    let v, st = attempt () in
+    stats_acc := st :: !stats_acc;
+    match validate v with
+    | Ok () -> (v, true)
+    | Error _ ->
+        incr detections;
+        if !attempts < max_attempts then primary () else (v, false)
+  in
+  let v, ok = primary () in
+  let v, ok, degraded =
+    if ok then (v, ok, false)
+    else
+      match fallback with
+      | None -> (v, false, false)
+      | Some fb ->
+          let fv, fst_ = fb () in
+          stats_acc := fst_ :: !stats_acc;
+          incr attempts;
+          let fok =
+            match validate fv with
+            | Ok () -> true
+            | Error _ ->
+                incr detections;
+                false
+          in
+          (fv, fok, true)
+  in
+  let stats = Stats.combine ~name (List.rev !stats_acc) in
+  let stats =
+    { stats with
+      Stats.retries = !attempts - 1;
+      degraded = (if degraded then 1 else 0) }
+  in
+  { value = v; stats; attempts = !attempts; detections = !detections;
+    degraded; ok }
+
+let launch ?name ?max_attempts ?fallback device ~blocks ~validate bodies =
+  run ?name ?max_attempts ?fallback
+    ~validate:(fun () -> validate ())
+    (fun () -> ((), Launch.run_phases ?name device ~blocks bodies))
+
+(* Cheap scan oracle: one host pass chaining the dtype rounding, with
+   comparisons only at [checksum_samples] strided positions plus the
+   last element. O(n) time, O(1) space, no expected-array allocation. *)
+let checksum_samples = 64
+
+let scan_checksum ~round ~exclusive ~input output =
+  let n = Array.length input in
+  if Global_tensor.length output <> n then
+    Error
+      (Printf.sprintf "length mismatch: expected %d, got %d" n
+         (Global_tensor.length output))
+  else begin
+    let step = max 1 (n / checksum_samples) in
+    let acc = ref 0.0 in
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      let expect =
+        if exclusive then begin
+          let e = !acc in
+          acc := round (!acc +. input.(i));
+          e
+        end
+        else begin
+          acc := round (!acc +. input.(i));
+          !acc
+        end
+      in
+      if (i mod step = 0 || i = n - 1) && !bad = None then begin
+        let got = Global_tensor.get output i in
+        if got <> expect then bad := Some (i, expect, got)
+      end
+    done;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, want, got) ->
+        Error
+          (Printf.sprintf "checksum mismatch at index %d: expected %g, got %g"
+             i want got)
+  end
+
+let validate_scan ~oracle ~round ~exclusive ~input output =
+  match oracle with
+  | Checksum -> scan_checksum ~round ~exclusive ~input output
+  | Reference ->
+      Scan.Scan_api.check_against_reference ~round ~exclusive ~input ~output ()
+
+let scan ?(s = 128) ?max_attempts ?(oracle = Checksum) ?fallback
+    ?(exclusive = false) ~algo device ~input =
+  if not (Device.functional device) then
+    invalid_arg "Resilient.scan: requires a functional-mode device";
+  let round = Fp16.round in
+  let validate = validate_scan ~oracle ~round ~exclusive ~input in
+  let attempt () =
+    let x = Device.of_array device Dtype.F16 ~name:"resilient_x" input in
+    Scan.Scan_api.run ~s ~exclusive ~algo device x
+  in
+  let fallback =
+    match fallback with
+    | Some fb when fb <> algo ->
+        Some
+          (fun () ->
+            let x =
+              Device.of_array device Dtype.F16 ~name:"resilient_x_fb" input
+            in
+            Scan.Scan_api.run ~s ~exclusive ~algo:fb device x)
+    | _ -> None
+  in
+  run
+    ~name:("resilient_" ^ Scan.Scan_api.algo_to_string algo)
+    ?max_attempts ?fallback ~validate attempt
+
+let pp_report pp_value fmt r =
+  Format.fprintf fmt
+    "@[<v>resilient %s: %s after %d attempt%s (%d detection%s%s)@ %a@]"
+    r.stats.Stats.name
+    (if r.ok then "ok" else "FAILED")
+    r.attempts
+    (if r.attempts = 1 then "" else "s")
+    r.detections
+    (if r.detections = 1 then "" else "s")
+    (if r.degraded then ", degraded to fallback" else "")
+    pp_value r.value

@@ -1,0 +1,81 @@
+(** Self-checking resilient kernel execution.
+
+    A production accelerator fleet cannot assume fault-free hardware:
+    silent data corruption on the wire, ECC events and stalled engines
+    all happen at scale. This module wraps kernel launches with a
+    validate / retry / degrade loop:
+
+    + run the kernel and validate its output against a cheap oracle;
+    + on detected corruption, retry with a bounded attempt budget
+      (transient faults — e.g. an injected bit flip — are drawn
+      independently per attempt, so retries usually recover);
+    + when corruption persists past the budget, gracefully degrade to a
+      fallback implementation (e.g. from the cube [tcu]/[scanu] path to
+      the vector-only CumSum kernel, surviving a faulty cube MTE).
+
+    Retry and degradation counts, and the time overhead of every extra
+    attempt, are folded into the returned {!Ascend.Stats.t}
+    ([retries]/[degraded] fields; seconds accumulate over attempts).
+    With no faults detected the first attempt is the only one, and the
+    stats are identical to a plain {!Ascend.Launch} run. *)
+
+type oracle =
+  | Checksum
+      (** One host pass chaining the dtype rounding, compared at 64
+          strided sample positions plus the last element. O(1) space. *)
+  | Reference  (** Full element-wise comparison against {!Scan.Reference}. *)
+
+val oracle_to_string : oracle -> string
+
+type 'a report = {
+  value : 'a;  (** Result of the last attempt (the validated one if [ok]). *)
+  stats : Ascend.Stats.t;
+      (** Combined over all attempts; [retries] and [degraded] set. *)
+  attempts : int;  (** Total kernel executions, including the fallback. *)
+  detections : int;  (** Validation failures observed. *)
+  degraded : bool;  (** Whether the fallback path produced [value]. *)
+  ok : bool;  (** Whether the final output validated. *)
+}
+
+val run :
+  ?name:string ->
+  ?max_attempts:int ->
+  ?fallback:(unit -> 'a * Ascend.Stats.t) ->
+  validate:('a -> (unit, string) result) ->
+  (unit -> 'a * Ascend.Stats.t) ->
+  'a report
+(** [run ~validate attempt] executes [attempt] until it validates, at
+    most [max_attempts] (default 3) times, then tries [fallback] once
+    if provided. Raises [Invalid_argument] when [max_attempts < 1]. *)
+
+val launch :
+  ?name:string ->
+  ?max_attempts:int ->
+  ?fallback:(unit -> unit * Ascend.Stats.t) ->
+  Ascend.Device.t ->
+  blocks:int ->
+  validate:(unit -> (unit, string) result) ->
+  (Ascend.Block.t -> unit) list ->
+  unit report
+(** Resilient {!Ascend.Launch.run_phases}: re-runs the same phase list
+    on validation failure. The caller's [validate] inspects the output
+    tensors it closed over. *)
+
+val scan :
+  ?s:int ->
+  ?max_attempts:int ->
+  ?oracle:oracle ->
+  ?fallback:Scan.Scan_api.algo ->
+  ?exclusive:bool ->
+  algo:Scan.Scan_api.algo ->
+  Ascend.Device.t ->
+  input:float array ->
+  Ascend.Global_tensor.t report
+(** Resilient scan: each attempt loads [input] into a fresh f16 global
+    tensor and dispatches {!Scan.Scan_api.run}; outputs validate
+    against the selected oracle (default [Checksum]). A [fallback]
+    algorithm (typically [Vec_only]) is tried once when all primary
+    attempts fail. Requires a functional-mode device. *)
+
+val pp_report :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a report -> unit

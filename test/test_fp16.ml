@@ -78,6 +78,62 @@ let test_roundtrip_all_finite () =
     end
   done
 
+(* Every NaN bit pattern (any payload, either sign) decodes to a float
+   NaN and re-encodes to the canonical quiet NaN. *)
+let test_nan_payloads () =
+  for bits = 0 to 0xFFFF do
+    if Fp16.is_nan bits then begin
+      if not (Float.is_nan (Fp16.to_float bits)) then
+        Alcotest.failf "0x%04X decodes to a non-NaN" bits;
+      check_int
+        (Printf.sprintf "payload 0x%04X canonicalized" bits)
+        Fp16.nan
+        (Fp16.of_float (Fp16.to_float bits))
+    end
+  done
+
+let test_infinity_roundtrip () =
+  check_int "+inf pattern" Fp16.pos_infinity (Fp16.of_float infinity);
+  check_int "-inf pattern" Fp16.neg_infinity (Fp16.of_float neg_infinity);
+  check_int "huge overflows to +inf" Fp16.pos_infinity (Fp16.of_float 1e10);
+  check_int "-huge overflows to -inf" Fp16.neg_infinity (Fp16.of_float (-1e10));
+  check_float "inf survives add" infinity (Fp16.add infinity 1.0);
+  check_bool "inf - inf is nan" true (Float.is_nan (Fp16.sub infinity infinity))
+
+(* All 1023 positive (and negative) subnormal patterns round-trip
+   exactly through the float domain. *)
+let test_all_subnormals_roundtrip () =
+  for m = 1 to 0x3FF do
+    let v = float_of_int m *. (2.0 ** -24.0) in
+    if Fp16.round v <> v then Alcotest.failf "subnormal %d not exact" m;
+    check_int (Printf.sprintf "+subnormal %d" m) m (Fp16.of_float v);
+    check_int
+      (Printf.sprintf "-subnormal %d" m)
+      (0x8000 lor m)
+      (Fp16.of_float (-.v))
+  done
+
+(* Values straddling representability boundaries: the overflow
+   threshold, the subnormal/normal seam and the underflow tie. *)
+let test_rounding_boundaries () =
+  (* Halfway between max finite (65504) and the next step (65536):
+     below stays finite, the midpoint ties up into overflow. *)
+  check_float "just below overflow midpoint" 65504.0 (Fp16.round 65519.0);
+  check_float "overflow midpoint" infinity (Fp16.round 65520.0);
+  let min_normal = 2.0 ** -14.0 in
+  let max_subnormal = 1023.0 *. (2.0 ** -24.0) in
+  check_float "max subnormal exact" max_subnormal (Fp16.round max_subnormal);
+  (* The midpoint of the subnormal/normal seam ties to the even
+     mantissa, i.e. the smallest normal. *)
+  check_float "seam midpoint ties to normal" min_normal
+    (Fp16.round ((min_normal +. max_subnormal) /. 2.0));
+  (* 2^-25 is halfway between 0 and the smallest subnormal: ties to
+     even zero; anything above rounds up to the subnormal. *)
+  check_float "underflow tie to zero" 0.0 (Fp16.round (2.0 ** -25.0));
+  check_float "just above underflow tie"
+    (2.0 ** -24.0)
+    (Fp16.round ((2.0 ** -25.0) *. 1.001))
+
 let test_nan_handling () =
   check_int "nan canonical" Fp16.nan (Fp16.of_float Float.nan);
   check_bool "is_nan" true (Fp16.is_nan (Fp16.of_float Float.nan));
@@ -136,6 +192,13 @@ let () =
           Alcotest.test_case "roundtrip all finite" `Quick
             test_roundtrip_all_finite;
           Alcotest.test_case "nan handling" `Quick test_nan_handling;
+          Alcotest.test_case "nan payloads" `Quick test_nan_payloads;
+          Alcotest.test_case "infinity roundtrip" `Quick
+            test_infinity_roundtrip;
+          Alcotest.test_case "all subnormals" `Quick
+            test_all_subnormals_roundtrip;
+          Alcotest.test_case "rounding boundaries" `Quick
+            test_rounding_boundaries;
           Alcotest.test_case "arithmetic" `Quick test_arith;
           Alcotest.test_case "compare" `Quick test_compare_value;
         ] );
