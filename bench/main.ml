@@ -666,6 +666,147 @@ let robustness () =
   emit t
 
 (* ------------------------------------------------------------------ *)
+(* Robustness R2: degraded-mode throughput and recovery overhead.     *)
+
+let robustness_degraded () =
+  let dead_counts = [ 0; 1; 2; 4; 8; 12; 16; 19 ] in
+  let pre_kills k = List.init k (fun c -> (c, 0.0)) in
+  (* Bit-identity first: MCScan re-sharded over any surviving-core
+     count must match the reference exactly. *)
+  let vn = 30000 in
+  let input = Array.init vn (fun i -> if i mod 37 = 0 then 1.0 else 0.0) in
+  List.iter
+    (fun k ->
+      let d =
+        Ascend.Device.create
+          ~fault:(Ascend.Fault.config ~seed:0 ~rate:0.0 ~kills:(pre_kills k) ())
+          ()
+      in
+      let x = Ascend.Device.of_array d Ascend.Dtype.F16 ~name:"x" input in
+      let y, _ = Scan.Scan_api.run ~algo:Scan.Scan_api.Mc d x in
+      match
+        Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round ~input
+          ~output:y ()
+      with
+      | Ok () -> ()
+      | Error e ->
+          fail_verify
+            (Printf.sprintf "mcscan_degraded(%d dead)" k)
+            e)
+    dead_counts;
+  note_verified "mcscan_degraded(0..19 dead)";
+  let n = pow2 20 in
+  let cm = Ascend.Cost_model.default in
+  let t =
+    Table.create
+      ~title:
+        "Robustness R2: MCScan with dead cores (n = 1M, s = 128): degraded \
+         throughput and mid-run kill recovery overhead"
+      ~columns:
+        [ "dead"; "alive"; "pre-dead us"; "GB/s"; "slowdown"; "mid-kill us";
+          "recovery ovh"; "live eng-busy %" ]
+  in
+  let t_healthy = ref 0.0 in
+  List.iter
+    (fun k ->
+      (* Pre-dead: the cores never existed as far as the scheduler is
+         concerned — pure degraded-sharding throughput. *)
+      let d =
+        Ascend.Device.create ~mode:Ascend.Device.Cost_only
+          ~fault:(Ascend.Fault.config ~seed:0 ~rate:0.0 ~kills:(pre_kills k) ())
+          ()
+      in
+      let x = alloc_f16 d n in
+      let _, st = Scan.Mcscan.run d x in
+      if k = 0 then t_healthy := st.Ascend.Stats.seconds;
+      (* Mid-run kill: the same cores die 1000 busy cycles in, so their
+         partial blocks are thrown away and replayed on the survivors.
+         Recovery overhead is the extra time over the pre-dead run. *)
+      let mid_kills = List.init k (fun c -> (c, 1000.0)) in
+      let d2 =
+        Ascend.Device.create ~mode:Ascend.Device.Cost_only
+          ~fault:(Ascend.Fault.config ~seed:0 ~rate:0.0 ~kills:mid_kills ())
+          ()
+      in
+      let x2 = alloc_f16 d2 n in
+      let _, st2 = Scan.Mcscan.run d2 x2 in
+      (* Per-core utilization from Stats.core_busy: summed engine-busy
+         cycles of each surviving core over the kernel makespan. A
+         core's engines (cube, vectors, MTEs) overlap, so a loaded
+         core can exceed 100%. *)
+      let util = Ascend.Stats.core_utilization st in
+      let alive = 20 - k in
+      let live_util =
+        if Array.length util = 0 then 0.0
+        else begin
+          let acc = ref 0.0 in
+          for c = k to 19 do
+            acc := !acc +. (util.(c) /. cm.Ascend.Cost_model.clock_hz)
+          done;
+          100.0 *. !acc /. float_of_int alive
+        end
+      in
+      Table.add_row t
+        [ string_of_int k; string_of_int alive; us st.Ascend.Stats.seconds;
+          gbs (Metrics.scan_bandwidth st ~n ~esize:2);
+          Table.fmt_float (st.Ascend.Stats.seconds /. !t_healthy) ^ "x";
+          us st2.Ascend.Stats.seconds;
+          Table.fmt_float
+            (100.0
+            *. (st2.Ascend.Stats.seconds -. st.Ascend.Stats.seconds)
+            /. st.Ascend.Stats.seconds)
+          ^ "%";
+          Table.fmt_float live_util ^ "%" ])
+    dead_counts;
+  emit t;
+  (* Checkpointed batched scan under the two recovery layers: a core
+     death is absorbed by the block-level launch replay (rows never
+     reach the checkpoint retry path), while detected corruption fails
+     the group oracle and replays only the unfinished rows. *)
+  let batch = 32 and len = 4096 in
+  let binput =
+    Array.init (batch * len) (fun i -> if i mod 41 = 0 then 1.0 else 0.0)
+  in
+  let t2 =
+    Table.create
+      ~title:
+        "Robustness R2b: checkpointed batched scan (batch = 32, len = 4096): \
+         recovery overhead by failure mode"
+      ~columns:
+        [ "scenario"; "time us"; "group attempts"; "rows replayed";
+          "overhead" ]
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun (name, fault) ->
+      let d = Ascend.Device.create ?fault () in
+      let r =
+        Runtime.Resilient.batched_scan ~granularity:4 ~max_attempts:5 d ~batch
+          ~len ~input:binput
+      in
+      if not r.Runtime.Resilient.bok then
+        fail_verify "batched_checkpoint" (name ^ ": incomplete checkpoint");
+      let secs = r.Runtime.Resilient.bstats.Ascend.Stats.seconds in
+      if fault = None then base := secs;
+      Table.add_row t2
+        [ name; us secs;
+          string_of_int r.Runtime.Resilient.group_attempts;
+          string_of_int r.Runtime.Resilient.replayed_rows;
+          Table.fmt_float (100.0 *. (secs -. !base) /. !base) ^ "%" ])
+    [ ("healthy", None);
+      ( "kill core 0 @ 2k cycles",
+        Some (Ascend.Fault.config ~seed:0 ~rate:0.0 ~kills:[ (0, 2000.0) ] ())
+      );
+      ( "faults 2% (seed 9)",
+        Some (Ascend.Fault.config ~seed:9 ~rate:0.02 ()) );
+      ( "faults 2% + kill core 1",
+        Some
+          (Ascend.Fault.config ~seed:9 ~rate:0.02 ~kills:[ (1, 2000.0) ] ())
+      ) ];
+  note_verified "batched_checkpoint(kill+faults mid-batch)";
+  emit t2
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel: wall-clock micro-benchmarks of the simulator itself.     *)
 
 let bechamel_suite () =
@@ -738,6 +879,7 @@ let () =
   ablation_topk ();
   ablation_cumsum_config ();
   robustness ();
+  robustness_degraded ();
   Printf.printf "\nFunctionally verified against reference oracles: %s\n"
     (String.concat ", " (List.rev !verified));
   bechamel_suite ();

@@ -1,14 +1,17 @@
 (* Command-line driver for the simulated Ascend scan library.
 
    Subcommands:
-     scan   run a scan algorithm over a synthetic workload
-     sort   run the radix sort (and optionally the bitonic baseline)
-     topp   run one top-p sampling step
-     info   print the device / cost-model description
+     scan     run a scan algorithm over a synthetic workload
+     batched  run a batched scan (optionally checkpointed)
+     sort     run the radix sort (and optionally the bitonic baseline)
+     topp     run one top-p sampling step
+     info     print the device / cost-model description
 
    Examples:
-     ascend_scan_cli scan --algo mcscan -n 1048576 --check
+     ascend_scan_cli scan --algo mcscan -n 65536 --check
+     ascend_scan_cli scan --algo mcscan -n 1048576 --kill-core 3@5000
      ascend_scan_cli scan --algo scanul1 -n 65536 -s 64 --cost-only
+     ascend_scan_cli batched --batch 64 --len 16384 --checkpoint
      ascend_scan_cli sort -n 262144 --baseline
      ascend_scan_cli topp -n 32768 -p 0.9 --theta 0.3 *)
 
@@ -22,15 +25,40 @@ let check_n n =
   if n < 1 then
     raise (Usage_error (Printf.sprintf "N must be >= 1 (got %d)" n))
 
-let make_device ?faults ?(sanitize = false) cost_only =
+let make_device ?faults ?(kills = []) ?quarantine ?deadline ?(sanitize = false)
+    cost_only =
+  let num_cores = Ascend.Cost_model.default.Ascend.Cost_model.num_ai_cores in
+  List.iter
+    (fun (core, _) ->
+      if core >= num_cores then
+        raise
+          (Usage_error
+             (Printf.sprintf "--kill-core: core %d out of range [0,%d)" core
+                num_cores)))
+    kills;
+  (match deadline with
+  | Some d when d <= 0.0 ->
+      raise (Usage_error "--deadline: budget must be a positive cycle count")
+  | _ -> ());
+  (match quarantine with
+  | Some q when q < 1 ->
+      raise (Usage_error "--quarantine: fault budget must be >= 1")
+  | _ -> ());
   let fault =
-    Option.map
-      (fun (seed, rate) -> Ascend.Fault.config ~seed ~rate ())
-      faults
+    match (faults, kills, quarantine) with
+    | None, [], None -> None
+    | _ ->
+        (* Kills and quarantine ride on the fault config; without
+           --inject-faults the injector runs at rate 0 (no transient
+           faults, persistent modes only). *)
+        let seed, rate = Option.value ~default:(0, 0.0) faults in
+        Some
+          (Ascend.Fault.config ~seed ~rate ~kills ?quarantine_after:quarantine
+             ())
   in
   Ascend.Device.create
     ~mode:(if cost_only then Ascend.Device.Cost_only else Ascend.Device.Functional)
-    ?fault ~sanitize ()
+    ?fault ~sanitize ?deadline_cycles:deadline ()
 
 let print_stats st = Format.printf "%a@." Ascend.Stats.pp st
 
@@ -40,9 +68,14 @@ let print_robustness device =
   (match Ascend.Device.fault device with
   | Some f -> Format.printf "%a@." Ascend.Fault.pp_summary f
   | None -> ());
-  match Ascend.Device.sanitizer device with
+  (match Ascend.Device.sanitizer device with
   | Some san -> Format.printf "%a@." Ascend.Sanitizer.pp_report san
-  | None -> ()
+  | None -> ());
+  let health = Ascend.Device.health device in
+  if
+    Ascend.Health.deaths health <> []
+    || Ascend.Health.num_alive health < Ascend.Device.num_cores device
+  then Format.printf "%a@." Ascend.Health.pp health
 
 (* Common options. *)
 
@@ -66,23 +99,9 @@ let cost_only_arg =
 
 let faults_conv =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ seed; rate ] -> (
-        match (int_of_string_opt seed, float_of_string_opt rate) with
-        | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
-            Ok (seed, rate)
-        | _ ->
-            Error
-              (`Msg
-                (Printf.sprintf
-                   "invalid fault spec %S: RATE must be a float in [0,1] and \
-                    SEED an integer"
-                   s)))
-    | _ ->
-        Error
-          (`Msg
-            (Printf.sprintf "invalid fault spec %S: expected SEED:RATE, e.g. \
-                             42:0.001" s))
+    match Ascend.Fault.parse_spec s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
   in
   Arg.conv ~docv:"SEED:RATE"
     (parse, fun fmt (seed, rate) -> Format.fprintf fmt "%d:%g" seed rate)
@@ -104,6 +123,45 @@ let sanitize_arg =
         ~doc:
           "Arm the hardware sanitizer: record out-of-bounds tensor accesses \
            and cross-block global-memory hazards, and print the report.")
+
+let kill_conv =
+  let parse s =
+    match Ascend.Health.parse_kill_spec s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv ~docv:"CORE[@CYCLE]"
+    (parse, fun fmt (core, cycle) -> Format.fprintf fmt "%d@%g" core cycle)
+
+let kill_arg =
+  Arg.(
+    value
+    & opt_all kill_conv []
+    & info [ "kill-core" ] ~docv:"CORE[@CYCLE]"
+        ~doc:
+          "Kill AI core CORE once it has executed CYCLE busy cycles (0, the \
+           default, kills it before the first launch). Repeatable. The \
+           scheduler re-shards all kernels over the surviving cores; results \
+           stay bit-identical.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"CYCLES"
+        ~doc:
+          "Arm the launch watchdog: abort any launch whose compute critical \
+           path exceeds CYCLES cycles (exit 1 with a structured error \
+           instead of silently inflated stats).")
+
+let quarantine_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quarantine" ] ~docv:"N"
+        ~doc:
+          "Permanently quarantine a core after N injected faults land on it \
+           (persistent-health scoring on top of --inject-faults).")
 
 (* scan subcommand. *)
 
@@ -140,11 +198,14 @@ let scan_cmd =
              and degrade to the vector-only kernel when retries are \
              exhausted. Requires functional mode.")
   in
-  let run algo n s exclusive cost_only check resilient faults sanitize seed =
+  let run algo n s exclusive cost_only check resilient faults kills quarantine
+      deadline sanitize seed =
     check_n n;
     if resilient && cost_only then
       raise (Usage_error "--resilient requires functional mode (drop --cost-only)");
-    let device = make_device ?faults ~sanitize cost_only in
+    let device =
+      make_device ?faults ~kills ?quarantine ?deadline ~sanitize cost_only
+    in
     let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
     if resilient then begin
       let input = Array.init n gen in
@@ -190,9 +251,103 @@ let scan_cmd =
   let term =
     Term.(
       const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ cost_only_arg
-      $ check_arg $ resilient_arg $ faults_arg $ sanitize_arg $ seed_arg)
+      $ check_arg $ resilient_arg $ faults_arg $ kill_arg $ quarantine_arg
+      $ deadline_arg $ sanitize_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "scan" ~doc:"Run a parallel scan algorithm.") term
+
+(* batched subcommand. *)
+
+let batched_cmd =
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch"; "b" ] ~docv:"B" ~doc:"Number of independent rows.")
+  in
+  let len_arg =
+    Arg.(
+      value & opt int 16384
+      & info [ "len"; "l" ] ~docv:"L" ~doc:"Length of each row.")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt (enum [ ("u", Runtime.Resilient.U); ("ul1", Runtime.Resilient.Ul1) ])
+          Runtime.Resilient.U
+      & info [ "algo"; "a" ] ~docv:"ALGO"
+          ~doc:"Batched schedule: u (ScanU per row) or ul1 (L1-resident).")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:
+            "Run through the checkpointed resilient runner: commit validated \
+             row groups and replay only unfinished rows after a mid-batch \
+             failure. Requires functional mode.")
+  in
+  let granularity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "granularity" ] ~docv:"ROWS"
+          ~doc:
+            "Rows per checkpoint group (default: quarter batches). Only \
+             meaningful with --checkpoint.")
+  in
+  let run batch len s algo checkpoint granularity cost_only faults kills
+      quarantine deadline sanitize seed =
+    if batch < 1 then raise (Usage_error "--batch must be >= 1");
+    if len < 1 then raise (Usage_error "--len must be >= 1");
+    (match granularity with
+    | Some g when g < 1 -> raise (Usage_error "--granularity must be >= 1")
+    | _ -> ());
+    if checkpoint && cost_only then
+      raise
+        (Usage_error "--checkpoint requires functional mode (drop --cost-only)");
+    let device =
+      make_device ?faults ~kills ?quarantine ?deadline ~sanitize cost_only
+    in
+    let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
+    if checkpoint then begin
+      let input = Array.init (batch * len) gen in
+      let r =
+        Runtime.Resilient.batched_scan ~s ?granularity ~backoff_s:1e-6
+          ~schedule:algo device ~batch ~len ~input
+      in
+      Format.printf "%a@." Runtime.Resilient.pp_batched_report r;
+      print_stats r.Runtime.Resilient.bstats;
+      print_robustness device;
+      if not r.Runtime.Resilient.bok then exit 1
+    end
+    else begin
+      let x =
+        if cost_only then
+          Ascend.Device.alloc device Ascend.Dtype.F16 (batch * len) ~name:"x"
+        else
+          Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x"
+            (Array.init (batch * len) gen)
+      in
+      let _, st =
+        match algo with
+        | Runtime.Resilient.U -> Scan.Batched_scan.run_u ~s device ~batch ~len x
+        | Runtime.Resilient.Ul1 ->
+            Scan.Batched_scan.run_ul1 ~s device ~batch ~len x
+      in
+      print_stats st;
+      print_robustness device
+    end
+  in
+  let term =
+    Term.(
+      const run $ batch_arg $ len_arg $ s_arg $ algo_arg $ checkpoint_arg
+      $ granularity_arg $ cost_only_arg $ faults_arg $ kill_arg
+      $ quarantine_arg $ deadline_arg $ sanitize_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "batched"
+       ~doc:"Run a batched scan (one scan per row, optionally checkpointed).")
+    term
 
 (* sort subcommand. *)
 
@@ -203,9 +358,12 @@ let sort_cmd =
   let bits_arg =
     Arg.(value & opt int 16 & info [ "bits" ] ~docv:"BITS" ~doc:"Radix passes (u16 keys).")
   in
-  let run n s bits baseline cost_only faults sanitize seed =
+  let run n s bits baseline cost_only faults kills quarantine deadline sanitize
+      seed =
     check_n n;
-    let device = make_device ?faults ~sanitize cost_only in
+    let device =
+      make_device ?faults ~kills ?quarantine ?deadline ~sanitize cost_only
+    in
     (* Fewer than 16 bits selects the low-precision u16 key path. *)
     let dtype = if bits < 16 then Ascend.Dtype.U16 else Ascend.Dtype.F16 in
     let x =
@@ -247,7 +405,8 @@ let sort_cmd =
   let term =
     Term.(
       const run $ n_arg $ s_arg $ bits_arg $ baseline_arg $ cost_only_arg
-      $ faults_arg $ sanitize_arg $ seed_arg)
+      $ faults_arg $ kill_arg $ quarantine_arg $ deadline_arg $ sanitize_arg
+      $ seed_arg)
   in
   Cmd.v (Cmd.info "sort" ~doc:"Run the cube-split radix sort.") term
 
@@ -353,7 +512,7 @@ let info_cmd =
 
 let () =
   let doc = "Parallel scans and scan-based operators on a simulated Ascend accelerator." in
-  let main = Cmd.group (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
+  let main = Cmd.group (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
   (* Unknown flags and malformed arguments exit 2 with a usage pointer
      rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
      aborted by injected fault corruption) exit 1 with a clean message
@@ -367,6 +526,17 @@ let () =
         Format.eprintf "ascend_scan_cli: error: %s@." msg;
         Format.eprintf "usage: ascend_scan_cli COMMAND [OPTION]... (see --help)@.";
         2
+    | Ascend.Launch.Deadline_exceeded { name; budget_cycles; spent_cycles } ->
+        Format.eprintf
+          "ascend_scan_cli: deadline exceeded in %s: %.0f cycles spent of a \
+           %.0f-cycle budget@."
+          name spent_cycles budget_cycles;
+        1
+    | Ascend.Health.All_cores_dead ->
+        Format.eprintf
+          "ascend_scan_cli: all AI cores dead: no surviving core to schedule \
+           on@.";
+        1
     | Invalid_argument msg | Failure msg ->
         Format.eprintf "ascend_scan_cli: runtime error: %s@." msg;
         1

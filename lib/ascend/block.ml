@@ -2,6 +2,11 @@ type t = {
   device : Device.t;
   idx : int;
   num_blocks : int;
+  core : int;
+  health : Health.t;
+  kill_at : float;  (* seeded kill threshold of [core]; infinity = never *)
+  clock0 : float;  (* [core]'s cumulative busy cycles at block start *)
+  mutable charged : float;  (* busy cycles charged by this block so far *)
   vec_per_core : int;
   mutable time_cycles : float;
   busy_total : float array;
@@ -23,7 +28,7 @@ type result = {
   op_counts : (string * int) list;
 }
 
-let make ~device ~idx ~num_blocks =
+let make_on ~core ~device ~idx ~num_blocks =
   if num_blocks < 1 then
     invalid_arg
       (Printf.sprintf "Block.make: num_blocks must be >= 1 (got %d)" num_blocks);
@@ -32,6 +37,7 @@ let make ~device ~idx ~num_blocks =
       (Printf.sprintf "Block.make: block index %d out of range [0,%d)" idx
          num_blocks);
   let cm = Device.cost device in
+  let health = Device.health device in
   let vec_per_core = cm.Cost_model.vec_per_core in
   let n = Engine.count ~vec_per_core in
   let kinds =
@@ -42,6 +48,11 @@ let make ~device ~idx ~num_blocks =
     device;
     idx;
     num_blocks;
+    core;
+    health;
+    kill_at = Health.kill_threshold health core;
+    clock0 = Health.cycles_done health core;
+    charged = 0.0;
     vec_per_core;
     time_cycles = 0.0;
     busy_total = Array.make n 0.0;
@@ -54,8 +65,13 @@ let make ~device ~idx ~num_blocks =
     allocators = List.map (fun k -> (k, ref 0)) kinds;
   }
 
+let make ~device ~idx ~num_blocks =
+  make_on ~core:(idx mod Device.num_cores device) ~device ~idx ~num_blocks
+
 let idx t = t.idx
 let num_blocks t = t.num_blocks
+let core t = t.core
+let charged_cycles t = t.charged
 let device t = t.device
 let cost t = Device.cost t.device
 let functional t = Device.functional t.device
@@ -71,8 +87,19 @@ let assume_disjoint_writes t gt ~reason =
 let charge t engine cycles =
   let i = Engine.index ~vec_per_core:t.vec_per_core engine in
   t.busy_total.(i) <- t.busy_total.(i) +. cycles;
+  t.charged <- t.charged +. cycles;
   if t.in_section then t.sec_busy.(i) <- t.sec_busy.(i) +. cycles
-  else t.time_cycles <- t.time_cycles +. cycles
+  else t.time_cycles <- t.time_cycles +. cycles;
+  if t.clock0 +. t.charged >= t.kill_at then begin
+    (* Sync the health clock to the kill point so the death record
+       carries the seeded cycle, then let note_cycles mark it dead. *)
+    Health.note_cycles t.health ~core:t.core
+      (Float.max 0.0 (t.kill_at -. Health.cycles_done t.health t.core));
+    raise (Health.Core_dead { core = t.core; cycle = t.kill_at })
+  end
+
+let note_fault t =
+  Health.note_fault t.health ~core:t.core ~cycle:(t.clock0 +. t.charged)
 
 let count_op t name =
   Hashtbl.replace t.ops_tbl name

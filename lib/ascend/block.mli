@@ -32,10 +32,23 @@ type result = {
 }
 
 val make : device:Device.t -> idx:int -> num_blocks:int -> t
-(** Used by {!Launch}; not intended for direct use. *)
+(** Used by {!Launch}; not intended for direct use. Runs the block on
+    physical core [idx mod num_cores] (the healthy round-robin map). *)
+
+val make_on : core:int -> device:Device.t -> idx:int -> num_blocks:int -> t
+(** [make] with an explicit physical core: how {!Launch} pins blocks to
+    the surviving core set of a degraded device. *)
 
 val idx : t -> int
 val num_blocks : t -> int
+
+val core : t -> int
+(** The physical AI core this block executes on. *)
+
+val charged_cycles : t -> float
+(** Busy cycles charged by this block so far (the clock the {!Health}
+    kill thresholds are measured against). *)
+
 val device : t -> Device.t
 val cost : t -> Cost_model.t
 
@@ -56,7 +69,15 @@ val assume_disjoint_writes : t -> Global_tensor.t -> reason:string -> unit
     analysis would otherwise flag. No-op without a sanitizer. *)
 
 val charge : t -> Engine.t -> float -> unit
-(** Charge [cycles] to an engine; called by the engine-op modules. *)
+(** Charge [cycles] to an engine; called by the engine-op modules.
+    Raises {!Health.Core_dead} at the charge that carries the block's
+    core past its seeded kill threshold (the partial work stays
+    accounted; {!Launch} replays the block on a surviving core). *)
+
+val note_fault : t -> unit
+(** Attribute one injected fault to the block's core ({!Health}
+    quarantine scoring); called by the MTE fault hook. Raises
+    {!Health.Core_dead} when the core trips its quarantine budget. *)
 
 val count_op : t -> string -> unit
 (** Record one issued instruction of the named op (the per-kernel

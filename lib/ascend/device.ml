@@ -7,10 +7,24 @@ type t = {
   mutable allocated_bytes : int;
   fault : Fault.t option;
   sanitizer : Sanitizer.t option;
+  health : Health.t;
+  deadline_cycles : float option;
 }
 
 let create ?(cost = Cost_model.default) ?(mode = Functional) ?fault
-    ?(sanitize = false) () =
+    ?(sanitize = false) ?deadline_cycles () =
+  (match deadline_cycles with
+  | Some d when d <= 0.0 || Float.is_nan d ->
+      invalid_arg "Device.create: deadline_cycles must be positive"
+  | _ -> ());
+  let num_cores = cost.Cost_model.num_ai_cores in
+  let health =
+    match fault with
+    | Some (cfg : Fault.config) ->
+        Health.create ~num_cores ~kills:cfg.Fault.kills
+          ?quarantine_after:cfg.Fault.quarantine_after ()
+    | None -> Health.create ~num_cores ()
+  in
   {
     cost;
     mode;
@@ -18,12 +32,16 @@ let create ?(cost = Cost_model.default) ?(mode = Functional) ?fault
     allocated_bytes = 0;
     fault = Option.map Fault.create fault;
     sanitizer = (if sanitize then Some (Sanitizer.create ()) else None);
+    health;
+    deadline_cycles;
   }
 
 let cost t = t.cost
 let mode t = t.mode
 let fault t = t.fault
 let sanitizer t = t.sanitizer
+let health t = t.health
+let deadline_cycles t = t.deadline_cycles
 
 let functional t =
   match t.mode with Functional -> true | Cost_only -> false
@@ -48,9 +66,9 @@ let of_array t dtype ~name a =
 let allocated_bytes t = t.allocated_bytes
 
 let pp fmt t =
-  Format.fprintf fmt "device(%s, %d cores, %d MiB allocated%s%s)"
+  Format.fprintf fmt "device(%s, %d/%d cores alive, %d MiB allocated%s%s)"
     (match t.mode with Functional -> "functional" | Cost_only -> "cost-only")
-    (num_cores t)
+    (Health.num_alive t.health) (num_cores t)
     (t.allocated_bytes / 1024 / 1024)
     (match t.fault with
     | Some f ->

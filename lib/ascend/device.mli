@@ -20,13 +20,18 @@ val create :
   ?mode:mode ->
   ?fault:Fault.config ->
   ?sanitize:bool ->
+  ?deadline_cycles:float ->
   unit ->
   t
 (** Defaults: {!Cost_model.default}, [Functional], no fault injection,
-    no sanitizer. [fault] attaches a seeded {!Fault} model consulted by
-    the MTEs on every GM<->UB [DataCopy]; [sanitize] enables the
-    {!Sanitizer} (out-of-bounds, queue and missing-[SyncAll] hazard
-    diagnostics). *)
+    no sanitizer, no deadline. [fault] attaches a seeded {!Fault} model
+    consulted by the MTEs on every GM<->UB [DataCopy]; its [kills] and
+    [quarantine_after] fields seed the device {!Health} monitor.
+    [sanitize] enables the {!Sanitizer} (out-of-bounds, queue and
+    missing-[SyncAll] hazard diagnostics). [deadline_cycles] arms the
+    launch watchdog: a launch whose cumulative compute critical path
+    exceeds the budget raises {!Launch.Deadline_exceeded}. Raises
+    [Invalid_argument] on a non-positive deadline. *)
 
 val cost : t -> Cost_model.t
 val mode : t -> mode
@@ -37,6 +42,13 @@ val fault : t -> Fault.t option
 
 val sanitizer : t -> Sanitizer.t option
 (** The device sanitizer, if validation mode is enabled. *)
+
+val health : t -> Health.t
+(** The per-core health monitor (always present; inert when no kills or
+    quarantine are configured and no core has been marked dead). *)
+
+val deadline_cycles : t -> float option
+(** The watchdog budget, if armed. *)
 
 val num_cores : t -> int
 val num_vec_cores : t -> int

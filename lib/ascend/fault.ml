@@ -20,16 +20,45 @@ type config = {
   kinds : kind list;
   scope : scope;
   stall_factor : float;
+  kills : (int * float) list;
+  quarantine_after : int option;
 }
 
-let config ?(kinds = all_kinds) ?(scope = All_mtes) ?(stall_factor = 8.0) ~seed
-    ~rate () =
-  if rate < 0.0 || rate > 1.0 then
+let config ?(kinds = all_kinds) ?(scope = All_mtes) ?(stall_factor = 8.0)
+    ?(kills = []) ?quarantine_after ~seed ~rate () =
+  if rate < 0.0 || rate > 1.0 || Float.is_nan rate then
     invalid_arg "Fault.config: rate must be in [0,1]";
   if kinds = [] then invalid_arg "Fault.config: empty kind list";
   if stall_factor < 1.0 then
     invalid_arg "Fault.config: stall_factor must be >= 1";
-  { seed; rate; kinds; scope; stall_factor }
+  List.iter
+    (fun (core, cycle) ->
+      if core < 0 then invalid_arg "Fault.config: negative core id in kills";
+      if cycle < 0.0 then invalid_arg "Fault.config: negative kill cycle")
+    kills;
+  (match quarantine_after with
+  | Some n when n < 1 ->
+      invalid_arg "Fault.config: quarantine_after must be >= 1"
+  | _ -> ());
+  { seed; rate; kinds; scope; stall_factor; kills; quarantine_after }
+
+let parse_spec spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "invalid fault spec %S: expected SEED:RATE with SEED a \
+          non-negative integer and RATE a probability in [0,1]"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ seed_s; rate_s ] -> (
+      match (int_of_string_opt seed_s, float_of_string_opt rate_s) with
+      | Some seed, Some rate
+        when seed >= 0 && rate >= 0.0 && rate <= 1.0 && not (Float.is_nan rate)
+        ->
+          Ok (seed, rate)
+      | _ -> fail ())
+  | _ -> fail ()
 
 type event = {
   seq : int;

@@ -40,19 +40,35 @@ type config = {
   kinds : kind list;
   scope : scope;
   stall_factor : float;  (** Latency multiplier of an injected stall. *)
+  kills : (int * float) list;
+      (** Persistent mode 1 — seeded core deaths: [(core, cycle)] kills
+          the core once its cumulative busy cycles reach [cycle]
+          (cycle 0 = dead on arrival). Tracked by {!Health}. *)
+  quarantine_after : int option;
+      (** Persistent mode 2 — a core is permanently quarantined by
+          {!Health} after this many injected faults land on it. *)
 }
 
 val config :
   ?kinds:kind list ->
   ?scope:scope ->
   ?stall_factor:float ->
+  ?kills:(int * float) list ->
+  ?quarantine_after:int ->
   seed:int ->
   rate:float ->
   unit ->
   config
-(** Defaults: all kinds, [All_mtes], stall factor 8. Raises
-    [Invalid_argument] on a rate outside [0,1], an empty kind list or a
-    stall factor below 1. *)
+(** Defaults: all kinds, [All_mtes], stall factor 8, no kills, no
+    quarantine. Raises [Invalid_argument] on a rate outside [0,1], an
+    empty kind list, a stall factor below 1, a negative kill core or
+    cycle, or a quarantine budget below 1. *)
+
+val parse_spec : string -> (int * float, string) result
+(** Parse a CLI [SEED:RATE] fault spec: the seed must be a non-negative
+    integer and the rate a probability in [0,1]; anything else (negative
+    or fractional seeds, rates outside [0,1], nan, extra fields) is an
+    [Error] with a usage message. *)
 
 type event = {
   seq : int;  (** Injection order, 0-based. *)

@@ -1,0 +1,143 @@
+exception Core_dead of { core : int; cycle : float }
+exception All_cores_dead
+
+type reason = Killed | Quarantined of int | Marked
+
+let reason_to_string = function
+  | Killed -> "killed at seeded cycle"
+  | Quarantined n -> Printf.sprintf "quarantined after %d faults" n
+  | Marked -> "marked dead"
+
+type t = {
+  num_cores : int;
+  kill_at : float array;  (* cycle threshold per core; infinity = never *)
+  cycles : float array;  (* cumulative charged busy cycles per core *)
+  faults : int array;  (* injected faults attributed per core *)
+  dead : bool array;
+  quarantine_after : int option;
+  mutable deaths : (int * float * reason) list;  (* newest first *)
+}
+
+let create ~num_cores ?(kills = []) ?quarantine_after () =
+  if num_cores < 1 then invalid_arg "Health.create: num_cores must be >= 1";
+  (match quarantine_after with
+  | Some n when n < 1 ->
+      invalid_arg "Health.create: quarantine_after must be >= 1"
+  | _ -> ());
+  let kill_at = Array.make num_cores infinity in
+  List.iter
+    (fun (core, cycle) ->
+      if core < 0 || core >= num_cores then
+        invalid_arg
+          (Printf.sprintf "Health.create: core %d out of range [0,%d)" core
+             num_cores);
+      if cycle < 0.0 then
+        invalid_arg "Health.create: kill cycle must be >= 0";
+      kill_at.(core) <- Float.min kill_at.(core) cycle)
+    kills;
+  {
+    num_cores;
+    kill_at;
+    cycles = Array.make num_cores 0.0;
+    faults = Array.make num_cores 0;
+    dead = Array.make num_cores false;
+    quarantine_after;
+    deaths = [];
+  }
+
+let num_cores t = t.num_cores
+
+let check_core t core =
+  if core < 0 || core >= t.num_cores then
+    invalid_arg
+      (Printf.sprintf "Health: core %d out of range [0,%d)" core t.num_cores)
+
+let kill_threshold t core =
+  check_core t core;
+  t.kill_at.(core)
+
+let cycles_done t core =
+  check_core t core;
+  t.cycles.(core)
+
+let fault_count t core =
+  check_core t core;
+  t.faults.(core)
+
+let alive t core =
+  check_core t core;
+  (not t.dead.(core)) && t.cycles.(core) < t.kill_at.(core)
+
+let mark_dead ?(reason = Marked) t ~core =
+  check_core t core;
+  if not t.dead.(core) then begin
+    t.dead.(core) <- true;
+    t.deaths <- (core, t.cycles.(core), reason) :: t.deaths
+  end
+
+let alive_cores t =
+  let acc = ref [] in
+  for c = t.num_cores - 1 downto 0 do
+    if alive t c then acc := c :: !acc
+  done;
+  !acc
+
+let num_alive t =
+  let n = ref 0 in
+  for c = 0 to t.num_cores - 1 do
+    if alive t c then incr n
+  done;
+  !n
+
+let note_cycles t ~core cycles =
+  check_core t core;
+  t.cycles.(core) <- t.cycles.(core) +. cycles;
+  if t.cycles.(core) >= t.kill_at.(core) then
+    mark_dead ~reason:Killed t ~core
+
+let note_fault t ~core ~cycle =
+  check_core t core;
+  t.faults.(core) <- t.faults.(core) + 1;
+  match t.quarantine_after with
+  | Some n when t.faults.(core) >= n && not t.dead.(core) ->
+      t.cycles.(core) <- Float.max t.cycles.(core) cycle;
+      mark_dead ~reason:(Quarantined t.faults.(core)) t ~core;
+      raise (Core_dead { core; cycle })
+  | _ -> ()
+
+let deaths t = List.rev t.deaths
+
+let parse_kill_spec s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "invalid kill spec %S: expected CORE or CORE@CYCLE with CORE a \
+          non-negative integer and CYCLE a non-negative number"
+         s)
+  in
+  let parse_core c =
+    match int_of_string_opt c with
+    | Some core when core >= 0 -> Some core
+    | _ -> None
+  in
+  match String.split_on_char '@' s with
+  | [ c ] -> (
+      match parse_core c with
+      | Some core -> Ok (core, 0.0)
+      | None -> fail ())
+  | [ c; cyc ] -> (
+      match (parse_core c, float_of_string_opt cyc) with
+      | Some core, Some cycle when cycle >= 0.0 && Float.is_finite cycle ->
+          Ok (core, cycle)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let pp fmt t =
+  let n_alive = num_alive t in
+  Format.fprintf fmt "@[<v>core health: %d/%d alive" n_alive t.num_cores;
+  List.iter
+    (fun (core, cycle, reason) ->
+      Format.fprintf fmt "@   core %d dead at %.0f cycles (%s)" core cycle
+        (reason_to_string reason))
+    (deaths t);
+  Format.fprintf fmt "@]"

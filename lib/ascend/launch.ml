@@ -1,23 +1,77 @@
+exception
+  Deadline_exceeded of {
+    name : string;
+    budget_cycles : float;
+    spent_cycles : float;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Deadline_exceeded { name; budget_cycles; spent_cycles } ->
+        Some
+          (Printf.sprintf
+             "Launch.Deadline_exceeded(%s: %.0f cycles spent of a %.0f-cycle \
+              budget)"
+             name spent_cycles budget_cycles)
+    | _ -> None)
+
+(* One phase over the surviving core set. Blocks are assigned
+   round-robin over the cores currently alive (the full core grid when
+   healthy, i.e. core [idx mod num_cores] — the historical mapping). A
+   block whose core dies mid-flight (seeded kill or quarantine) raises
+   [Health.Core_dead]; its partial timeline, traffic and instructions
+   stay accounted and the block replays from scratch on the shrunken
+   alive set. Kernel blocks are idempotent (they write deterministic
+   ranges derived from the block index), so a replay restores the exact
+   healthy result. *)
 let run_phase device ~blocks body =
   let cm = Device.cost device in
   let num_cores = Device.num_cores device in
+  let health = Device.health device in
   let san = Device.sanitizer device in
   Option.iter Sanitizer.begin_phase san;
+  let core_cycles = Array.make num_cores 0.0 in
+  let core_busy = Array.make num_cores 0.0 in
+  let core_used = Array.make num_cores false in
+  let partials = ref [] in
+  let account core (r : Block.result) =
+    let busy = Array.fold_left ( +. ) 0.0 r.Block.busy in
+    core_cycles.(core) <- core_cycles.(core) +. r.Block.cycles;
+    core_busy.(core) <- core_busy.(core) +. busy;
+    busy
+  in
   let results =
     List.init blocks (fun idx ->
-        let ctx = Block.make ~device ~idx ~num_blocks:blocks in
-        body ctx;
-        Block.finish ctx)
+        (* [delay] serialises a replay behind its failed predecessors:
+           the replacement block cannot start before the victim died, so
+           the dead time is charged to the replay core's timeline. *)
+        let rec exec delay =
+          let alive = Health.alive_cores health in
+          let n_alive = List.length alive in
+          if n_alive = 0 then raise Health.All_cores_dead;
+          let core = List.nth alive (idx mod n_alive) in
+          core_used.(core) <- true;
+          let ctx = Block.make_on ~core ~device ~idx ~num_blocks:blocks in
+          match body ctx with
+          | () ->
+              let r = Block.finish ctx in
+              let busy = account core r in
+              core_cycles.(core) <- core_cycles.(core) +. delay;
+              Health.note_cycles health ~core busy;
+              r
+          | exception Health.Core_dead _ ->
+              (* The dying core's partial work happened: its timeline,
+                 traffic and instruction counts are real, only its
+                 writes are untrusted. Replay the block on a survivor. *)
+              let partial = Block.finish ctx in
+              ignore (account core partial);
+              partials := partial :: !partials;
+              exec (delay +. partial.Block.cycles)
+        in
+        exec 0.0)
   in
   Option.iter Sanitizer.end_phase san;
-  (* Round-robin block -> core assignment; a core's critical path is the
-     sum of the blocks it executes. *)
-  let core_cycles = Array.make (min blocks num_cores) 0.0 in
-  List.iteri
-    (fun i (r : Block.result) ->
-      let c = i mod num_cores in
-      core_cycles.(c) <- core_cycles.(c) +. r.Block.cycles)
-    results;
+  let results = results @ !partials in
   let compute_seconds =
     Cost_model.cycles_to_seconds cm (Array.fold_left Float.max 0.0 core_cycles)
   in
@@ -54,16 +108,51 @@ let run_phase device ~blocks body =
       bandwidth_bound = bandwidth_seconds > compute_seconds;
     }
   in
-  (phase, results)
+  (phase, results, core_busy, core_used)
 
 let run_phases ?(name = "kernel") device ~blocks bodies =
   if blocks < 1 then invalid_arg "Launch.run_phases: blocks must be >= 1";
   if bodies = [] then invalid_arg "Launch.run_phases: no phases";
   let cm = Device.cost device in
+  let num_cores = Device.num_cores device in
   let fault_mark =
     match Device.fault device with Some f -> Fault.count f | None -> 0
   in
-  let phases_results = List.map (run_phase device ~blocks) bodies in
+  (* Watchdog: the per-launch budget is on the cumulative compute
+     critical path (stalled engines inflate it; launch latency and
+     bandwidth floors do not count against it). *)
+  let deadline = Device.deadline_cycles device in
+  let spent_cycles = ref 0.0 in
+  let total_core_busy = Array.make num_cores 0.0 in
+  let total_core_used = Array.make num_cores false in
+  let phases_results =
+    List.map
+      (fun body ->
+        let phase, results, core_busy, core_used =
+          run_phase device ~blocks body
+        in
+        Array.iteri
+          (fun c b -> total_core_busy.(c) <- total_core_busy.(c) +. b)
+          core_busy;
+        Array.iteri
+          (fun c u -> if u then total_core_used.(c) <- true)
+          core_used;
+        spent_cycles :=
+          !spent_cycles
+          +. Cost_model.seconds_to_cycles cm phase.Stats.compute_seconds;
+        (match deadline with
+        | Some budget when !spent_cycles > budget ->
+            raise
+              (Deadline_exceeded
+                 {
+                   name;
+                   budget_cycles = budget;
+                   spent_cycles = !spent_cycles;
+                 })
+        | _ -> ());
+        (phase, results))
+      bodies
+  in
   let phases = List.map fst phases_results in
   let results = List.concat_map snd phases_results in
   let n_phases = List.length phases in
@@ -104,15 +193,19 @@ let run_phases ?(name = "kernel") device ~blocks bodies =
       (fun (_, a) (_, b) -> compare b a)
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
   in
+  let cores_used =
+    Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 total_core_used
+  in
   {
     Stats.name;
     seconds;
     phases;
     blocks;
-    cores_used = min blocks (Device.num_cores device);
+    cores_used;
     gm_read_bytes = gm_read;
     gm_write_bytes = gm_write;
     engine_busy;
+    core_busy = total_core_busy;
     op_counts;
     faults =
       (match Device.fault device with

@@ -31,8 +31,14 @@ let draw_fault ctx ~engine ~op ~tensor ~dst_off ~len ~dst_dtype =
   match Block.fault ctx with
   | None -> Fault.No_fault
   | Some f ->
-      Fault.draw f ~engine ~op ~tensor ~dst_off ~len
-        ~elem_bits:(8 * Dtype.size_bytes dst_dtype)
+      let act =
+        Fault.draw f ~engine ~op ~tensor ~dst_off ~len
+          ~elem_bits:(8 * Dtype.size_bytes dst_dtype)
+      in
+      (* Persistent-health scoring: a core whose fault count trips the
+         quarantine budget dies here, before the faulty payload lands. *)
+      (match act with Fault.No_fault -> () | _ -> Block.note_fault ctx);
+      act
 
 let faulted_cycles act cycles =
   match act with Fault.Stall m -> cycles *. m | _ -> cycles

@@ -16,11 +16,16 @@ type t = {
   gm_read_bytes : int;
   gm_write_bytes : int;
   engine_busy : (string * float) list;
+  core_busy : float array;
   op_counts : (string * int) list;
   faults : Fault.event list;
   retries : int;
   degraded : int;
 }
+
+let core_utilization t =
+  if t.seconds <= 0.0 then [||]
+  else Array.map (fun b -> b /. t.seconds) t.core_busy
 
 let op_count t name =
   Option.value ~default:0 (List.assoc_opt name t.op_counts)
@@ -52,6 +57,18 @@ let combine ~name = function
                     | None -> acc)
                   0.0 stats ))
             first.engine_busy;
+        core_busy =
+          (let n =
+             List.fold_left
+               (fun acc s -> max acc (Array.length s.core_busy))
+               0 stats
+           in
+           let acc = Array.make n 0.0 in
+           List.iter
+             (fun s ->
+               Array.iteri (fun c b -> acc.(c) <- acc.(c) +. b) s.core_busy)
+             stats;
+           acc);
         op_counts =
           (let tbl = Hashtbl.create 16 in
            List.iter
@@ -101,6 +118,12 @@ let pp fmt t =
     (fun (e, c) ->
       if c > 0.0 then Format.fprintf fmt " %s=%.1f" e (c /. 1e3))
     t.engine_busy;
+  if Array.exists (fun b -> b > 0.0) t.core_busy then begin
+    Format.fprintf fmt "@ per-core busy (kcycles):";
+    Array.iteri
+      (fun c b -> Format.fprintf fmt " c%d=%.1f" c (b /. 1e3))
+      t.core_busy
+  end;
   (match t.op_counts with
   | [] -> ()
   | ops ->

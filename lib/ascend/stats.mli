@@ -23,6 +23,12 @@ type t = {
   gm_write_bytes : int;
   engine_busy : (string * float) list;
       (** Aggregate busy cycles per engine name, summed over blocks. *)
+  core_busy : float array;
+      (** Busy cycles per {e physical} AI core (index = core id, length
+          = [num_cores]), summed over the engines of the blocks the
+          core executed — including the partial work of blocks replayed
+          after a core death. Dead or idle cores read 0, making
+          degraded runs visible. *)
   op_counts : (string * int) list;
       (** Instructions issued per op name, summed over blocks (sorted
           descending by count). *)
@@ -38,6 +44,11 @@ type t = {
 
 val op_count : t -> string -> int
 (** Count for one op name (0 when absent). *)
+
+val core_utilization : t -> float array
+(** Per-core busy cycles divided by the launch wall time in seconds
+    (cycles of engine work per second of timeline; [[||]] when the
+    launch took no time). *)
 
 val gm_bytes : t -> int
 

@@ -8,7 +8,7 @@ let clone device x =
   if n = 0 then invalid_arg "Baseline.clone: empty input";
   let dt = Global_tensor.dtype x in
   let y = Device.alloc device dt n ~name:(Global_tensor.name x ^ "_clone") in
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let vchunk = Scan.Kernel_util.ceil_div n (blocks * vpc) in
   let body ctx =
@@ -223,7 +223,7 @@ let sort ?(descending = false) device x =
     phases := bitonic_fused_stage ~x:y ~n ~k:kk ~tile :: !phases;
     k := !k * 2
   done;
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n) in
   let stats =
     Launch.run_phases ~name:"torch_sort" device ~blocks (List.rev !phases)
   in
@@ -265,7 +265,7 @@ let topk device x ~k =
     invalid_arg "Baseline.topk: k out of range (1..4096, <= n)";
   let dt = Global_tensor.dtype x in
   let out = Device.alloc device dt k ~name:(Global_tensor.name x ^ "_topk") in
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let nvec = blocks * vpc in
   let vchunk = Scan.Kernel_util.ceil_div n nvec in

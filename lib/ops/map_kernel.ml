@@ -10,7 +10,7 @@ let run ?(name = "map") ?(scratch = []) device ~inputs ~output ~f =
         invalid_arg "Map_kernel.run: input/output length mismatch")
     inputs;
   if n = 0 then invalid_arg "Map_kernel.run: empty tensors";
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let vchunk = Scan.Kernel_util.ceil_div n (blocks * vpc) in
   let body ctx =

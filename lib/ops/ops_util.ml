@@ -40,7 +40,7 @@ let slice device gt ~off ~len =
   let out =
     Device.alloc device dt len ~name:(Global_tensor.name gt ^ "_slice")
   in
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n:len) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let vchunk = Scan.Kernel_util.ceil_div len (blocks * vpc) in
   let body ctx =
@@ -76,7 +76,7 @@ let blit device ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   if not (Dtype.equal (Global_tensor.dtype src) (Global_tensor.dtype dst))
   then invalid_arg "Ops_util.blit: data types differ";
   let dt = Global_tensor.dtype src in
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n:len) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let vchunk = Scan.Kernel_util.ceil_div len (blocks * vpc) in
   let body ctx =

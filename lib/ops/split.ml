@@ -140,7 +140,7 @@ let run ?(s = 128) ?(expected_density = 0.5) ?(with_indices = false)
       Some (Device.alloc device Dtype.I32 n ~name:(name ^ "_split_idx"))
     else None
   in
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let nvec = blocks * vpc in
   let vchunk = Scan.Kernel_util.ceil_div n nvec in

@@ -1,0 +1,59 @@
+type t = {
+  rows : int;
+  done_rows : bool array;
+  mutable commits : int;
+}
+
+let create ~rows =
+  if rows < 1 then invalid_arg "Checkpoint.create: rows must be >= 1";
+  { rows; done_rows = Array.make rows false; commits = 0 }
+
+let rows t = t.rows
+
+let is_done t row =
+  if row < 0 || row >= t.rows then
+    invalid_arg "Checkpoint.is_done: row out of range";
+  t.done_rows.(row)
+
+let mark t ~lo ~hi =
+  if lo < 0 || hi > t.rows || lo >= hi then
+    invalid_arg "Checkpoint.mark: bad row range";
+  for r = lo to hi - 1 do
+    t.done_rows.(r) <- true
+  done;
+  t.commits <- t.commits + 1
+
+let commits t = t.commits
+
+let done_count t =
+  Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.done_rows
+
+let complete t = done_count t = t.rows
+
+let pending t ~granularity =
+  if granularity < 1 then
+    invalid_arg "Checkpoint.pending: granularity must be >= 1";
+  let groups = ref [] in
+  let run_start = ref (-1) in
+  let close_run stop =
+    if !run_start >= 0 then begin
+      (* Split a maximal undone run into granularity-sized groups. *)
+      let lo = ref !run_start in
+      while !lo < stop do
+        let hi = min stop (!lo + granularity) in
+        groups := (!lo, hi) :: !groups;
+        lo := hi
+      done;
+      run_start := -1
+    end
+  in
+  for r = 0 to t.rows - 1 do
+    if t.done_rows.(r) then close_run r
+    else if !run_start < 0 then run_start := r
+  done;
+  close_run t.rows;
+  List.rev !groups
+
+let pp fmt t =
+  Format.fprintf fmt "checkpoint: %d/%d rows done in %d commits" (done_count t)
+    t.rows t.commits

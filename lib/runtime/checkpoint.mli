@@ -1,0 +1,31 @@
+(** Row-granular checkpoint state for resumable batched kernels.
+
+    A checkpoint tracks which rows of a batched operation have been
+    computed {e and validated}. After a mid-batch failure (a core
+    death, a watchdog abort, detected corruption) the runner asks for
+    the {!pending} row groups and replays only those — finished rows
+    are never re-executed. Used by [Resilient.batched_scan]. *)
+
+type t
+
+val create : rows:int -> t
+(** Raises [Invalid_argument] when [rows < 1]. *)
+
+val rows : t -> int
+
+val mark : t -> lo:int -> hi:int -> unit
+(** Commit rows [lo <= r < hi] as done (one commit). *)
+
+val is_done : t -> int -> bool
+val done_count : t -> int
+val complete : t -> bool
+
+val commits : t -> int
+(** Number of {!mark} commits so far. *)
+
+val pending : t -> granularity:int -> (int * int) list
+(** Unfinished rows as [(lo, hi)] groups of at most [granularity]
+    rows each, ascending. Raises [Invalid_argument] when
+    [granularity < 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -12,24 +12,58 @@ type 'a report = {
   attempts : int;
   detections : int;
   degraded : bool;
+  backoff_seconds : float;
   ok : bool;
 }
 
-let run ?(name = "resilient") ?(max_attempts = 3) ?fallback ~validate attempt =
+let run ?(name = "resilient") ?(max_attempts = 3) ?(backoff_s = 0.0) ?fallback
+    ~validate attempt =
   if max_attempts < 1 then
     invalid_arg "Resilient.run: max_attempts must be >= 1";
+  if backoff_s < 0.0 then invalid_arg "Resilient.run: negative backoff";
   let stats_acc = ref [] in
   let detections = ref 0 in
   let attempts = ref 0 in
+  let backoff = ref 0.0 in
+  let last_exn = ref None in
+  (* Exponential backoff before the k-th retry: backoff_s * 2^(k-1)
+     simulated seconds, folded into the combined stats. *)
+  let note_backoff () =
+    if backoff_s > 0.0 then
+      backoff := !backoff +. (backoff_s *. (2.0 ** float_of_int (!attempts - 1)))
+  in
+  (* A launch aborted by the watchdog or by running out of cores is a
+     detection like any other: the structured exceptions below count
+     against the attempt budget instead of escaping mid-loop. *)
+  let guarded f =
+    match f () with
+    | v, st ->
+        stats_acc := st :: !stats_acc;
+        Some v
+    | exception ((Launch.Deadline_exceeded _ | Health.All_cores_dead) as e) ->
+        last_exn := Some e;
+        None
+  in
   let rec primary () =
     incr attempts;
-    let v, st = attempt () in
-    stats_acc := st :: !stats_acc;
-    match validate v with
-    | Ok () -> (v, true)
-    | Error _ ->
+    match guarded attempt with
+    | Some v -> (
+        match validate v with
+        | Ok () -> (Some v, true)
+        | Error _ ->
+            incr detections;
+            if !attempts < max_attempts then begin
+              note_backoff ();
+              primary ()
+            end
+            else (Some v, false))
+    | None ->
         incr detections;
-        if !attempts < max_attempts then primary () else (v, false)
+        if !attempts < max_attempts then begin
+          note_backoff ();
+          primary ()
+        end
+        else (None, false)
   in
   let v, ok = primary () in
   let v, ok, degraded =
@@ -37,27 +71,35 @@ let run ?(name = "resilient") ?(max_attempts = 3) ?fallback ~validate attempt =
     else
       match fallback with
       | None -> (v, false, false)
-      | Some fb ->
-          let fv, fst_ = fb () in
-          stats_acc := fst_ :: !stats_acc;
+      | Some fb -> (
           incr attempts;
-          let fok =
-            match validate fv with
-            | Ok () -> true
-            | Error _ ->
-                incr detections;
-                false
-          in
-          (fv, fok, true)
+          match guarded fb with
+          | None -> (v, false, true)
+          | Some fv ->
+              let fok =
+                match validate fv with
+                | Ok () -> true
+                | Error _ ->
+                    incr detections;
+                    false
+              in
+              (Some fv, fok, true))
+  in
+  let v =
+    match (v, !last_exn) with
+    | Some v, _ -> v
+    | None, Some e -> raise e
+    | None, None -> assert false
   in
   let stats = Stats.combine ~name (List.rev !stats_acc) in
   let stats =
     { stats with
-      Stats.retries = !attempts - 1;
+      Stats.seconds = stats.Stats.seconds +. !backoff;
+      retries = !attempts - 1;
       degraded = (if degraded then 1 else 0) }
   in
   { value = v; stats; attempts = !attempts; detections = !detections;
-    degraded; ok }
+    degraded; backoff_seconds = !backoff; ok }
 
 let launch ?name ?max_attempts ?fallback device ~blocks ~validate bodies =
   run ?name ?max_attempts ?fallback
@@ -110,7 +152,7 @@ let validate_scan ~oracle ~round ~exclusive ~input output =
   | Reference ->
       Scan.Scan_api.check_against_reference ~round ~exclusive ~input ~output ()
 
-let scan ?(s = 128) ?max_attempts ?(oracle = Checksum) ?fallback
+let scan ?(s = 128) ?max_attempts ?backoff_s ?(oracle = Checksum) ?fallback
     ?(exclusive = false) ~algo device ~input =
   if not (Device.functional device) then
     invalid_arg "Resilient.scan: requires a functional-mode device";
@@ -133,7 +175,147 @@ let scan ?(s = 128) ?max_attempts ?(oracle = Checksum) ?fallback
   in
   run
     ~name:("resilient_" ^ Scan.Scan_api.algo_to_string algo)
-    ?max_attempts ?fallback ~validate attempt
+    ?max_attempts ?backoff_s ?fallback ~validate attempt
+
+type batched_schedule = U | Ul1
+
+let batched_schedule_to_string = function U -> "u" | Ul1 -> "ul1"
+
+type batched_report = {
+  y : Global_tensor.t;
+  bstats : Stats.t;
+  checkpoint : Checkpoint.t;
+  group_attempts : int;
+  replayed_rows : int;
+  bbackoff_seconds : float;
+  bok : bool;
+}
+
+(* Validate rows [lo, hi): chain the fp16 host reference per row and
+   compare every 64th element plus the row tail. *)
+let validate_batched_rows ~input ~len y ~lo ~hi =
+  let ok = ref true in
+  for r = lo to hi - 1 do
+    if !ok then begin
+      let acc = ref 0.0 in
+      for i = 0 to len - 1 do
+        acc := Fp16.round (!acc +. input.((r * len) + i));
+        if
+          (i land 63 = 0 || i = len - 1)
+          && Global_tensor.get y ((r * len) + i) <> !acc
+        then ok := false
+      done
+    end
+  done;
+  !ok
+
+let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
+    ?granularity ?(schedule = U) device ~batch ~len ~input =
+  if not (Device.functional device) then
+    invalid_arg "Resilient.batched_scan: requires a functional-mode device";
+  if batch < 1 || len < 1 then
+    invalid_arg "Resilient.batched_scan: batch and len must be positive";
+  if Array.length input < batch * len then
+    invalid_arg "Resilient.batched_scan: input shorter than batch * len";
+  if max_attempts < 1 then
+    invalid_arg "Resilient.batched_scan: max_attempts must be >= 1";
+  let granularity =
+    match granularity with
+    | None -> max 1 ((batch + 3) / 4)
+    | Some g when g >= 1 -> g
+    | Some _ -> invalid_arg "Resilient.batched_scan: granularity must be >= 1"
+  in
+  let x = Device.of_array device Dtype.F16 ~name:"bscan_x" input in
+  let y = Device.alloc device Dtype.F16 (batch * len) ~name:"bscan_y" in
+  let ck = Checkpoint.create ~rows:batch in
+  let run_rows rows =
+    match schedule with
+    | U -> Scan.Batched_scan.run_u ~s ~rows ~y device ~batch ~len x
+    | Ul1 -> Scan.Batched_scan.run_ul1 ~s ~rows ~y device ~batch ~len x
+  in
+  let stats_acc = ref [] in
+  let group_attempts = ref 0 in
+  let replayed_rows = ref 0 in
+  let backoff = ref 0.0 in
+  let dead_device = ref false in
+  (* One group: retry with exponential backoff until its rows validate
+     or the attempt budget is spent. Already-checkpointed rows are
+     never touched again — a mid-batch failure replays only the
+     unfinished remainder. *)
+  let run_group (lo, hi) =
+    let rec go attempt =
+      incr group_attempts;
+      if attempt > 1 then begin
+        replayed_rows := !replayed_rows + (hi - lo);
+        if backoff_s > 0.0 then
+          backoff :=
+            !backoff +. (backoff_s *. (2.0 ** float_of_int (attempt - 2)))
+      end;
+      match run_rows (lo, hi) with
+      | _, st ->
+          stats_acc := st :: !stats_acc;
+          if validate_batched_rows ~input ~len y ~lo ~hi then begin
+            Checkpoint.mark ck ~lo ~hi;
+            true
+          end
+          else if attempt < max_attempts then go (attempt + 1)
+          else false
+      | exception Launch.Deadline_exceeded _ ->
+          if attempt < max_attempts then go (attempt + 1) else false
+      | exception Health.All_cores_dead ->
+          dead_device := true;
+          false
+    in
+    go 1
+  in
+  let rec drain () =
+    match Checkpoint.pending ck ~granularity with
+    | [] -> ()
+    | groups ->
+        let any_ok =
+          List.fold_left
+            (fun acc g -> if !dead_device then acc else run_group g || acc)
+            false groups
+        in
+        (* Re-derive pending after this sweep; stop once no group makes
+           progress (budget exhausted or no cores left). *)
+        if any_ok && not !dead_device then drain ()
+  in
+  drain ();
+  let bstats =
+    match List.rev !stats_acc with
+    | [] ->
+        raise Health.All_cores_dead
+    | stats ->
+        let st =
+          Stats.combine
+            ~name:("resilient_bscan_" ^ batched_schedule_to_string schedule)
+            stats
+        in
+        { st with
+          Stats.seconds = st.Stats.seconds +. !backoff;
+          retries = !group_attempts - Checkpoint.commits ck }
+  in
+  {
+    y;
+    bstats;
+    checkpoint = ck;
+    group_attempts = !group_attempts;
+    replayed_rows = !replayed_rows;
+    bbackoff_seconds = !backoff;
+    bok = Checkpoint.complete ck;
+  }
+
+let pp_batched_report fmt r =
+  Format.fprintf fmt
+    "@[<v>%s: %s, %a, %d group attempts, %d rows replayed%s@ %a@]"
+    r.bstats.Stats.name
+    (if r.bok then "ok" else "FAILED")
+    Checkpoint.pp r.checkpoint r.group_attempts r.replayed_rows
+    (if r.bbackoff_seconds > 0.0 then
+       Printf.sprintf ", %.1f us backoff" (r.bbackoff_seconds *. 1e6)
+     else "")
+    Stats.pp_summary r.bstats
 
 let pp_report pp_value fmt r =
   Format.fprintf fmt

@@ -30,23 +30,33 @@ val oracle_to_string : oracle -> string
 type 'a report = {
   value : 'a;  (** Result of the last attempt (the validated one if [ok]). *)
   stats : Ascend.Stats.t;
-      (** Combined over all attempts; [retries] and [degraded] set. *)
+      (** Combined over all attempts; [retries] and [degraded] set and
+          backoff folded into [seconds]. *)
   attempts : int;  (** Total kernel executions, including the fallback. *)
   detections : int;  (** Validation failures observed. *)
   degraded : bool;  (** Whether the fallback path produced [value]. *)
+  backoff_seconds : float;  (** Simulated retry backoff folded in. *)
   ok : bool;  (** Whether the final output validated. *)
 }
 
 val run :
   ?name:string ->
   ?max_attempts:int ->
+  ?backoff_s:float ->
   ?fallback:(unit -> 'a * Ascend.Stats.t) ->
   validate:('a -> (unit, string) result) ->
   (unit -> 'a * Ascend.Stats.t) ->
   'a report
 (** [run ~validate attempt] executes [attempt] until it validates, at
     most [max_attempts] (default 3) times, then tries [fallback] once
-    if provided. Raises [Invalid_argument] when [max_attempts < 1]. *)
+    if provided. A structured degraded-mode abort escaping an attempt
+    ({!Ascend.Launch.Deadline_exceeded} or
+    {!Ascend.Health.All_cores_dead}) counts as a detection against the
+    same budget; the last one is re-raised only when {e no} attempt
+    ever produced a value. [backoff_s] arms exponential retry backoff:
+    the k-th retry adds [backoff_s * 2^(k-1)] simulated seconds to the
+    combined stats. Raises [Invalid_argument] when [max_attempts < 1]
+    or [backoff_s < 0]. *)
 
 val launch :
   ?name:string ->
@@ -64,6 +74,7 @@ val launch :
 val scan :
   ?s:int ->
   ?max_attempts:int ->
+  ?backoff_s:float ->
   ?oracle:oracle ->
   ?fallback:Scan.Scan_api.algo ->
   ?exclusive:bool ->
@@ -79,3 +90,48 @@ val scan :
 
 val pp_report :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a report -> unit
+
+(** {2 Checkpointed batched scans}
+
+    The batched-scan runner partitions the batch into row groups and
+    commits each validated group to a {!Checkpoint}. A mid-batch
+    failure — a core death absorbed by the launch replay, a watchdog
+    abort, or corruption caught by the per-row oracle — replays only
+    the unfinished rows with retry/backoff; checkpointed rows are never
+    re-executed. *)
+
+type batched_schedule = U  (** {!Scan.Batched_scan.run_u}. *) | Ul1
+
+val batched_schedule_to_string : batched_schedule -> string
+
+type batched_report = {
+  y : Ascend.Global_tensor.t;  (** The [(batch * len)] output tensor. *)
+  bstats : Ascend.Stats.t;
+      (** Combined over all group launches, backoff folded into
+          [seconds] and failed group attempts into [retries]. *)
+  checkpoint : Checkpoint.t;
+  group_attempts : int;  (** Group launches, including replays. *)
+  replayed_rows : int;  (** Rows re-executed after a failed attempt. *)
+  bbackoff_seconds : float;
+  bok : bool;  (** Whether every row checkpointed. *)
+}
+
+val batched_scan :
+  ?s:int ->
+  ?max_attempts:int ->
+  ?backoff_s:float ->
+  ?granularity:int ->
+  ?schedule:batched_schedule ->
+  Ascend.Device.t ->
+  batch:int ->
+  len:int ->
+  input:float array ->
+  batched_report
+(** Checkpointed batched scan of [input] (row-major [(batch, len)]).
+    [granularity] caps the rows per group (default: quarter batches).
+    Each group retries up to [max_attempts] times with [backoff_s]
+    exponential backoff. Requires a functional-mode device; raises
+    {!Ascend.Health.All_cores_dead} only when the device dies before
+    any group completes a launch. *)
+
+val pp_batched_report : Format.formatter -> batched_report -> unit

@@ -8,25 +8,58 @@ let check ~batch ~len x =
   if not (Dtype.equal (Global_tensor.dtype x) Dtype.F16) then
     invalid_arg "Batched_scan: input must be f16"
 
+(* Resolve the optional row window and output tensor shared by both
+   schedules. Restricting [rows] scans only those rows (the others are
+   left untouched in [y]) — the replay granule of the checkpointed
+   runner in [Runtime.Resilient]. *)
+let resolve ~batch ~len ~rows ~y ~suffix device x =
+  let row_lo, row_hi =
+    match rows with
+    | None -> (0, batch)
+    | Some (lo, hi) ->
+        if lo < 0 || hi > batch || lo >= hi then
+          invalid_arg
+            (Printf.sprintf
+               "Batched_scan: row range [%d,%d) outside batch [0,%d)" lo hi
+               batch);
+        (lo, hi)
+  in
+  let y =
+    match y with
+    | None ->
+        Device.alloc device Dtype.F16 (batch * len)
+          ~name:(Global_tensor.name x ^ suffix)
+    | Some y ->
+        if Global_tensor.length y < batch * len then
+          invalid_arg "Batched_scan: output tensor shorter than batch * len";
+        if not (Dtype.equal (Global_tensor.dtype y) Dtype.F16) then
+          invalid_arg "Batched_scan: output must be f16";
+        y
+  in
+  (row_lo, row_hi, y)
+
 (* ScanU-based schedule: block [i] owns row pairs [p = i, i+B, ...];
    the cube core interleaves the tile-local scans of both rows of the
    pair, vector core [v] finishes row [2p + v]. *)
-let run_u ?(s = 128) device ~batch ~len x =
+let run_u ?(s = 128) ?rows ?y device ~batch ~len x =
   if s <= 0 then invalid_arg "Batched_scan.run_u: s must be positive";
   check ~batch ~len x;
-  let y =
-    Device.alloc device Dtype.F16 (batch * len)
-      ~name:(Global_tensor.name x ^ "_bscanu")
+  let row_lo, row_hi, y =
+    resolve ~batch ~len ~rows ~y ~suffix:"_bscanu" device x
   in
   let tile = s * s in
   let ntiles = Kernel_util.ceil_div len tile in
-  let blocks = Device.num_cores device in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
-  let npairs = Kernel_util.ceil_div batch vpc in
+  let p_lo = row_lo / vpc in
+  let p_hi = Kernel_util.ceil_div row_hi vpc in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n:(p_hi - p_lo)) in
   let body ctx =
     let i = Block.idx ctx in
-    let mine = List.filter (fun p -> p mod blocks = i)
-                 (List.init npairs Fun.id) in
+    let mine =
+      List.filter
+        (fun p -> p mod blocks = i)
+        (List.init (p_hi - p_lo) (fun k -> p_lo + k))
+    in
     if mine <> [] then begin
       let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
       let l0c = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
@@ -47,7 +80,7 @@ let run_u ?(s = 128) device ~batch ~len x =
                 let tlen = min tile (len - toff) in
                 for v = 0 to vpc - 1 do
                   let j = (p * vpc) + v in
-                  if j < batch then begin
+                  if j >= row_lo && j < row_hi && j < batch then begin
                     let off = (j * len) + toff in
                     Kernel_util.cube_local_scans ctx ~x ~off ~len:tlen ~s ~l0a
                       ~u ~l0c ~y;
@@ -71,20 +104,22 @@ let run_u ?(s = 128) device ~batch ~len x =
 
 (* ScanUL1-based schedule: block [i] runs a full ScanUL1 on every row
    [j = i, i+B, ...] using its cube core and vector core 0. *)
-let run_ul1 ?(s = 128) device ~batch ~len x =
+let run_ul1 ?(s = 128) ?rows ?y device ~batch ~len x =
   if s <= 0 then invalid_arg "Batched_scan.run_ul1: s must be positive";
   check ~batch ~len x;
-  let y =
-    Device.alloc device Dtype.F16 (batch * len)
-      ~name:(Global_tensor.name x ^ "_bscanul1")
+  let row_lo, row_hi, y =
+    resolve ~batch ~len ~rows ~y ~suffix:"_bscanul1" device x
   in
   let tile = s * s in
   let ntiles = Kernel_util.ceil_div len tile in
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n:(row_hi - row_lo)) in
   let body ctx =
     let i = Block.idx ctx in
-    let mine = List.filter (fun j -> j mod blocks = i)
-                 (List.init batch Fun.id) in
+    let mine =
+      List.filter
+        (fun j -> j mod blocks = i)
+        (List.init (row_hi - row_lo) (fun k -> row_lo + k))
+    in
     if mine <> [] then begin
       let bufs = Scan_ul1.alloc_bufs ctx ~s in
       let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in

@@ -17,10 +17,20 @@
 
     Their complementary regimes are the subject of Figures 5 and 12:
     ScanU wins for large batches of short rows, ScanUL1 for small
-    batches of long rows. *)
+    batches of long rows.
+
+    Both take an optional row window and output tensor, the substrate
+    of the checkpointed runner in [Runtime.Resilient.batched_scan]:
+    [~rows:(lo, hi)] scans only rows [lo <= j < hi] (writing into the
+    matching slice of [y] and leaving other rows untouched), and
+    [~y] reuses a caller-provided [(batch * len)] F16 output so a
+    resumed run keeps the rows already finished. Defaults reproduce
+    the plain full-batch behaviour bit-for-bit. *)
 
 val run_u :
   ?s:int ->
+  ?rows:int * int ->
+  ?y:Ascend.Global_tensor.t ->
   Ascend.Device.t ->
   batch:int ->
   len:int ->
@@ -29,6 +39,8 @@ val run_u :
 
 val run_ul1 :
   ?s:int ->
+  ?rows:int * int ->
+  ?y:Ascend.Global_tensor.t ->
   Ascend.Device.t ->
   batch:int ->
   len:int ->

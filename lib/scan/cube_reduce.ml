@@ -23,8 +23,9 @@ let run_cube ?(s = 128) device x =
   let n = Global_tensor.length x in
   if n = 0 then invalid_arg "Cube_reduce.run_cube: empty input";
   let tile = s * s in
-  let blocks = Device.num_cores device in
-  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) tile in
+  let plan = Scheduler.plan device ~n in
+  let blocks = Scheduler.blocks plan in
+  let chunk = Scheduler.chunk plan ~n ~grain:tile in
   let name = Global_tensor.name x in
   let partials = Device.alloc device Dtype.F32 blocks ~name:(name ^ "_partials") in
   (* Row sums see every lane of a row, so the tail tile's stale L0A
@@ -91,7 +92,7 @@ let run_vec device x =
     invalid_arg "Cube_reduce.run_vec: input must be f16";
   let n = Global_tensor.length x in
   if n = 0 then invalid_arg "Cube_reduce.run_vec: empty input";
-  let blocks = Device.num_cores device in
+  let blocks = Scheduler.blocks (Scheduler.plan device ~n) in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let nvec = blocks * vpc in
   let chunk = Kernel_util.ceil_div n nvec in

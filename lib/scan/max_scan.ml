@@ -99,7 +99,9 @@ let run ?blocks device x =
   let n = Global_tensor.length x in
   if n = 0 then invalid_arg "Max_scan.run: empty input";
   let blocks =
-    match blocks with Some b -> b | None -> Device.num_cores device
+    match blocks with
+    | Some b -> b
+    | None -> Scheduler.blocks (Scheduler.plan device ~n)
   in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) ub_tile in

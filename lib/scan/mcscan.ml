@@ -141,7 +141,9 @@ let run ?(s = 128) ?blocks ?(exclusive = false) device x =
   let n = Global_tensor.length x in
   if n = 0 then invalid_arg "Mcscan.run: empty input";
   let blocks =
-    match blocks with Some b -> b | None -> Device.num_cores device
+    match blocks with
+    | Some b -> b
+    | None -> Scheduler.blocks (Scheduler.plan device ~n)
   in
   if blocks < 1 then invalid_arg "Mcscan.run: blocks must be >= 1";
   let vpc = (Device.cost device).Cost_model.vec_per_core in

@@ -148,7 +148,9 @@ let run ?blocks device ~x ~flags () =
     invalid_arg "Segmented_scan.run: length mismatch";
   if n = 0 then invalid_arg "Segmented_scan.run: empty input";
   let blocks =
-    match blocks with Some b -> b | None -> Device.num_cores device
+    match blocks with
+    | Some b -> b
+    | None -> Scheduler.blocks (Scheduler.plan device ~n)
   in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
   let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) ub_tile in

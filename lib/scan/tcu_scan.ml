@@ -78,7 +78,7 @@ let rec scan_rec ?(s = 128) device x ~depth =
       Device.alloc device Dtype.F16 ntiles
         ~name:(Printf.sprintf "%s_tcu_carry%d" name depth)
     in
-    let blocks = Device.num_cores device in
+    let blocks = Scheduler.blocks (Scheduler.plan device ~n:ntiles) in
     let s1 =
       Launch.run ~name:(Printf.sprintf "tcu_local_d%d" depth) device ~blocks
         (phase_local ~x ~y ~t ~s ~n)
