@@ -1,0 +1,123 @@
+(* Host-parallelism benchmark (BENCH_3): Bechamel wall-clock of the
+   functional-mode MCScan at domain counts 1/2/4, plus the fp16 decode
+   table against the historical [Float.pow]-based decoder it replaced.
+
+   Emits BENCH_3.json (path overridable as argv.(1)). The simulated
+   time is invariant under the domain count by construction — only the
+   host wall-clock changes, and only when the machine actually has
+   spare hardware threads: [host_cpus] is recorded so a single-CPU run
+   (where domain parallelism can only add GC-synchronisation overhead)
+   is distinguishable from a genuine multicore measurement. *)
+
+let domain_counts = [ 1; 2; 4 ]
+let scan_n = 1 lsl 18
+
+let ols =
+  Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false
+    ~predictors:[| Bechamel.Measure.run |]
+
+let cfg =
+  Bechamel.Benchmark.cfg ~limit:20 ~quota:(Bechamel.Time.second 0.5) ()
+
+(* ns/run of one thunk via Bechamel's monotonic clock. *)
+let time_ns name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let results = Benchmark.all cfg [ instance ] test in
+  let analysis = Analyze.all ols instance results in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ result ->
+      match Analyze.OLS.estimates result with
+      | Some [ e ] -> est := e
+      | _ -> ())
+    analysis;
+  !est
+
+(* The pre-table fp16 decoder, inlined as the baseline for the LUT. *)
+let reference_to_float h =
+  let sign = if Ascend.Fp16.bits_sign h = 1 then -1.0 else 1.0 in
+  let e = Ascend.Fp16.bits_exponent h in
+  let m = Ascend.Fp16.bits_mantissa h in
+  if e = 31 then if m = 0 then sign *. infinity else Float.nan
+  else if e = 0 then sign *. float_of_int m *. 0x1p-24
+  else sign *. float_of_int (m lor 0x400) *. Float.pow 2.0 (float_of_int (e - 25))
+
+let bench_fp16 () =
+  let sweep decode () =
+    let acc = ref 0.0 in
+    for bits = 0 to 0xFFFF do
+      let v = decode bits in
+      if not (Float.is_nan v) then acc := !acc +. v
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let table_ns = time_ns "fp16_table_64k" (sweep Ascend.Fp16.to_float) in
+  let reference_ns = time_ns "fp16_reference_64k" (sweep reference_to_float) in
+  (table_ns, reference_ns)
+
+let bench_mcscan domains =
+  let d = Ascend.Device.create ~domains () in
+  let data = Array.init scan_n (fun i -> if i mod 53 = 0 then 1.0 else 0.0) in
+  let x = Ascend.Device.of_array d Ascend.Dtype.F16 ~name:"x" data in
+  let _, st = Scan.Mcscan.run d x in
+  let ns = time_ns (Printf.sprintf "mcscan_d%d" domains) (fun () ->
+      ignore (Scan.Mcscan.run d x))
+  in
+  (ns, st)
+
+let () =
+  let out_path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_3.json" in
+  let host_cpus = Domain.recommended_domain_count () in
+  Printf.printf "BENCH_3: MCScan host wall-clock, n = %d, host CPUs = %d\n%!"
+    scan_n host_cpus;
+  let runs = List.map (fun dm -> (dm, bench_mcscan dm)) domain_counts in
+  let base_ns =
+    match runs with (_, (ns, _)) :: _ -> ns | [] -> assert false
+  in
+  List.iter
+    (fun (dm, (ns, (st : Ascend.Stats.t))) ->
+      Printf.printf
+        "  domains=%d  %12.0f ns/run  speedup vs 1: %5.2fx  (sim %.3f us, \
+         stats invariant)\n%!"
+        dm ns (base_ns /. ns)
+        (st.Ascend.Stats.seconds *. 1e6))
+    runs;
+  let table_ns, reference_ns = bench_fp16 () in
+  Printf.printf
+    "  fp16 decode 64k patterns: table %.0f ns, Float.pow reference %.0f ns \
+     (%.2fx)\n%!"
+    table_ns reference_ns (reference_ns /. table_ns);
+  let oc = open_out out_path in
+  let sim_us =
+    match runs with (_, (_, st)) :: _ -> st.Ascend.Stats.seconds *. 1e6 | [] -> 0.0
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"BENCH_3\",\n";
+  Printf.fprintf oc "  \"generated_by\": \"bench/bench_domains.ml\",\n";
+  Printf.fprintf oc "  \"host_cpus\": %d,\n" host_cpus;
+  Printf.fprintf oc "  \"note\": \"Host wall-clock of the functional MCScan \
+                     simulation by domain count. Outputs and simulated stats \
+                     are bit-identical across rows; host_speedup_vs_1 > 1 \
+                     requires host_cpus > 1 (on a single-CPU host domain \
+                     dispatch can only add overhead).\",\n";
+  Printf.fprintf oc "  \"mcscan_n\": %d,\n" scan_n;
+  Printf.fprintf oc "  \"mcscan_sim_us\": %.3f,\n" sim_us;
+  Printf.fprintf oc "  \"mcscan\": [\n";
+  List.iteri
+    (fun i (dm, (ns, _)) ->
+      Printf.fprintf oc
+        "    { \"domains\": %d, \"ns_per_run\": %.0f, \
+         \"host_speedup_vs_1\": %.3f }%s\n"
+        dm ns (base_ns /. ns)
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"fp16_decode\": { \"table_ns_per_64k\": %.0f, \
+     \"float_pow_reference_ns_per_64k\": %.0f, \"lut_speedup\": %.2f }\n"
+    table_ns reference_ns (reference_ns /. table_ns);
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path

@@ -26,7 +26,13 @@ let check_n n =
     raise (Usage_error (Printf.sprintf "N must be >= 1 (got %d)" n))
 
 let make_device ?faults ?(kills = []) ?quarantine ?deadline ?(sanitize = false)
-    cost_only =
+    ?domains cost_only =
+  (match domains with
+  | Some d when d < 1 ->
+      raise
+        (Usage_error
+           (Printf.sprintf "--domains: domain count must be >= 1 (got %d)" d))
+  | _ -> ());
   let num_cores = Ascend.Cost_model.default.Ascend.Cost_model.num_ai_cores in
   List.iter
     (fun (core, _) ->
@@ -58,7 +64,7 @@ let make_device ?faults ?(kills = []) ?quarantine ?deadline ?(sanitize = false)
   in
   Ascend.Device.create
     ~mode:(if cost_only then Ascend.Device.Cost_only else Ascend.Device.Functional)
-    ?fault ~sanitize ?deadline_cycles:deadline ()
+    ?fault ~sanitize ?deadline_cycles:deadline ?domains ()
 
 let print_stats st = Format.printf "%a@." Ascend.Stats.pp st
 
@@ -154,6 +160,18 @@ let deadline_arg =
            path exceeds CYCLES cycles (exit 1 with a structured error \
            instead of silently inflated stats).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Dispatch the independent blocks of each launch phase across N \
+           host domains (OCaml 5 runtime threads). Outputs and simulated \
+           statistics are bit-identical to the sequential schedule; only \
+           host wall-clock time changes. Defaults to \
+           $(b,ASCEND_SIM_DOMAINS), or 1.")
+
 let quarantine_arg =
   Arg.(
     value
@@ -199,12 +217,13 @@ let scan_cmd =
              exhausted. Requires functional mode.")
   in
   let run algo n s exclusive cost_only check resilient faults kills quarantine
-      deadline sanitize seed =
+      deadline sanitize domains seed =
     check_n n;
     if resilient && cost_only then
       raise (Usage_error "--resilient requires functional mode (drop --cost-only)");
     let device =
-      make_device ?faults ~kills ?quarantine ?deadline ~sanitize cost_only
+      make_device ?faults ~kills ?quarantine ?deadline ~sanitize ?domains
+        cost_only
     in
     let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
     if resilient then begin
@@ -252,7 +271,7 @@ let scan_cmd =
     Term.(
       const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ cost_only_arg
       $ check_arg $ resilient_arg $ faults_arg $ kill_arg $ quarantine_arg
-      $ deadline_arg $ sanitize_arg $ seed_arg)
+      $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "scan" ~doc:"Run a parallel scan algorithm.") term
 
@@ -296,7 +315,7 @@ let batched_cmd =
              meaningful with --checkpoint.")
   in
   let run batch len s algo checkpoint granularity cost_only faults kills
-      quarantine deadline sanitize seed =
+      quarantine deadline sanitize domains seed =
     if batch < 1 then raise (Usage_error "--batch must be >= 1");
     if len < 1 then raise (Usage_error "--len must be >= 1");
     (match granularity with
@@ -306,7 +325,8 @@ let batched_cmd =
       raise
         (Usage_error "--checkpoint requires functional mode (drop --cost-only)");
     let device =
-      make_device ?faults ~kills ?quarantine ?deadline ~sanitize cost_only
+      make_device ?faults ~kills ?quarantine ?deadline ~sanitize ?domains
+        cost_only
     in
     let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
     if checkpoint then begin
@@ -342,7 +362,7 @@ let batched_cmd =
     Term.(
       const run $ batch_arg $ len_arg $ s_arg $ algo_arg $ checkpoint_arg
       $ granularity_arg $ cost_only_arg $ faults_arg $ kill_arg
-      $ quarantine_arg $ deadline_arg $ sanitize_arg $ seed_arg)
+      $ quarantine_arg $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "batched"
@@ -359,10 +379,11 @@ let sort_cmd =
     Arg.(value & opt int 16 & info [ "bits" ] ~docv:"BITS" ~doc:"Radix passes (u16 keys).")
   in
   let run n s bits baseline cost_only faults kills quarantine deadline sanitize
-      seed =
+      domains seed =
     check_n n;
     let device =
-      make_device ?faults ~kills ?quarantine ?deadline ~sanitize cost_only
+      make_device ?faults ~kills ?quarantine ?deadline ~sanitize ?domains
+        cost_only
     in
     (* Fewer than 16 bits selects the low-precision u16 key path. *)
     let dtype = if bits < 16 then Ascend.Dtype.U16 else Ascend.Dtype.F16 in
@@ -406,7 +427,7 @@ let sort_cmd =
     Term.(
       const run $ n_arg $ s_arg $ bits_arg $ baseline_arg $ cost_only_arg
       $ faults_arg $ kill_arg $ quarantine_arg $ deadline_arg $ sanitize_arg
-      $ seed_arg)
+      $ domains_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "sort" ~doc:"Run the cube-split radix sort.") term
 

@@ -9,14 +9,35 @@ type t = {
   sanitizer : Sanitizer.t option;
   health : Health.t;
   deadline_cycles : float option;
+  domains : int;
 }
 
+(* Default host-parallelism width: the ASCEND_SIM_DOMAINS environment
+   variable when it parses as a positive integer, else 1 (sequential).
+   A garbage value falls back to 1 rather than failing device
+   creation; the CLI validates its own --domains flag separately. *)
+let default_domains () =
+  match Sys.getenv_opt "ASCEND_SIM_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> d
+      | _ -> 1)
+
 let create ?(cost = Cost_model.default) ?(mode = Functional) ?fault
-    ?(sanitize = false) ?deadline_cycles () =
+    ?(sanitize = false) ?deadline_cycles ?domains () =
   (match deadline_cycles with
   | Some d when d <= 0.0 || Float.is_nan d ->
       invalid_arg "Device.create: deadline_cycles must be positive"
   | _ -> ());
+  let domains =
+    match domains with
+    | None -> default_domains ()
+    | Some d when d >= 1 -> d
+    | Some d ->
+        invalid_arg
+          (Printf.sprintf "Device.create: domains must be >= 1 (got %d)" d)
+  in
   let num_cores = cost.Cost_model.num_ai_cores in
   let health =
     match fault with
@@ -34,6 +55,7 @@ let create ?(cost = Cost_model.default) ?(mode = Functional) ?fault
     sanitizer = (if sanitize then Some (Sanitizer.create ()) else None);
     health;
     deadline_cycles;
+    domains;
   }
 
 let cost t = t.cost
@@ -42,6 +64,7 @@ let fault t = t.fault
 let sanitizer t = t.sanitizer
 let health t = t.health
 let deadline_cycles t = t.deadline_cycles
+let domains t = t.domains
 
 let functional t =
   match t.mode with Functional -> true | Cost_only -> false

@@ -21,6 +21,7 @@ val create :
   ?fault:Fault.config ->
   ?sanitize:bool ->
   ?deadline_cycles:float ->
+  ?domains:int ->
   unit ->
   t
 (** Defaults: {!Cost_model.default}, [Functional], no fault injection,
@@ -31,7 +32,14 @@ val create :
     missing-[SyncAll] hazard diagnostics). [deadline_cycles] arms the
     launch watchdog: a launch whose cumulative compute critical path
     exceeds the budget raises {!Launch.Deadline_exceeded}. Raises
-    [Invalid_argument] on a non-positive deadline. *)
+    [Invalid_argument] on a non-positive deadline.
+
+    [domains] sets the host-side execution width: with [domains > 1] a
+    launch dispatches a phase's blocks across that many OCaml domains
+    (results stay bit- and Stats-identical to [domains = 1]; see
+    {!Launch}); it defaults to the [ASCEND_SIM_DOMAINS] environment
+    variable when set to a positive integer, else 1. Raises
+    [Invalid_argument] when [domains < 1] is passed explicitly. *)
 
 val cost : t -> Cost_model.t
 val mode : t -> mode
@@ -49,6 +57,9 @@ val health : t -> Health.t
 
 val deadline_cycles : t -> float option
 (** The watchdog budget, if armed. *)
+
+val domains : t -> int
+(** Host execution width used by {!Launch} (>= 1; 1 = sequential). *)
 
 val num_cores : t -> int
 val num_vec_cores : t -> int

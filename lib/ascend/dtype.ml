@@ -53,6 +53,24 @@ let cast ~from ~into v =
   | (F16 | F32), (I8 | I16 | U16 | I32) -> round into (Float.of_int (int_of_float v))
   | _, _ -> round into v
 
+(* Bulk-path variants: dispatch on the dtype once and return the bare
+   element function, so tight copy/convert loops (Host_buffer, MTE
+   DataCopy) hoist the per-element match out of the loop. *)
+let rounder = function
+  | F16 -> Fp16.round
+  | F32 -> round_f32
+  | I8 -> wrap_signed 8
+  | I16 -> wrap_signed 16
+  | U16 -> wrap_unsigned 16
+  | I32 -> wrap_signed 32
+
+let caster ~from ~into =
+  match from, into with
+  | (F16 | F32), (I8 | I16 | U16 | I32) ->
+      let r = rounder into in
+      fun v -> r (Float.of_int (int_of_float v))
+  | _, _ -> rounder into
+
 let equal a b =
   match a, b with
   | F16, F16 | F32, F32 | I8, I8 | I16, I16 | U16, U16 | I32, I32 -> true

@@ -40,3 +40,12 @@ val to_string : t -> string
 val cast : from:t -> into:t -> float -> float
 (** Hardware cast semantics: integer-to-integer wraps, float-to-integer
     truncates toward zero then wraps, anything-to-float rounds. *)
+
+val rounder : t -> float -> float
+(** [rounder dt] is {!round}[ dt] with the dtype dispatch paid once;
+    partially apply it outside a loop and the loop body is the bare
+    per-element function. *)
+
+val caster : from:t -> into:t -> float -> float
+(** [caster ~from ~into] is {!cast}[ ~from ~into] with the dispatch
+    paid once, for bulk converting copies. *)

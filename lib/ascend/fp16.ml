@@ -63,13 +63,29 @@ let of_float f =
     end
     else sign (* underflow to (signed) zero *)
 
-let to_float h =
+(* [to_float] is the simulator's hottest scalar: every fp16 store
+   rounds through [of_float]/[to_float], so a 1M-element kernel decodes
+   millions of half words. The historical implementation paid a
+   [Float.pow] per normal value; this decodes once per bit pattern into
+   a 65536-entry table at module initialisation (exactly 512 KiB of
+   unboxed doubles) and makes [to_float] a single array read. [ldexp]
+   by an exact power of two is bit-identical to the old
+   [*. Float.pow 2.0 (float (e - 25))] path — both are exact scalings —
+   which the exhaustive 65536-pattern test locks in. The eager (not
+   lazy) build keeps the table domain-safe for parallel launches. *)
+let decode h =
   let sign = if bits_sign h = 1 then -1.0 else 1.0 in
   let e = bits_exponent h in
   let m = bits_mantissa h in
   if e = 31 then if m = 0 then sign *. infinity else Float.nan
   else if e = 0 then sign *. float_of_int m *. 0x1p-24
-  else sign *. float_of_int (m lor 0x400) *. Float.pow 2.0 (float_of_int (e - 25))
+  else sign *. Float.ldexp (float_of_int (m lor 0x400)) (e - 25)
+
+let to_float_table = Array.init 65536 decode
+
+(* Masking to 16 bits matches the historical field extractions, which
+   only ever read bits 0-15. *)
+let to_float h = Array.unsafe_get to_float_table (h land 0xFFFF)
 
 let round f = to_float (of_float f)
 let add a b = round (a +. b)

@@ -15,6 +15,8 @@ type t = {
   faults : int array;  (* injected faults attributed per core *)
   dead : bool array;
   quarantine_after : int option;
+  inert_config : bool;  (* no kills seeded and no quarantine budget *)
+  mutable num_dead : int;
   mutable deaths : (int * float * reason) list;  (* newest first *)
 }
 
@@ -42,6 +44,9 @@ let create ~num_cores ?(kills = []) ?quarantine_after () =
     faults = Array.make num_cores 0;
     dead = Array.make num_cores false;
     quarantine_after;
+    inert_config =
+      quarantine_after = None && Array.for_all (fun k -> k = infinity) kill_at;
+    num_dead = 0;
     deaths = [];
   }
 
@@ -72,6 +77,7 @@ let mark_dead ?(reason = Marked) t ~core =
   check_core t core;
   if not t.dead.(core) then begin
     t.dead.(core) <- true;
+    t.num_dead <- t.num_dead + 1;
     t.deaths <- (core, t.cycles.(core), reason) :: t.deaths
   end
 
@@ -106,6 +112,13 @@ let note_fault t ~core ~cycle =
   | _ -> ()
 
 let deaths t = List.rev t.deaths
+let death_count t = t.num_dead
+
+(* An inert monitor can never raise [Core_dead] nor shrink the alive
+   set: no seeded kills, no quarantine budget, nothing dead yet. The
+   launch engine uses this to prove a phase safe for domain-parallel
+   block execution. *)
+let inert t = t.inert_config && t.num_dead = 0
 
 let parse_kill_spec s =
   let fail () =

@@ -76,6 +76,18 @@ val mark_dead : ?reason:reason -> t -> core:int -> unit
 val deaths : t -> (int * float * reason) list
 (** [(core, cycle, reason)] per death, in death order. *)
 
+val death_count : t -> int
+(** O(1) count of dead cores; doubles as a generation stamp the launch
+    path uses to cheaply detect that an alive-core snapshot went
+    stale. *)
+
+val inert : t -> bool
+(** O(1): the monitor can never raise {!Core_dead} nor shrink the
+    alive set — no seeded kills, no quarantine budget, no core dead.
+    The launch engine requires this (plus no fault model and no
+    sanitizer) before dispatching a phase's blocks across host
+    domains; any stateful monitor forces the sequential path. *)
+
 val parse_kill_spec : string -> (int * float, string) result
 (** Parse a CLI [CORE@CYCLE] kill spec (plain [CORE] = cycle 0). *)
 

@@ -15,20 +15,35 @@ let fill t v =
   let v = Dtype.round t.dtype v in
   Array.fill t.data 0 (Array.length t.data) v
 
+(* Bulk element conversion with the dtype dispatch hoisted out of the
+   loop; ranges must already be validated. Shared by the converting
+   [blit] path and [of_array]. *)
+let convert_into f ~src ~src_off ~dst ~dst_off ~len =
+  for i = 0 to len - 1 do
+    Array.unsafe_set dst (dst_off + i) (f (Array.unsafe_get src (src_off + i)))
+  done
+
 let blit ~src ~src_off ~dst ~dst_off ~len =
   if len < 0 || src_off < 0 || dst_off < 0
      || src_off + len > length src || dst_off + len > length dst
   then invalid_arg "Host_buffer.blit: range out of bounds";
   if Dtype.equal src.dtype dst.dtype then
+    (* Stored values are already canonical for the dtype: move them
+       wholesale, no per-element rounding. *)
     Array.blit src.data src_off dst.data dst_off len
   else
-    for i = 0 to len - 1 do
-      set_cast dst (dst_off + i) ~from:src.dtype src.data.(src_off + i)
-    done
+    convert_into
+      (Dtype.caster ~from:src.dtype ~into:dst.dtype)
+      ~src:src.data ~src_off ~dst:dst.data ~dst_off ~len
 
 let of_array dtype a =
-  let t = create dtype (Array.length a) in
-  Array.iteri (fun i v -> set t i v) a;
+  let n = Array.length a in
+  let t = create dtype n in
+  (* Same dispatch-hoisted path as [blit]'s converting branch, instead
+     of the historical [set] per element (bounds check + dtype match
+     per value). *)
+  convert_into (Dtype.rounder dtype) ~src:a ~src_off:0 ~dst:t.data ~dst_off:0
+    ~len:n;
   t
 
 let to_array t = Array.copy t.data

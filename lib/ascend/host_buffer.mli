@@ -30,9 +30,14 @@ val set_cast : t -> int -> from:Dtype.t -> float -> unit
 val fill : t -> float -> unit
 
 val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
-(** Element-wise copy applying the destination's rounding. *)
+(** Copy applying the destination's rounding. Same-dtype copies move
+    the (already canonical) values wholesale via [Array.blit];
+    converting copies pay the dtype dispatch once, not per element. *)
 
 val of_array : Dtype.t -> float array -> t
+(** Allocate and fill, rounding every element through the dtype codec
+    with the dispatch hoisted out of the loop. *)
+
 val to_array : t -> float array
 val copy : t -> t
 

@@ -23,7 +23,36 @@ let () =
    stay accounted and the block replays from scratch on the shrunken
    alive set. Kernel blocks are idempotent (they write deterministic
    ranges derived from the block index), so a replay restores the exact
-   healthy result. *)
+   healthy result.
+
+   When the device was created with [domains > 1] and the phase is
+   provably stateless on the host side — no fault model, no sanitizer,
+   inert health monitor — the blocks execute across a domain pool
+   instead of sequentially. Determinism is preserved by construction:
+   block bodies only write block-disjoint tensor ranges and
+   block-local contexts, per-block results land in an array indexed by
+   block id, and all shared accounting (core timelines, busy cycles,
+   the health clock) is replayed from that array in block order after
+   the join — the exact float-addition order of the sequential path.
+   Any stateful feature forces the sequential path so that
+   fault-injection, kill/replay and sanitizer semantics are
+   untouched. *)
+
+(* Execute the blocks of a provably-stateless phase across the global
+   domain pool. Returns per-block results indexed by block id. *)
+let exec_blocks_parallel device ~blocks ~alive body =
+  let n_alive = Array.length alive in
+  let out = Array.make blocks None in
+  Domain_pool.parallel_for (Domain_pool.global ())
+    ~slots:(Device.domains device) ~n:blocks (fun idx ->
+      let core = alive.(idx mod n_alive) in
+      let ctx = Block.make_on ~core ~device ~idx ~num_blocks:blocks in
+      body ctx;
+      out.(idx) <- Some (Block.finish ctx));
+  Array.map
+    (function Some r -> r | None -> failwith "Launch: lost block result")
+    out
+
 let run_phase device ~blocks body =
   let cm = Device.cost device in
   let num_cores = Device.num_cores device in
@@ -40,35 +69,73 @@ let run_phase device ~blocks body =
     core_busy.(core) <- core_busy.(core) +. busy;
     busy
   in
+  (* Alive-core snapshot: taken once per phase and refreshed only when
+     the health monitor records a new death (cheap generation check),
+     so the per-block core lookup is O(1) instead of the historical
+     O(alive) [List.nth] walk. *)
+  let alive = ref (Array.of_list (Health.alive_cores health)) in
+  let alive_gen = ref (Health.death_count health) in
+  let refresh_alive () =
+    if Health.death_count health <> !alive_gen then begin
+      alive := Array.of_list (Health.alive_cores health);
+      alive_gen := Health.death_count health
+    end
+  in
+  let parallel =
+    Device.domains device > 1 && blocks > 1
+    && Option.is_none (Device.fault device)
+    && Option.is_none san && Health.inert health
+  in
   let results =
-    List.init blocks (fun idx ->
-        (* [delay] serialises a replay behind its failed predecessors:
-           the replacement block cannot start before the victim died, so
-           the dead time is charged to the replay core's timeline. *)
-        let rec exec delay =
-          let alive = Health.alive_cores health in
-          let n_alive = List.length alive in
-          if n_alive = 0 then raise Health.All_cores_dead;
-          let core = List.nth alive (idx mod n_alive) in
-          core_used.(core) <- true;
-          let ctx = Block.make_on ~core ~device ~idx ~num_blocks:blocks in
-          match body ctx with
-          | () ->
-              let r = Block.finish ctx in
-              let busy = account core r in
-              core_cycles.(core) <- core_cycles.(core) +. delay;
-              Health.note_cycles health ~core busy;
-              r
-          | exception Health.Core_dead _ ->
-              (* The dying core's partial work happened: its timeline,
-                 traffic and instruction counts are real, only its
-                 writes are untrusted. Replay the block on a survivor. *)
-              let partial = Block.finish ctx in
-              ignore (account core partial);
-              partials := partial :: !partials;
-              exec (delay +. partial.Block.cycles)
-        in
-        exec 0.0)
+    if parallel then begin
+      let raw = exec_blocks_parallel device ~blocks ~alive:!alive body in
+      (* Deterministic post-join merge: identical statements, in the
+         identical block order, as the sequential loop below — the
+         core timelines and the health clock see the same
+         float-addition sequence bit for bit. *)
+      let n_alive = Array.length !alive in
+      Array.to_list
+        (Array.mapi
+           (fun idx r ->
+             let core = !alive.(idx mod n_alive) in
+             core_used.(core) <- true;
+             let busy = account core r in
+             Health.note_cycles health ~core busy;
+             r)
+           raw)
+    end
+    else
+      List.init blocks (fun idx ->
+          (* [delay] serialises a replay behind its failed predecessors:
+             the replacement block cannot start before the victim died,
+             so the dead time is charged to the replay core's
+             timeline. *)
+          let rec exec delay =
+            refresh_alive ();
+            let a = !alive in
+            let n_alive = Array.length a in
+            if n_alive = 0 then raise Health.All_cores_dead;
+            let core = a.(idx mod n_alive) in
+            core_used.(core) <- true;
+            let ctx = Block.make_on ~core ~device ~idx ~num_blocks:blocks in
+            match body ctx with
+            | () ->
+                let r = Block.finish ctx in
+                let busy = account core r in
+                core_cycles.(core) <- core_cycles.(core) +. delay;
+                Health.note_cycles health ~core busy;
+                r
+            | exception Health.Core_dead _ ->
+                (* The dying core's partial work happened: its timeline,
+                   traffic and instruction counts are real, only its
+                   writes are untrusted. Replay the block on a
+                   survivor. *)
+                let partial = Block.finish ctx in
+                ignore (account core partial);
+                partials := partial :: !partials;
+                exec (delay +. partial.Block.cycles)
+          in
+          exec 0.0)
   in
   Option.iter Sanitizer.end_phase san;
   let results = results @ !partials in
@@ -113,6 +180,7 @@ let run_phase device ~blocks body =
 let run_phases ?(name = "kernel") device ~blocks bodies =
   if blocks < 1 then invalid_arg "Launch.run_phases: blocks must be >= 1";
   if bodies = [] then invalid_arg "Launch.run_phases: no phases";
+  let host_t0 = Unix.gettimeofday () in
   let cm = Device.cost device in
   let num_cores = Device.num_cores device in
   let fault_mark =
@@ -213,6 +281,8 @@ let run_phases ?(name = "kernel") device ~blocks bodies =
       | None -> []);
     retries = 0;
     degraded = 0;
+    host_seconds = Unix.gettimeofday () -. host_t0;
+    domains = Device.domains device;
   }
 
 let run ?name device ~blocks body = run_phases ?name device ~blocks [ body ]

@@ -23,6 +23,24 @@
     core has died, {!Health.All_cores_dead} escapes to the caller
     (e.g. {!Runtime.Resilient}).
 
+    {2 Host parallel execution}
+
+    The launch is also the simulator's own hot loop, and it runs on a
+    multicore host. When the device was created with [domains > 1]
+    {e and} the phase is provably stateless on the host side — no
+    fault model, no sanitizer, {!Health.inert} monitor — its blocks
+    are dispatched across a pool of OCaml domains instead of being
+    replayed sequentially. The contract is strict determinism: tensor
+    outputs are bit-identical and the resulting {!Stats.t} is
+    {!Stats.equal_simulated} to the sequential run for {e any} domain
+    count, because block bodies only touch block-disjoint tensor
+    ranges, per-block results land in an array indexed by block id,
+    and all shared accounting (core timelines, engine busy cycles, the
+    health clock) is replayed from that array in block order after the
+    join. Fault injection, seeded kills/quarantine and the sanitizer
+    are inherently order-dependent, so their presence forces the
+    deterministic sequential path and their semantics are untouched.
+
     {2 Watchdog}
 
     When the device was created with [~deadline_cycles], the cumulative

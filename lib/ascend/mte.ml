@@ -102,15 +102,24 @@ let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
       | Fault.Truncate k -> k
       | _ -> len
     in
-    for c = 0 to count - 1 do
-      let blen = min burst (max 0 (keep - (c * burst))) in
+    (* Degenerate strides describe one contiguous span: collapse the
+       per-burst loop into a single bulk blit. *)
+    if src_stride = burst && dst_stride = burst then begin
+      let blen = min keep len in
       if blen > 0 then
-        Host_buffer.blit ~src:(Global_tensor.buffer src)
-          ~src_off:(src_off + (c * src_stride))
-          ~dst:(Local_tensor.buffer dst)
-          ~dst_off:(dst_off + (c * dst_stride))
-          ~len:blen
-    done;
+        Host_buffer.blit ~src:(Global_tensor.buffer src) ~src_off
+          ~dst:(Local_tensor.buffer dst) ~dst_off ~len:blen
+    end
+    else
+      for c = 0 to count - 1 do
+        let blen = min burst (max 0 (keep - (c * burst))) in
+        if blen > 0 then
+          Host_buffer.blit ~src:(Global_tensor.buffer src)
+            ~src_off:(src_off + (c * src_stride))
+            ~dst:(Local_tensor.buffer dst)
+            ~dst_off:(dst_off + (c * dst_stride))
+            ~len:blen
+      done;
     match act with
     | Fault.Flip { index; bit } ->
         let c = index / burst and j = index mod burst in
@@ -176,15 +185,23 @@ let copy_out_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
       | Fault.Truncate k -> k
       | _ -> len
     in
-    for c = 0 to count - 1 do
-      let blen = min burst (max 0 (keep - (c * burst))) in
+    (* Contiguous-span collapse, as in [copy_in_strided]. *)
+    if src_stride = burst && dst_stride = burst then begin
+      let blen = min keep len in
       if blen > 0 then
-        Host_buffer.blit ~src:(Local_tensor.buffer src)
-          ~src_off:(src_off + (c * src_stride))
-          ~dst:(Global_tensor.buffer dst)
-          ~dst_off:(dst_off + (c * dst_stride))
-          ~len:blen
-    done;
+        Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+          ~dst:(Global_tensor.buffer dst) ~dst_off ~len:blen
+    end
+    else
+      for c = 0 to count - 1 do
+        let blen = min burst (max 0 (keep - (c * burst))) in
+        if blen > 0 then
+          Host_buffer.blit ~src:(Local_tensor.buffer src)
+            ~src_off:(src_off + (c * src_stride))
+            ~dst:(Global_tensor.buffer dst)
+            ~dst_off:(dst_off + (c * dst_stride))
+            ~len:blen
+      done;
     match act with
     | Fault.Flip { index; bit } ->
         let c = index / burst and j = index mod burst in

@@ -21,7 +21,12 @@ type t = {
   faults : Fault.event list;
   retries : int;
   degraded : int;
+  host_seconds : float;
+  domains : int;
 }
+
+let host_speedup ~baseline t =
+  if t.host_seconds <= 0.0 then 0.0 else baseline.host_seconds /. t.host_seconds
 
 let core_utilization t =
   if t.seconds <= 0.0 then [||]
@@ -85,7 +90,23 @@ let combine ~name = function
         faults = List.concat_map (fun s -> s.faults) stats;
         retries = List.fold_left (fun acc s -> acc + s.retries) 0 stats;
         degraded = List.fold_left (fun acc s -> acc + s.degraded) 0 stats;
+        host_seconds =
+          List.fold_left (fun acc s -> acc +. s.host_seconds) 0.0 stats;
+        domains = List.fold_left (fun acc s -> max acc s.domains) 1 stats;
       }
+(* Equality of everything the simulation determines — i.e. every field
+   except the host-side wall clock and execution width. The domain
+   determinism suite asserts this across --domains settings. *)
+let equal_simulated a b =
+  a.name = b.name && a.seconds = b.seconds && a.phases = b.phases
+  && a.blocks = b.blocks && a.cores_used = b.cores_used
+  && a.gm_read_bytes = b.gm_read_bytes
+  && a.gm_write_bytes = b.gm_write_bytes
+  && a.engine_busy = b.engine_busy
+  && a.core_busy = b.core_busy
+  && a.op_counts = b.op_counts && a.faults = b.faults
+  && a.retries = b.retries && a.degraded = b.degraded
+
 let effective_bandwidth t ~bytes = float_of_int bytes /. t.seconds
 let elements_per_second t ~elements = float_of_int elements /. t.seconds
 
@@ -140,4 +161,8 @@ let pp fmt t =
   if t.retries > 0 || t.degraded > 0 then
     Format.fprintf fmt "@ resilience: %d retries, %d degradations" t.retries
       t.degraded;
+  if t.host_seconds > 0.0 then
+    Format.fprintf fmt "@ host: %.2f ms wall-clock on %d domain%s"
+      (t.host_seconds *. 1e3) t.domains
+      (if t.domains = 1 then "" else "s");
   Format.fprintf fmt "@]"

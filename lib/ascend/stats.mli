@@ -40,6 +40,13 @@ type t = {
   degraded : int;
       (** Fallback switches (e.g. cube path -> vector-only) folded in
           by the resilient launcher. *)
+  host_seconds : float;
+      (** Host wall-clock spent executing the launch (the simulator's
+          own runtime, not simulated device time). Sums under
+          {!combine}. *)
+  domains : int;
+      (** Host execution width the launch ran with (see
+          {!Device.create}'s [domains]); max under {!combine}. *)
 }
 
 val op_count : t -> string -> int
@@ -51,6 +58,17 @@ val core_utilization : t -> float array
     launch took no time). *)
 
 val gm_bytes : t -> int
+
+val host_speedup : baseline:t -> t -> float
+(** [baseline.host_seconds / t.host_seconds]: host wall-clock speedup
+    of [t] over [baseline] (e.g. a multi-domain run over its
+    sequential twin); 0 when [t] recorded no wall-clock. *)
+
+val equal_simulated : t -> t -> bool
+(** Equality of every simulation-determined field — all of them except
+    [host_seconds] and [domains], which depend on the host machine.
+    Two runs of the same kernel at different [--domains] settings must
+    satisfy this exactly (the determinism contract of {!Launch}). *)
 
 val combine : name:string -> t list -> t
 (** Aggregate the statistics of a multi-launch operator (e.g. the 17

@@ -134,6 +134,29 @@ let test_rounding_boundaries () =
     (2.0 ** -24.0)
     (Fp16.round ((2.0 ** -25.0) *. 1.001))
 
+(* The historical decoder ([Float.pow]-based), kept inline as the
+   oracle for the table-driven [to_float]: every one of the 65536 bit
+   patterns must decode to the bit-identical double (NaN patterns by
+   predicate — the payload is not preserved in either version). *)
+let reference_to_float h =
+  let sign = if Fp16.bits_sign h = 1 then -1.0 else 1.0 in
+  let e = Fp16.bits_exponent h in
+  let m = Fp16.bits_mantissa h in
+  if e = 31 then if m = 0 then sign *. infinity else Float.nan
+  else if e = 0 then sign *. float_of_int m *. 0x1p-24
+  else sign *. float_of_int (m lor 0x400) *. Float.pow 2.0 (float_of_int (e - 25))
+
+let test_table_matches_reference_exhaustive () =
+  for bits = 0 to 0xFFFF do
+    let v = Fp16.to_float bits and r = reference_to_float bits in
+    if Float.is_nan r then begin
+      if not (Float.is_nan v) then
+        Alcotest.failf "0x%04X: expected NaN, table gives %h" bits v
+    end
+    else if Int64.bits_of_float v <> Int64.bits_of_float r then
+      Alcotest.failf "0x%04X: table %h <> reference %h" bits v r
+  done
+
 let test_nan_handling () =
   check_int "nan canonical" Fp16.nan (Fp16.of_float Float.nan);
   check_bool "is_nan" true (Fp16.is_nan (Fp16.of_float Float.nan));
@@ -199,6 +222,8 @@ let () =
             test_all_subnormals_roundtrip;
           Alcotest.test_case "rounding boundaries" `Quick
             test_rounding_boundaries;
+          Alcotest.test_case "decode table exhaustive" `Quick
+            test_table_matches_reference_exhaustive;
           Alcotest.test_case "arithmetic" `Quick test_arith;
           Alcotest.test_case "compare" `Quick test_compare_value;
         ] );
