@@ -42,8 +42,8 @@ let verify_scan ~name ?s algo =
   let x = Ascend.Device.of_array d Ascend.Dtype.F16 ~name:"x" data in
   let y, _ = Scan.Scan_api.run ?s ~algo d x in
   match
-    Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round ~input:data
-      ~output:y ()
+    Scan.Scan_api.check_scan ~round:Ascend.Fp16.round ~algo
+      ~dtype:Ascend.Dtype.F16 ~input:data ~output:y ()
   with
   | Ok () -> note_verified name
   | Error e -> fail_verify name e
@@ -53,9 +53,8 @@ let verify_scan ~name ?s algo =
 
 let fig3 () =
   List.iter
-    (fun (name, algo) -> verify_scan ~name algo)
-    [ ("vec_only", Scan.Scan_api.Vec_only); ("scanu", Scan.Scan_api.U);
-      ("scanul1", Scan.Scan_api.Ul1) ];
+    (fun name -> verify_scan ~name (Scan.Scan_api.get name))
+    [ "vec_only"; "scanu"; "scanul1" ];
   let t =
     Table.create
       ~title:
@@ -136,7 +135,7 @@ let fig5 () =
 (* Figure 8: MCScan bandwidth for s = 32/64/128 versus torch.clone.   *)
 
 let fig8 () =
-  verify_scan ~name:"mcscan" Scan.Scan_api.Mc;
+  verify_scan ~name:"mcscan" (Scan.Scan_api.get "mcscan");
   let t =
     Table.create
       ~title:
@@ -592,10 +591,17 @@ let ablation_cumsum_config () =
 let robustness () =
   let n = pow2 14 in
   let input = Array.init n (fun i -> if i mod 37 = 0 then 1.0 else 0.0) in
+  (* Every sum-monoid unary scan in the registry: the coverage table
+     grows with new entries, and the reference oracle below stays
+     valid (it checks a running sum). *)
   let algos =
-    [ ("vec_only", Scan.Scan_api.Vec_only); ("scanu", Scan.Scan_api.U);
-      ("scanul1", Scan.Scan_api.Ul1); ("mcscan", Scan.Scan_api.Mc);
-      ("tcu", Scan.Scan_api.Tcu) ]
+    List.filter_map
+      (fun (algo : Scan.Scan_api.algo) ->
+        match algo.Scan.Op_registry.monoid with
+        | Some (module Op : Scan.Scan_op.S) when String.equal Op.name "sum" ->
+            Some (Scan.Scan_api.algo_to_string algo, algo)
+        | _ -> None)
+      Scan.Scan_api.all_algos
   in
   let trials = 24 in
   let rate = 0.02 in
@@ -683,7 +689,7 @@ let robustness_degraded () =
           ()
       in
       let x = Ascend.Device.of_array d Ascend.Dtype.F16 ~name:"x" input in
-      let y, _ = Scan.Scan_api.run ~algo:Scan.Scan_api.Mc d x in
+      let y, _ = Scan.Scan_api.run ~algo:(Scan.Scan_api.get "mcscan") d x in
       match
         Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round ~input
           ~output:y ()

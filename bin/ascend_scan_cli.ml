@@ -17,9 +17,19 @@
 
 open Cmdliner
 
+(* Pull in the [ops] registry entries: without this forcing call the
+   linker would drop the registration module and --list-ops would only
+   show the scan kernels. *)
+let () = Ops.Ops_registry.install ()
+
 (* Argument-validation failures beyond what cmdliner can express; they
    exit 2 with a usage pointer, unlike runtime kernel errors (exit 1). *)
 exception Usage_error of string
+
+let is_sum_monoid (algo : Scan.Scan_api.algo) =
+  match algo.Scan.Op_registry.monoid with
+  | Some (module Op : Scan.Scan_op.S) -> String.equal Op.name "sum"
+  | None -> false
 
 let check_n n =
   if n < 1 then
@@ -196,12 +206,19 @@ let scan_cmd =
     in
     Arg.(
       value
-      & opt algo_conv Scan.Scan_api.Mc
+      & opt algo_conv (Scan.Scan_api.get "mcscan")
       & info [ "algo"; "a" ] ~docv:"ALGO"
-          ~doc:"Algorithm: vec_only, scanu, scanul1, mcscan or tcu.")
+          ~doc:
+            ("Algorithm: "
+            ^ String.concat ", "
+                (List.map Scan.Scan_api.algo_to_string Scan.Scan_api.all_algos)
+            ^ " (any registry name or alias)."))
   in
   let exclusive_arg =
-    Arg.(value & flag & info [ "exclusive" ] ~doc:"Exclusive scan (mcscan only).")
+    Arg.(
+      value & flag
+      & info [ "exclusive" ]
+          ~doc:"Exclusive scan (entries with the exclusive capability only).")
   in
   let check_arg =
     Arg.(value & flag & info [ "check" ] ~doc:"Validate against the reference oracle.")
@@ -219,6 +236,14 @@ let scan_cmd =
   let run algo n s exclusive cost_only check resilient faults kills quarantine
       deadline sanitize domains seed =
     check_n n;
+    (* Capability violations are argument errors (exit 2), not runtime
+       kernel failures: check the registry before touching the device. *)
+    if exclusive && not algo.Scan.Op_registry.caps.Scan.Op_registry.exclusive
+    then
+      raise
+        (Usage_error
+           (Printf.sprintf "--exclusive: %s does not support exclusive scans"
+              (Scan.Scan_api.algo_to_string algo)));
     if resilient && cost_only then
       raise (Usage_error "--resilient requires functional mode (drop --cost-only)");
     let device =
@@ -231,9 +256,14 @@ let scan_cmd =
       let oracle =
         if check then Runtime.Resilient.Reference else Runtime.Resilient.Checksum
       in
+      (* The vector-only kernel is a valid degradation target only for
+         entries computing the same (sum) monoid. *)
+      let fallback =
+        if is_sum_monoid algo then Some (Scan.Scan_api.get "vec_only") else None
+      in
       let r =
-        Runtime.Resilient.scan ~s ~exclusive ~oracle
-          ~fallback:Scan.Scan_api.Vec_only ~algo device ~input
+        Runtime.Resilient.scan ~s ~exclusive ~oracle ?fallback ~algo device
+          ~input
       in
       Format.printf "%a@."
         (Runtime.Resilient.pp_report (fun fmt y ->
@@ -257,8 +287,8 @@ let scan_cmd =
       if check && not cost_only then begin
         let input = Array.init n gen in
         match
-          Scan.Scan_api.check_against_reference ~round:Ascend.Fp16.round
-            ~exclusive ~input ~output:y ()
+          Scan.Scan_api.check_scan ~round:Ascend.Fp16.round ~exclusive ~algo
+            ~dtype:Ascend.Dtype.F16 ~input ~output:y ()
         with
         | Ok () -> Format.printf "check: ok@."
         | Error e ->
@@ -289,10 +319,23 @@ let batched_cmd =
       & info [ "len"; "l" ] ~docv:"L" ~doc:"Length of each row.")
   in
   let algo_arg =
+    (* The accepted schedules are the registry's batched entries mapped
+       to the resilient runner's schedule type; registering a new
+       batched kernel extends this enum through the name mapping. *)
+    let schedules =
+      List.filter_map
+        (fun (e : Scan.Op_registry.entry) ->
+          if not e.Scan.Op_registry.caps.Scan.Op_registry.batched then None
+          else
+            match e.Scan.Op_registry.name with
+            | "batched_u" -> Some ("u", Runtime.Resilient.U)
+            | "batched_ul1" -> Some ("ul1", Runtime.Resilient.Ul1)
+            | _ -> None)
+        (Scan.Op_registry.scans ())
+    in
     Arg.(
       value
-      & opt (enum [ ("u", Runtime.Resilient.U); ("ul1", Runtime.Resilient.Ul1) ])
-          Runtime.Resilient.U
+      & opt (enum schedules) Runtime.Resilient.U
       & info [ "algo"; "a" ] ~docv:"ALGO"
           ~doc:"Batched schedule: u (ScanU per row) or ul1 (L1-resident).")
   in
@@ -533,7 +576,28 @@ let info_cmd =
 
 let () =
   let doc = "Parallel scans and scan-based operators on a simulated Ascend accelerator." in
-  let main = Cmd.group (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
+  (* Top-level --list-ops: print the operator table straight from the
+     registry (the README embeds this output; CI diffs the two). *)
+  let default =
+    let list_ops_arg =
+      Arg.(
+        value & flag
+        & info [ "list-ops" ]
+            ~doc:
+              "Print every registered operator (name, aliases, kind, dtypes, \
+               capabilities) as a markdown table and exit.")
+    in
+    Term.(
+      ret
+        (const (fun list_ops ->
+             if list_ops then begin
+               Format.printf "%a" Scan.Op_registry.pp_markdown_table ();
+               `Ok ()
+             end
+             else `Help (`Pager, None))
+        $ list_ops_arg))
+  in
+  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
   (* Unknown flags and malformed arguments exit 2 with a usage pointer
      rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
      aborted by injected fault corruption) exit 1 with a clean message

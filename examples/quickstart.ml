@@ -17,14 +17,16 @@ let () =
 
   Format.printf "Scanning %d fp16 elements on %a@.@." n Device.pp device;
 
-  (* Run each scan algorithm through the unified front end. *)
+  (* Run each registered scan algorithm through the unified front end.
+     The checker derives each algorithm's reference from its registered
+     monoid, so the running-maximum scan validates alongside the sums. *)
   List.iter
     (fun algo ->
       let y, stats = Scan.Scan_api.run ~algo device x in
       let ok =
         match
-          Scan.Scan_api.check_against_reference ~round:Fp16.round ~input:data
-            ~output:y ()
+          Scan.Scan_api.check_scan ~round:Fp16.round ~algo ~dtype:Dtype.F16
+            ~input:data ~output:y ()
         with
         | Ok () -> "ok"
         | Error e -> "MISMATCH: " ^ e

@@ -1,0 +1,11 @@
+(** Registry entries for the scan-based operators.
+
+    Linking this library and calling {!install} registers compress,
+    split, radix sort, top-k (quickselect and radix-select), top-p and
+    weighted sampling in {!Scan.Op_registry}, making them enumerable
+    and dispatchable by the same front-ends as the scan kernels. *)
+
+val install : unit -> unit
+(** Forces this module's initialisation (OCaml linkers drop
+    unreferenced modules together with their registration side
+    effects). Idempotent. *)

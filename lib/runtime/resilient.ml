@@ -108,10 +108,12 @@ let launch ?name ?max_attempts ?fallback device ~blocks ~validate bodies =
 
 (* Cheap scan oracle: one host pass chaining the dtype rounding, with
    comparisons only at [checksum_samples] strided positions plus the
-   last element. O(n) time, O(1) space, no expected-array allocation. *)
+   last element. O(n) time, O(1) space, no expected-array allocation.
+   Generic in the monoid: [combine]/[init] default to the sum scan. *)
 let checksum_samples = 64
 
-let scan_checksum ~round ~exclusive ~input output =
+let scan_checksum ?(combine = ( +. )) ?(init = 0.0) ~round ~exclusive ~input
+    output =
   let n = Array.length input in
   if Global_tensor.length output <> n then
     Error
@@ -119,17 +121,17 @@ let scan_checksum ~round ~exclusive ~input output =
          (Global_tensor.length output))
   else begin
     let step = max 1 (n / checksum_samples) in
-    let acc = ref 0.0 in
+    let acc = ref init in
     let bad = ref None in
     for i = 0 to n - 1 do
       let expect =
         if exclusive then begin
           let e = !acc in
-          acc := round (!acc +. input.(i));
+          acc := round (combine !acc input.(i));
           e
         end
         else begin
-          acc := round (!acc +. input.(i));
+          acc := round (combine !acc input.(i));
           !acc
         end
       in
@@ -146,25 +148,34 @@ let scan_checksum ~round ~exclusive ~input output =
              i want got)
   end
 
-let validate_scan ~oracle ~round ~exclusive ~input output =
+let validate_scan ~oracle ~round ~exclusive ~algo ~input output =
   match oracle with
-  | Checksum -> scan_checksum ~round ~exclusive ~input output
+  | Checksum ->
+      let combine, init =
+        match algo.Scan.Op_registry.monoid with
+        | Some (module Op : Scan.Scan_op.S) ->
+            (Op.combine, Op.identity Dtype.F16)
+        | None -> (( +. ), 0.0)
+      in
+      scan_checksum ~combine ~init ~round ~exclusive ~input output
   | Reference ->
-      Scan.Scan_api.check_against_reference ~round ~exclusive ~input ~output ()
+      Scan.Scan_api.check_scan ~round ~exclusive ~algo ~dtype:Dtype.F16 ~input
+        ~output ()
 
 let scan ?(s = 128) ?max_attempts ?backoff_s ?(oracle = Checksum) ?fallback
     ?(exclusive = false) ~algo device ~input =
   if not (Device.functional device) then
     invalid_arg "Resilient.scan: requires a functional-mode device";
   let round = Fp16.round in
-  let validate = validate_scan ~oracle ~round ~exclusive ~input in
+  let validate = validate_scan ~oracle ~round ~exclusive ~algo ~input in
   let attempt () =
     let x = Device.of_array device Dtype.F16 ~name:"resilient_x" input in
     Scan.Scan_api.run ~s ~exclusive ~algo device x
   in
   let fallback =
+    (* Entries hold closures: compare by name, never structurally. *)
     match fallback with
-    | Some fb when fb <> algo ->
+    | Some fb when not (Scan.Op_registry.equal fb algo) ->
         Some
           (fun () ->
             let x =

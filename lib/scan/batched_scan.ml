@@ -64,8 +64,9 @@ let run_u ?(s = 128) ?rows ?y device ~batch ~len x =
       let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
       let l0c = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
       let u =
-        Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b
-          ~dtype:Dtype.F16 ~s Const_mat.Upper
+        Scan_core.load_cube_encoding
+          (module Scan_op.Sum)
+          ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b ~dtype:Dtype.F16 ~s
       in
       let ubs =
         List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 tile)
@@ -85,14 +86,12 @@ let run_u ?(s = 128) ?rows ?y device ~batch ~len x =
                     Kernel_util.cube_local_scans ctx ~x ~off ~len:tlen ~s ~l0a
                       ~u ~l0c ~y;
                     let ub = List.nth ubs v in
-                    Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:y
-                      ~src_off:off ~dst:ub ~len:tlen ();
                     let partial = ref partials.(v) in
-                    Kernel_util.propagate_rows ctx ~vec:v ~ub ~len:tlen ~s
-                      ~partial;
-                    partials.(v) <- !partial;
-                    Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
-                      ~dst:y ~dst_off:off ~len:tlen ()
+                    Scan_core.finish_tile
+                      (module Scan_op.Sum)
+                      ctx ~vec:v ~src:y ~ub ~dst:y ~off ~len:tlen ~s ~partial
+                      ();
+                    partials.(v) <- !partial
                   end
                 done
               done)
@@ -127,18 +126,15 @@ let run_ul1 ?(s = 128) ?rows ?y device ~batch ~len x =
       Block.pipelined ctx ~iters:(max 1 iters) (fun () ->
           List.iter
             (fun j ->
-              let partial = ref 0.0 in
+              let partial = ref (Scan_op.Sum.identity Dtype.F16) in
               for t = 0 to ntiles - 1 do
                 let toff = t * tile in
                 let tlen = min tile (len - toff) in
                 let off = (j * len) + toff in
                 Scan_ul1.cube_tile ctx ~x ~y ~off ~len:tlen ~s ~bufs;
-                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y
-                  ~src_off:off ~dst:ub ~len:tlen ();
-                Vec.adds ctx ~src:ub ~dst:ub ~scalar:!partial ~len:tlen ();
-                partial := Vec.get ctx ub (tlen - 1);
-                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub ~dst:y
-                  ~dst_off:off ~len:tlen ()
+                Scan_core.finish_tile
+                  (module Scan_op.Sum)
+                  ctx ~src:y ~ub ~dst:y ~off ~len:tlen ~s:tile ~partial ()
               done)
             mine)
     end

@@ -6,11 +6,14 @@ let round_up a m = ceil_div a m * m
 let hillis_steele_tile ctx ~vec ~op ~buf ~tmp ~len =
   let d = ref 1 in
   while !d < len do
-    (* tmp.(i) = op buf.(i) buf.(i-d) for i >= d; the head is copied. *)
+    (* tmp.(i) = op buf.(i) buf.(i-d) for i >= d. Elements below [d]
+       are already final for this step, so only the shifted tail is
+       written back — one combine plus one (len - d)-element copy, both
+       charged to the vector engine. *)
     Vec.binop ctx ~vec op ~src0:buf ~src0_off:!d ~src1:buf ~src1_off:0
       ~dst:tmp ~dst_off:!d ~len:(len - !d) ();
-    Vec.copy ctx ~vec ~src:buf ~dst:tmp ~len:!d ();
-    Vec.copy ctx ~vec ~src:tmp ~dst:buf ~len ();
+    Vec.copy ctx ~vec ~src:tmp ~src_off:!d ~dst:buf ~dst_off:!d
+      ~len:(len - !d) ();
     d := !d * 2
   done
 
@@ -28,16 +31,6 @@ let segmented_hillis_steele_tile ctx ~vec ~v ~f ~tmp_v ~tmp_f ~zero ~len =
     Vec.bit_op ctx ~vec Vec.Or ~src0:tmp_f ~src0_off:!d ~src1:tmp_f
       ~src1_off:0 ~dst:f ~dst_off:!d ~len:(len - !d) ();
     d := !d * 2
-  done
-
-let propagate_rows ctx ~vec ~ub ~len ~s ~partial =
-  let nrows = ceil_div len s in
-  for r = 0 to nrows - 1 do
-    let row_off = r * s in
-    let row_len = min s (len - row_off) in
-    Vec.adds ctx ~vec ~src:ub ~src_off:row_off ~dst:ub ~dst_off:row_off
-      ~scalar:!partial ~len:row_len ();
-    partial := Vec.get ctx ~vec ub (row_off + row_len - 1)
   done
 
 let cube_local_scans ctx ~x ~off ~len ~s ~l0a ~u ~l0c ~y =

@@ -1,17 +1,5 @@
 (** Building blocks shared by the scan kernels. *)
 
-val propagate_rows :
-  Ascend.Block.t ->
-  vec:int ->
-  ub:Ascend.Local_tensor.t ->
-  len:int ->
-  s:int ->
-  partial:float ref ->
-  unit
-(** Vector-core prefix propagation over per-[s]-row local scans held in
-    UB: add the running partial to each row in place, then update it
-    from the row's last entry (Algorithm 1, lines 11-13). *)
-
 val cube_local_scans :
   Ascend.Block.t ->
   x:Ascend.Global_tensor.t ->

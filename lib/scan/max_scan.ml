@@ -1,124 +1,8 @@
-open Ascend
-
-let ub_tile = 8192
-
-(* The most negative representable value acts as the identity. *)
-let identity dt = Dtype.min_value dt
-
-(* Phase I: per-vector-sub-block max reductions into [r]. *)
-let phase1 ~x ~r ~chunk ~half ~n ~dt ctx =
-  let i = Block.idx ctx in
-  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
-  let lo = i * chunk in
-  let hi = min n (lo + chunk) in
-  if hi > lo then begin
-    let ubs =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile)
-    in
-    let stage =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt 16)
-    in
-    let vtiles = Kernel_util.ceil_div half ub_tile in
-    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
-        List.iteri
-          (fun v ub ->
-            let vlo = lo + (v * half) in
-            let vhi = min hi (vlo + half) in
-            if vhi > vlo then begin
-              let acc = ref (identity dt) in
-              let t = ref vlo in
-              while !t < vhi do
-                let len = min ub_tile (vhi - !t) in
-                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
-                  ~src_off:!t ~dst:ub ~len ();
-                acc := Float.max !acc (Vec.reduce_max ctx ~vec:v ~src:ub ~len ());
-                t := !t + ub_tile
-              done;
-              let st = List.nth stage v in
-              Vec.set ctx ~vec:v st 0 !acc;
-              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:st ~dst:r
-                ~dst_off:((i * vpc) + v) ~len:1 ()
-            end)
-          ubs)
-  end
-
-(* Phase II: per-tile Hillis-Steele max scan, seeded with the max of
-   all preceding sub-blocks and the running carry. *)
-let phase2 ~x ~y ~r ~chunk ~half ~n ~dt ctx =
-  let i = Block.idx ctx in
-  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
-  let lo = i * chunk in
-  let hi = min n (lo + chunk) in
-  if hi > lo then begin
-    let rlen = Global_tensor.length r in
-    let bufs =
-      List.init vpc (fun v ->
-          ( Block.alloc ctx (Mem_kind.Ub v) dt ub_tile,
-            Block.alloc ctx (Mem_kind.Ub v) dt ub_tile,
-            Block.alloc ctx (Mem_kind.Ub v) (Global_tensor.dtype r) rlen ))
-    in
-    let vtiles = Kernel_util.ceil_div half ub_tile in
-    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
-        List.iteri
-          (fun v (ub, tmp, rub) ->
-            let vlo = lo + (v * half) in
-            let vhi = min hi (vlo + half) in
-            if vhi > vlo then begin
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:r ~dst:rub
-                ~len:rlen ();
-              let k = (i * vpc) + v in
-              let base =
-                if k = 0 then identity dt
-                else Vec.reduce_max ctx ~vec:v ~src:rub ~len:k ()
-              in
-              let partial = ref base in
-              let t = ref vlo in
-              while !t < vhi do
-                let len = min ub_tile (vhi - !t) in
-                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
-                  ~src_off:!t ~dst:ub ~len ();
-                Kernel_util.hillis_steele_tile ctx ~vec:v ~op:Vec.Max ~buf:ub
-                  ~tmp ~len;
-                Vec.maxs ctx ~vec:v ~src:ub ~dst:ub ~scalar:!partial ~len ();
-                partial := Vec.get ctx ~vec:v ub (len - 1);
-                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub ~dst:y
-                  ~dst_off:!t ~len ();
-                t := !t + ub_tile
-              done
-            end)
-          bufs)
-  end
+(* Inclusive max-scan: the vector-only two-phase engine instantiated
+   with the Max operator (max has no matmul encoding, so the cube
+   kernels do not apply). *)
 
 let run ?blocks device x =
-  let dt = Global_tensor.dtype x in
-  (match dt with
-  | Dtype.F16 | Dtype.F32 | Dtype.I32 -> ()
-  | d ->
-      invalid_arg
-        (Printf.sprintf "Max_scan.run: unsupported dtype %s" (Dtype.to_string d)));
-  let n = Global_tensor.length x in
-  if n = 0 then invalid_arg "Max_scan.run: empty input";
-  let blocks =
-    match blocks with
-    | Some b -> b
-    | None -> Scheduler.blocks (Scheduler.plan device ~n)
-  in
-  let vpc = (Device.cost device).Cost_model.vec_per_core in
-  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) ub_tile in
-  let half = Kernel_util.round_up (Kernel_util.ceil_div chunk vpc) ub_tile in
-  let name = Global_tensor.name x in
-  let y = Device.alloc device dt n ~name:(name ^ "_maxscan") in
-  let r = Device.alloc device dt (blocks * vpc) ~name:(name ^ "_maxscan_r") in
-  (* The identity must pre-fill r so empty sub-blocks are neutral. *)
-  if Device.functional device then
-    for k = 0 to (blocks * vpc) - 1 do
-      Global_tensor.set r k (identity dt)
-    done;
-  let stats =
-    Launch.run_phases ~name:"max_scan" device ~blocks
-      [
-        phase1 ~x ~r ~chunk ~half ~n ~dt;
-        phase2 ~x ~y ~r ~chunk ~half ~n ~dt;
-      ]
-  in
-  (y, stats)
+  Scan_core.run_vec_blocks
+    (module Scan_op.Max)
+    ?blocks ~kernel_name:"max_scan" ~suffix:"_maxscan" device x

@@ -1,9 +1,11 @@
 (** Multi-core running-maximum scan (vector cores only).
 
     Maximum has no matrix-multiplication formulation, so this kernel is
-    purely vectorial: within each UB tile a log-step Hillis-Steele
-    network (see {!Kernel_util.hillis_steele_tile}), across tiles and
-    blocks the same two-phase recomputation structure as MCScan with
+    purely vectorial: it is exactly
+    {!Scan_core.run_vec_blocks}[ (module Scan_op.Max)] — within each UB
+    tile a log-step Hillis-Steele network (see
+    {!Kernel_util.hillis_steele_tile}), across tiles and blocks the
+    same two-phase recomputation structure as MCScan with
     max-reductions instead of sums.
 
     Used by {!Segmented_scan} to locate each position's most recent

@@ -18,8 +18,9 @@ let phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt ctx =
     in
     let l0c = Block.alloc ctx Mem_kind.L0c acc_dt tile in
     let u =
-      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b
-        ~dtype:in_dt ~s Const_mat.Upper
+      Scan_core.load_cube_encoding
+        (module Scan_op.Sum)
+        ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b ~dtype:in_dt ~s
     in
     let ubs =
       List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) in_dt ub_tile_elems)
@@ -39,18 +40,16 @@ let phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt ctx =
         (* Vector units, in parallel: recompute the reductions. *)
         List.iteri
           (fun v ub ->
-            let vlo = lo + (v * half) in
-            let vhi = min hi (vlo + half) in
+            let vlo, vhi = Scan_core.sub_block ~lo ~hi ~half v in
             if vhi > vlo then begin
-              let acc = ref 0.0 in
-              let vtiles = Kernel_util.ceil_div (vhi - vlo) ub_tile_elems in
-              for t = 0 to vtiles - 1 do
-                let off = vlo + (t * ub_tile_elems) in
-                let len = min ub_tile_elems (vhi - off) in
-                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
-                  ~src_off:off ~dst:ub ~len ();
-                acc := !acc +. Vec.reduce_sum ctx ~vec:v ~src:ub ~len ()
-              done;
+              let acc = ref (Scan_op.Sum.identity in_dt) in
+              Scan_core.foreach_ub_tile ~ub_tile:ub_tile_elems ~vlo ~vhi
+                (fun ~off ~len ->
+                  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
+                    ~src_off:off ~dst:ub ~len ();
+                  acc :=
+                    Scan_op.Sum.combine !acc
+                      (Scan_op.Sum.vec_reduce ctx ~vec:v ~src:ub ~len ()));
               let st = List.nth stage v in
               Vec.set ctx ~vec:v st 0 !acc;
               Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:st ~dst:r
@@ -83,44 +82,43 @@ let phase2 ~loc ~y ~r ~s ~chunk ~half ~n ~out_dt ~exclusive ctx =
        section so their engines overlap. *)
     Block.pipelined ctx ~iters:(max 1 max_vtiles) (fun () ->
         for v = 0 to vpc - 1 do
-          let vlo = lo + (v * half) in
-          let vhi = min hi (vlo + half) in
+          let vlo, vhi = Scan_core.sub_block ~lo ~hi ~half v in
           if vhi > vlo then begin
             let rub = List.nth rubs v in
             Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:r ~dst:rub
               ~len:rlen ();
             let k = (i * vpc) + v in
             let base =
-              if k = 0 then 0.0
-              else Vec.reduce_sum ctx ~vec:v ~src:rub ~len:k ()
+              if k = 0 then Scan_op.Sum.identity out_dt
+              else Scan_op.Sum.vec_reduce ctx ~vec:v ~src:rub ~len:k ()
             in
             let partial = ref base in
             let ub = List.nth ubs v in
-            let vtiles = Kernel_util.ceil_div (vhi - vlo) ub_tile_elems in
-            for t = 0 to vtiles - 1 do
-              let off = vlo + (t * ub_tile_elems) in
-              let len = min ub_tile_elems (vhi - off) in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:loc
-                ~src_off:off ~dst:ub ~len ();
-              Kernel_util.propagate_rows ctx ~vec:v ~ub ~len ~s ~partial;
-              if exclusive then begin
-                (* Shift right by one; the global first element becomes
-                   zero and the last inclusive value is discarded. *)
-                let wlen = if off + len >= n then len - 1 else len in
-                if wlen > 0 then
-                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
-                    ~dst:y ~dst_off:(off + 1) ~len:wlen ();
-                if off = 0 then begin
-                  let z = List.nth zeros v in
-                  Vec.set ctx ~vec:v z 0 0.0;
-                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:z
-                    ~dst:y ~dst_off:0 ~len:1 ()
+            Scan_core.foreach_ub_tile ~ub_tile:ub_tile_elems ~vlo ~vhi
+              (fun ~off ~len ->
+                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:loc
+                  ~src_off:off ~dst:ub ~len ();
+                Scan_core.propagate_rows
+                  (module Scan_op.Sum)
+                  ctx ~vec:v ~ub ~len ~s ~partial;
+                if exclusive then begin
+                  (* Shift right by one; the global first element
+                     becomes zero and the last inclusive value is
+                     discarded. *)
+                  let wlen = if off + len >= n then len - 1 else len in
+                  if wlen > 0 then
+                    Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
+                      ~dst:y ~dst_off:(off + 1) ~len:wlen ();
+                  if off = 0 then begin
+                    let z = List.nth zeros v in
+                    Vec.set ctx ~vec:v z 0 0.0;
+                    Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:z
+                      ~dst:y ~dst_off:0 ~len:1 ()
+                  end
                 end
-              end
-              else
-                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub ~dst:y
-                  ~dst_off:off ~len ()
-            done
+                else
+                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
+                    ~dst:y ~dst_off:off ~len ())
           end
         done)
   end
@@ -151,8 +149,9 @@ let run ?(s = 128) ?blocks ?(exclusive = false) device x =
   (* Block chunks are tile-aligned; vector sub-blocks are row-aligned
      halves of the chunk ([s] is even so [chunk / vpc] stays a multiple
      of [s] whenever it is itself rounded to rows). *)
-  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) tile in
-  let half = Kernel_util.round_up (Kernel_util.ceil_div chunk vpc) s in
+  let chunk, half =
+    Scan_core.block_partition ~n ~blocks ~vpc ~chunk_align:tile ~half_align:s
+  in
   let name = Global_tensor.name x in
   let loc = Device.alloc device loc_dt n ~name:(name ^ "_mcscan_loc") in
   let y = Device.alloc device out_dt n ~name:(name ^ "_mcscan_out") in

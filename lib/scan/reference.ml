@@ -18,6 +18,16 @@ let exclusive_scan ?(round = Fun.id) x =
   done;
   y
 
+let inclusive_scan_op ?(round = Fun.id) ~combine ~init x =
+  let n = Array.length x in
+  let y = Array.make n 0.0 in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    acc := round (combine !acc x.(i));
+    y.(i) <- !acc
+  done;
+  y
+
 let batched_inclusive ?(round = Fun.id) ~batch ~len x =
   if Array.length x <> batch * len then
     invalid_arg "Reference.batched_inclusive: shape mismatch";

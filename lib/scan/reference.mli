@@ -10,6 +10,16 @@ val inclusive_scan : ?round:(float -> float) -> float array -> float array
 val exclusive_scan : ?round:(float -> float) -> float array -> float array
 (** Exclusive scan: [y.(0) = 0], [y.(i) = round (y.(i-1) + x.(i-1))]. *)
 
+val inclusive_scan_op :
+  ?round:(float -> float) ->
+  combine:(float -> float -> float) ->
+  init:float ->
+  float array ->
+  float array
+(** Inclusive scan under an arbitrary monoid (e.g. a {!Scan_op.S}'s
+    [combine]/[identity]): [y.(i) = round (combine y.(i-1) x.(i))]
+    seeded with [init]. *)
+
 val batched_inclusive :
   ?round:(float -> float) -> batch:int -> len:int -> float array -> float array
 (** Row-major [(batch, len)] layout; each row scanned independently. *)

@@ -1,39 +1,51 @@
-type algo = Vec_only | U | Ul1 | Mc | Tcu
+type algo = Op_registry.entry
 
-let algo_to_string = function
-  | Vec_only -> "vec_only"
-  | U -> "scanu"
-  | Ul1 -> "scanul1"
-  | Mc -> "mcscan"
-  | Tcu -> "tcu"
+let algo_of_string name =
+  match Op_registry.find name with
+  | Some e
+    when e.Op_registry.kind = `Scan
+         && (not e.Op_registry.caps.Op_registry.batched)
+         && not e.Op_registry.caps.Op_registry.masked ->
+      Some e
+  | Some _ | None -> None
 
-let algo_of_string = function
-  | "vec_only" | "cumsum" -> Some Vec_only
-  | "scanu" | "u" -> Some U
-  | "scanul1" | "ul1" -> Some Ul1
-  | "mcscan" | "mc" -> Some Mc
-  | "tcu" -> Some Tcu
-  | _ -> None
+let algo_to_string (e : algo) = e.Op_registry.name
 
-let all_algos = [ Vec_only; U; Ul1; Mc; Tcu ]
+let get name =
+  match algo_of_string name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Scan_api.get: unknown scan %S" name)
+
+let all_algos = Op_registry.unary_scans ()
 
 let run ?s ?(exclusive = false) ~algo device x =
-  match algo, exclusive with
-  | Mc, _ -> Mcscan.run ?s ~exclusive device x
-  | (Vec_only | U | Ul1 | Tcu), true ->
-      invalid_arg
-        (Printf.sprintf "Scan_api.run: %s does not support exclusive scans"
-           (algo_to_string algo))
-  | Vec_only, false -> Scan_vec_only.run device x
-  | U, false -> Scan_u.run ?s device x
-  | Ul1, false -> Scan_ul1.run ?s device x
-  | Tcu, false -> Tcu_scan.run ?s device x
+  let cfg = { Op_registry.default_config with Op_registry.s; exclusive } in
+  match Op_registry.run algo cfg device (Op_registry.Tensor x) with
+  | Ok (out, stats) -> (
+      match out.Op_registry.y with
+      | Some y -> (y, stats)
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Scan_api.run: %s returned no output tensor"
+               algo.Op_registry.name))
+  | Error msg -> invalid_arg ("Scan_api.run: " ^ msg)
 
-let check_against_reference ?(round = Fun.id) ?(exclusive = false) ~input
-    ~output () =
+(* Bit-pattern float equality: agrees with [=] on ordinary values
+   (including 0.0 vs -0.0, which share no bits but compare equal) and,
+   unlike [=], treats a NaN as equal to itself — so a NaN-producing
+   input reports the first index where the bits genuinely differ
+   instead of flagging every NaN position. *)
+let float_eq a b =
+  a = b || Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_against_reference ?(round = Fun.id) ?(exclusive = false) ?expected
+    ~input ~output () =
   let expected =
-    if exclusive then Reference.exclusive_scan ~round input
-    else Reference.inclusive_scan ~round input
+    match expected with
+    | Some e -> e
+    | None ->
+        if exclusive then Reference.exclusive_scan ~round input
+        else Reference.inclusive_scan ~round input
   in
   let n = Array.length input in
   if Ascend.Global_tensor.length output <> n then
@@ -41,13 +53,29 @@ let check_against_reference ?(round = Fun.id) ?(exclusive = false) ~input
       (Printf.sprintf "length mismatch: expected %d, got %d" n
          (Ascend.Global_tensor.length output))
   else begin
-    let bad = ref None in
-    for i = n - 1 downto 0 do
-      let got = Ascend.Global_tensor.get output i in
-      if got <> expected.(i) then bad := Some (i, expected.(i), got)
-    done;
-    match !bad with
-    | None -> Ok ()
-    | Some (i, want, got) ->
-        Error (Printf.sprintf "index %d: expected %g, got %g" i want got)
+    let rec scan i =
+      if i >= n then Ok ()
+      else
+        let got = Ascend.Global_tensor.get output i in
+        if float_eq got expected.(i) then scan (i + 1)
+        else
+          Error
+            (Printf.sprintf "index %d: expected %g, got %g" i expected.(i) got)
+    in
+    scan 0
   end
+
+let check_scan ?(round = Fun.id) ?(exclusive = false) ~algo ~dtype ~input
+    ~output () =
+  let expected =
+    match algo.Op_registry.monoid with
+    | Some (module Op : Scan_op.S) when not (String.equal Op.name "sum") ->
+        (* Non-sum monoid: build the reference from the operator (the
+           default sum reference would flag every element). Exclusive
+           is rejected by capability validation before this point. *)
+        Some
+          (Reference.inclusive_scan_op ~round ~combine:Op.combine
+             ~init:(Op.identity dtype) input)
+    | _ -> None
+  in
+  check_against_reference ~round ~exclusive ?expected ~input ~output ()

@@ -1,0 +1,183 @@
+open Ascend
+
+(* ------------------------------------------------------------------ *)
+(* Tile iteration. *)
+
+let foreach_tile ctx ?(serial = false) ~tile ~n f =
+  let ntiles = Kernel_util.ceil_div n tile in
+  Block.pipelined ctx ~iters:(if serial then 1 else max 1 ntiles) (fun () ->
+      for t = 0 to ntiles - 1 do
+        let off = t * tile in
+        let len = min tile (n - off) in
+        f ~off ~len
+      done)
+
+let sub_block ~lo ~hi ~half v =
+  let vlo = lo + (v * half) in
+  let vhi = min hi (vlo + half) in
+  (vlo, vhi)
+
+let foreach_ub_tile ~ub_tile ~vlo ~vhi f =
+  let t = ref vlo in
+  while !t < vhi do
+    let len = min ub_tile (vhi - !t) in
+    f ~off:!t ~len;
+    t := !t + ub_tile
+  done
+
+let block_partition ~n ~blocks ~vpc ~chunk_align ~half_align =
+  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) chunk_align in
+  let half = Kernel_util.round_up (Kernel_util.ceil_div chunk vpc) half_align in
+  (chunk, half)
+
+(* ------------------------------------------------------------------ *)
+(* Partial propagation (Algorithm 1, lines 11-13, generic in the
+   operator). *)
+
+let propagate_rows (module Op : Scan_op.S) ctx ~vec ~ub ~len ~s ~partial =
+  let nrows = Kernel_util.ceil_div len s in
+  for r = 0 to nrows - 1 do
+    let row_off = r * s in
+    let row_len = min s (len - row_off) in
+    Op.vec_scalar ctx ~vec ~src:ub ~src_off:row_off ~dst:ub ~dst_off:row_off
+      ~scalar:!partial ~len:row_len ();
+    partial := Vec.get ctx ~vec ub (row_off + row_len - 1)
+  done
+
+let finish_tile (module Op : Scan_op.S) ctx ?(vec = 0) ?src ~ub ~dst ~off ~len
+    ~s ~partial () =
+  Option.iter
+    (fun src ->
+      Mte.copy_in ctx ~engine:(Engine.Vec_mte_in vec) ~src ~src_off:off ~dst:ub
+        ~len ())
+    src;
+  propagate_rows (module Op) ctx ~vec ~ub ~len ~s ~partial;
+  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out vec) ~src:ub ~dst ~dst_off:off
+    ~len ()
+
+let load_cube_encoding (module Op : Scan_op.S) ctx ~engine ~kind ~dtype ~s =
+  match Op.cube_encoding with
+  | Some which -> Const_mat.load ctx ~engine ~kind ~dtype ~s which
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Scan_core: operator %s has no cube-matrix encoding"
+           Op.name)
+
+(* ------------------------------------------------------------------ *)
+(* Vector-only two-phase multi-block scan, generic in the operator
+   (the decoupled-lookback shape of McScan restricted to the vector
+   engines; this is what the bespoke max-scan kernel was). *)
+
+let ub_tile = 8192
+
+(* Phase I: per-vector-sub-block reductions into [r]. *)
+let vec_phase1 (module Op : Scan_op.S) ~x ~r ~chunk ~half ~n ~dt ctx =
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let lo = i * chunk in
+  let hi = min n (lo + chunk) in
+  if hi > lo then begin
+    let ubs =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile)
+    in
+    let stage =
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt 16)
+    in
+    let vtiles = Kernel_util.ceil_div half ub_tile in
+    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
+        List.iteri
+          (fun v ub ->
+            let vlo, vhi = sub_block ~lo ~hi ~half v in
+            if vhi > vlo then begin
+              let acc = ref (Op.identity dt) in
+              foreach_ub_tile ~ub_tile ~vlo ~vhi (fun ~off ~len ->
+                  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
+                    ~src_off:off ~dst:ub ~len ();
+                  acc :=
+                    Op.combine !acc (Op.vec_reduce ctx ~vec:v ~src:ub ~len ()));
+              let st = List.nth stage v in
+              Vec.set ctx ~vec:v st 0 !acc;
+              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:st ~dst:r
+                ~dst_off:((i * vpc) + v) ~len:1 ()
+            end)
+          ubs)
+  end
+
+(* Phase II: per-tile Hillis-Steele scan under the operator, seeded
+   with the reduction of all preceding sub-blocks and the running
+   carry. *)
+let vec_phase2 (module Op : Scan_op.S) ~x ~y ~r ~chunk ~half ~n ~dt ctx =
+  let i = Block.idx ctx in
+  let vpc = (Block.cost ctx).Cost_model.vec_per_core in
+  let lo = i * chunk in
+  let hi = min n (lo + chunk) in
+  if hi > lo then begin
+    let rlen = Global_tensor.length r in
+    let bufs =
+      List.init vpc (fun v ->
+          ( Block.alloc ctx (Mem_kind.Ub v) dt ub_tile,
+            Block.alloc ctx (Mem_kind.Ub v) dt ub_tile,
+            Block.alloc ctx (Mem_kind.Ub v) (Global_tensor.dtype r) rlen ))
+    in
+    let vtiles = Kernel_util.ceil_div half ub_tile in
+    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
+        List.iteri
+          (fun v (ub, tmp, rub) ->
+            let vlo, vhi = sub_block ~lo ~hi ~half v in
+            if vhi > vlo then begin
+              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:r ~dst:rub
+                ~len:rlen ();
+              let k = (i * vpc) + v in
+              let base =
+                if k = 0 then Op.identity dt
+                else Op.vec_reduce ctx ~vec:v ~src:rub ~len:k ()
+              in
+              let partial = ref base in
+              foreach_ub_tile ~ub_tile ~vlo ~vhi (fun ~off ~len ->
+                  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
+                    ~src_off:off ~dst:ub ~len ();
+                  Kernel_util.hillis_steele_tile ctx ~vec:v ~op:Op.vec_binop
+                    ~buf:ub ~tmp ~len;
+                  Op.vec_scalar ctx ~vec:v ~src:ub ~dst:ub ~scalar:!partial
+                    ~len ();
+                  partial := Vec.get ctx ~vec:v ub (len - 1);
+                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
+                    ~dst:y ~dst_off:off ~len ())
+            end)
+          bufs)
+  end
+
+let run_vec_blocks (module Op : Scan_op.S) ?blocks ~kernel_name ~suffix device
+    x =
+  let dt = Global_tensor.dtype x in
+  if not (List.exists (Dtype.equal dt) Op.dtypes) then
+    invalid_arg
+      (Printf.sprintf "%s: unsupported dtype %s" kernel_name
+         (Dtype.to_string dt));
+  let n = Global_tensor.length x in
+  if n = 0 then invalid_arg (Printf.sprintf "%s: empty input" kernel_name);
+  let blocks =
+    match blocks with
+    | Some b -> b
+    | None -> Scheduler.blocks (Scheduler.plan device ~n)
+  in
+  let vpc = (Device.cost device).Cost_model.vec_per_core in
+  let chunk, half =
+    block_partition ~n ~blocks ~vpc ~chunk_align:ub_tile ~half_align:ub_tile
+  in
+  let name = Global_tensor.name x in
+  let y = Device.alloc device dt n ~name:(name ^ suffix) in
+  let r = Device.alloc device dt (blocks * vpc) ~name:(name ^ suffix ^ "_r") in
+  (* The identity must pre-fill r so empty sub-blocks are neutral. *)
+  if Device.functional device then
+    for k = 0 to (blocks * vpc) - 1 do
+      Global_tensor.set r k (Op.identity dt)
+    done;
+  let stats =
+    Launch.run_phases ~name:kernel_name device ~blocks
+      [
+        vec_phase1 (module Op) ~x ~r ~chunk ~half ~n ~dt;
+        vec_phase2 (module Op) ~x ~y ~r ~chunk ~half ~n ~dt;
+      ]
+  in
+  (y, stats)

@@ -1,0 +1,100 @@
+(** Monoid-generic tiled-scan engine.
+
+    The structural skeleton shared by every scan kernel — tile
+    iteration under the double-buffering pipeline, block/sub-block
+    partitioning, and the partial-propagation epilogue — parameterised
+    by a {!Scan_op.S} operator module. The kernels in this library are
+    thin instances: they pick a tiling and a local-scan step (cube
+    matmul, [CumSum], Hillis-Steele) and delegate the rest here. *)
+
+open Ascend
+
+val foreach_tile :
+  Block.t ->
+  ?serial:bool ->
+  tile:int ->
+  n:int ->
+  (off:int -> len:int -> unit) ->
+  unit
+(** Run the tile body for every [tile]-sized slice of [0, n) inside one
+    {!Ascend.Block.pipelined} section ([iters] = tile count, so the
+    section is charged at double-buffered throughput; [serial] is the
+    no-pipelining ablation hook and charges the serial sum). *)
+
+val sub_block : lo:int -> hi:int -> half:int -> int -> int * int
+(** [sub_block ~lo ~hi ~half v] is the [(vlo, vhi)] range of block
+    chunk [\[lo, hi)] owned by vector core [v]. *)
+
+val foreach_ub_tile :
+  ub_tile:int -> vlo:int -> vhi:int -> (off:int -> len:int -> unit) -> unit
+(** Iterate a sub-block in UB-sized slices. *)
+
+val block_partition :
+  n:int -> blocks:int -> vpc:int -> chunk_align:int -> half_align:int ->
+  int * int
+(** [(chunk, half)]: per-block chunk of [n] rounded up to [chunk_align]
+    and per-vector-core half-chunk rounded up to [half_align] (the
+    partition arithmetic of the multi-core kernels). *)
+
+val propagate_rows :
+  (module Scan_op.S) ->
+  Block.t ->
+  vec:int ->
+  ub:Local_tensor.t ->
+  len:int ->
+  s:int ->
+  partial:float ref ->
+  unit
+(** Vector-core prefix propagation over per-[s]-row local scans held in
+    UB: fold the running partial into each row in place with the
+    operator's scalar form, then update it from the row's last entry
+    (Algorithm 1, lines 11-13). With [s >= len] this degenerates to the
+    single whole-tile fold used by the one-row epilogues. *)
+
+val finish_tile :
+  (module Scan_op.S) ->
+  Block.t ->
+  ?vec:int ->
+  ?src:Global_tensor.t ->
+  ub:Local_tensor.t ->
+  dst:Global_tensor.t ->
+  off:int ->
+  len:int ->
+  s:int ->
+  partial:float ref ->
+  unit ->
+  unit
+(** The tile epilogue every kernel shares: optionally stage the
+    tile-local scan result from [src] in GM into [ub], propagate the
+    running partial through its [s]-rows, and write the finished prefix
+    to [dst]. [src] is omitted when the local result is already in UB
+    (the vector-only kernels). *)
+
+val load_cube_encoding :
+  (module Scan_op.S) ->
+  Block.t ->
+  engine:Engine.t ->
+  kind:Mem_kind.t ->
+  dtype:Dtype.t ->
+  s:int ->
+  Local_tensor.t
+(** Load the operator's constant scan matrix ({!Scan_op.S.cube_encoding});
+    raises [Invalid_argument] for operators with no matmul formulation. *)
+
+val ub_tile : int
+(** UB tile size (elements) of the vector-only two-phase engine. *)
+
+val run_vec_blocks :
+  (module Scan_op.S) ->
+  ?blocks:int ->
+  kernel_name:string ->
+  suffix:string ->
+  Device.t ->
+  Global_tensor.t ->
+  Global_tensor.t * Stats.t
+(** Vector-only two-phase multi-block scan under the operator: phase I
+    reduces every vector-core sub-block into an intermediate tensor
+    [r]; phase II folds the preceding entries of [r] into a base and
+    rescans each UB tile with {!Kernel_util.hillis_steele_tile} under
+    the operator's binop. This is the whole of the former bespoke
+    max-scan kernel, for any {!Scan_op.S}. *)

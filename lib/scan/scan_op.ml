@@ -1,0 +1,55 @@
+open Ascend
+
+module type S = sig
+  val name : string
+  val identity : Dtype.t -> float
+  val combine : float -> float -> float
+
+  val vec_binop : Vec.binop
+
+  val vec_scalar :
+    Block.t ->
+    ?vec:int ->
+    src:Local_tensor.t ->
+    ?src_off:int ->
+    dst:Local_tensor.t ->
+    ?dst_off:int ->
+    scalar:float ->
+    len:int ->
+    unit ->
+    unit
+
+  val vec_reduce :
+    Block.t ->
+    ?vec:int ->
+    src:Local_tensor.t ->
+    ?src_off:int ->
+    len:int ->
+    unit ->
+    float
+
+  val cube_encoding : Const_mat.which option
+  val dtypes : Dtype.t list
+end
+
+module Sum : S = struct
+  let name = "sum"
+  let identity _ = 0.0
+  let combine = ( +. )
+  let vec_binop = Vec.Add
+  let vec_scalar = Vec.adds
+  let vec_reduce = Vec.reduce_sum
+  let cube_encoding = Some Const_mat.Upper
+  let dtypes = [ Dtype.F16; Dtype.F32; Dtype.I8 ]
+end
+
+module Max : S = struct
+  let name = "max"
+  let identity = Dtype.min_value
+  let combine = Float.max
+  let vec_binop = Vec.Max
+  let vec_scalar = Vec.maxs
+  let vec_reduce = Vec.reduce_max
+  let cube_encoding = None
+  let dtypes = [ Dtype.F16; Dtype.F32; Dtype.I32 ]
+end

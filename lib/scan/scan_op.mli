@@ -1,0 +1,64 @@
+(** Associative operators the tiled-scan engine is generic over.
+
+    A scan kernel is one tiling strategy; the monoid it scans under is
+    an interchangeable module of this signature. The engine needs the
+    algebra (identity, combine), the vector-engine spellings of the
+    same operation (element-wise binop, broadcast-scalar fold, block
+    reduction), the constant-matrix encoding that turns tile-local
+    scans into a matmul on the cube core (when one exists), and the
+    data types the operator is defined over. *)
+
+module type S = sig
+  val name : string
+
+  val identity : Ascend.Dtype.t -> float
+  (** Neutral element, per data type (e.g. the most negative
+      representable value for [Max]). *)
+
+  val combine : float -> float -> float
+  (** Host-side fold, used for scalar carries and reference checksums.
+      Must be associative with {!identity} as the neutral element. *)
+
+  val vec_binop : Ascend.Vec.binop
+  (** Element-wise tensor-tensor form ({!Ascend.Vec.binop}). *)
+
+  val vec_scalar :
+    Ascend.Block.t ->
+    ?vec:int ->
+    src:Ascend.Local_tensor.t ->
+    ?src_off:int ->
+    dst:Ascend.Local_tensor.t ->
+    ?dst_off:int ->
+    scalar:float ->
+    len:int ->
+    unit ->
+    unit
+  (** Tensor-scalar broadcast form (e.g. {!Ascend.Vec.adds} /
+      {!Ascend.Vec.maxs}): folds one scalar into every element. *)
+
+  val vec_reduce :
+    Ascend.Block.t ->
+    ?vec:int ->
+    src:Ascend.Local_tensor.t ->
+    ?src_off:int ->
+    len:int ->
+    unit ->
+    float
+  (** Whole-block reduction to a scalar (e.g. {!Ascend.Vec.reduce_sum}). *)
+
+  val cube_encoding : Const_mat.which option
+  (** Constant matrix [M] with [x @ M] = per-row local scans under this
+      operator, or [None] when the operator has no matmul formulation
+      (max/min over the reals have none — the cube core only
+      multiplies-and-adds). *)
+
+  val dtypes : Ascend.Dtype.t list
+  (** Data types the operator's kernels accept. *)
+end
+
+module Sum : S
+(** [+] over f16/f32 (and i8 through the McScan widening path);
+    cube-encodable via the upper-triangular ones matrix. *)
+
+module Max : S
+(** [max] over f16/f32/i32; vector-only (no cube encoding). *)

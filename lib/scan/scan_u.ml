@@ -7,31 +7,25 @@ let run ?(s = 128) ?(no_pipeline = false) device x =
   let n = Global_tensor.length x in
   let y = Device.alloc device Dtype.F16 n ~name:(Global_tensor.name x ^ "_scanu") in
   let tile = s * s in
-  let ntiles = Kernel_util.ceil_div n tile in
   let body ctx =
     let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
     let l0c = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
     let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
     let u =
-      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b
-        ~dtype:Dtype.F16 ~s Const_mat.Upper
+      Scan_core.load_cube_encoding
+        (module Scan_op.Sum)
+        ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b ~dtype:Dtype.F16 ~s
     in
-    let partial = ref 0.0 in
-    (* no_pipeline is the A2 ablation hook: iters = 1 makes the
-       section time the serial sum of all engine work. *)
-    Block.pipelined ctx ~iters:(if no_pipeline then 1 else max 1 ntiles) (fun () ->
-        for t = 0 to ntiles - 1 do
-          let off = t * tile in
-          let len = min tile (n - off) in
-          Kernel_util.cube_local_scans ctx ~x ~off ~len ~s ~l0a ~u ~l0c ~y;
-          (* The vector core waits for the cube result in GM, finishes
-             the prefix in place, and writes it back. *)
-          Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y ~src_off:off
-            ~dst:ub ~len ();
-          Kernel_util.propagate_rows ctx ~vec:0 ~ub ~len ~s ~partial;
-          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub ~dst:y
-            ~dst_off:off ~len ()
-        done)
+    let partial = ref (Scan_op.Sum.identity Dtype.F16) in
+    (* no_pipeline is the A2 ablation hook: serial tile iteration makes
+       the section time the serial sum of all engine work. *)
+    Scan_core.foreach_tile ctx ~serial:no_pipeline ~tile ~n (fun ~off ~len ->
+        Kernel_util.cube_local_scans ctx ~x ~off ~len ~s ~l0a ~u ~l0c ~y;
+        (* The vector core waits for the cube result in GM, finishes
+           the prefix in place, and writes it back. *)
+        Scan_core.finish_tile
+          (module Scan_op.Sum)
+          ctx ~vec:0 ~src:y ~ub ~dst:y ~off ~len ~s ~partial ())
   in
   let stats = Launch.run ~name:"scan_u" device ~blocks:1 body in
   (y, stats)

@@ -20,8 +20,9 @@ let alloc_bufs ctx ~s =
     c2 = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile;
     c1_l1 = Block.alloc ctx Mem_kind.L1 Dtype.F16 tile;
     u_l1 =
-      Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L1
-        ~dtype:Dtype.F16 ~s Const_mat.Upper;
+      Scan_core.load_cube_encoding
+        (module Scan_op.Sum)
+        ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L1 ~dtype:Dtype.F16 ~s;
     lminus_l1 =
       Const_mat.load ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L1
         ~dtype:Dtype.F16 ~s Const_mat.Strict_lower;
@@ -72,24 +73,17 @@ let run ?(s = 128) device x =
     Device.alloc device Dtype.F16 n ~name:(Global_tensor.name x ^ "_scanul1")
   in
   let tile = s * s in
-  let ntiles = Kernel_util.ceil_div n tile in
   let body ctx =
     let bufs = alloc_bufs ctx ~s in
     let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
-    let partial = ref 0.0 in
-    Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
-        for t = 0 to ntiles - 1 do
-          let off = t * tile in
-          let len = min tile (n - off) in
-          cube_tile ctx ~x ~y ~off ~len ~s ~bufs;
-          (* Vector unit: one scalar add over the whole tile. *)
-          Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y ~src_off:off
-            ~dst:ub ~len ();
-          Vec.adds ctx ~src:ub ~dst:ub ~scalar:!partial ~len ();
-          partial := Vec.get ctx ub (len - 1);
-          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub ~dst:y
-            ~dst_off:off ~len ()
-        done)
+    let partial = ref (Scan_op.Sum.identity Dtype.F16) in
+    Scan_core.foreach_tile ctx ~tile ~n (fun ~off ~len ->
+        cube_tile ctx ~x ~y ~off ~len ~s ~bufs;
+        (* Vector unit: the whole tile is one propagation row, so the
+           epilogue is a single scalar fold. *)
+        Scan_core.finish_tile
+          (module Scan_op.Sum)
+          ctx ~src:y ~ub ~dst:y ~off ~len ~s:tile ~partial ())
   in
   let stats = Launch.run ~name:"scan_ul1" device ~blocks:1 body in
   (y, stats)

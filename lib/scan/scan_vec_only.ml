@@ -1,5 +1,8 @@
 open Ascend
 
+(* CumSum baseline: the local-scan step is the composite vector CumSum
+   instruction; tiling and the carry epilogue come from the generic
+   core (the whole tile is one propagation row). *)
 let run ?(rows = 128) ?(cols = 128) device x =
   let n = Global_tensor.length x in
   let dt = Global_tensor.dtype x in
@@ -11,24 +14,18 @@ let run ?(rows = 128) ?(cols = 128) device x =
            (Dtype.to_string d)));
   let y = Device.alloc device dt n ~name:(Global_tensor.name x ^ "_cumsum") in
   let tile = rows * cols in
-  let ntiles = (n + tile - 1) / tile in
   let body ctx =
     let ub_in = Block.alloc ctx (Mem_kind.Ub 0) dt tile in
     let ub_out = Block.alloc ctx (Mem_kind.Ub 0) dt tile in
-    let partial = ref 0.0 in
-    Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
-        for t = 0 to ntiles - 1 do
-          let off = t * tile in
-          let len = min tile (n - off) in
-          let trows = (len + cols - 1) / cols in
-          Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:x ~src_off:off
-            ~dst:ub_in ~len ();
-          Vec.cumsum ctx ~src:ub_in ~dst:ub_out ~rows:trows ~cols ();
-          Vec.adds ctx ~src:ub_out ~dst:ub_out ~scalar:!partial ~len ();
-          partial := Vec.get ctx ub_out (len - 1);
-          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub_out ~dst:y
-            ~dst_off:off ~len ()
-        done)
+    let partial = ref (Scan_op.Sum.identity dt) in
+    Scan_core.foreach_tile ctx ~tile ~n (fun ~off ~len ->
+        let trows = Kernel_util.ceil_div len cols in
+        Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:x ~src_off:off
+          ~dst:ub_in ~len ();
+        Vec.cumsum ctx ~src:ub_in ~dst:ub_out ~rows:trows ~cols ();
+        Scan_core.finish_tile
+          (module Scan_op.Sum)
+          ctx ~ub:ub_out ~dst:y ~off ~len ~s:tile ~partial ())
   in
   let stats = Launch.run ~name:"cumsum_vec_only" device ~blocks:1 body in
   (y, stats)

@@ -61,20 +61,15 @@ let phase1 ~x ~flags ~rv ~rf ~chunk ~half ~n ctx =
     Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
         List.iteri
           (fun v b ->
-            let vlo = lo + (v * half) in
-            let vhi = min hi (vlo + half) in
+            let vlo, vhi = Scan_core.sub_block ~lo ~hi ~half v in
             if vhi > vlo then begin
               let carry = ref 0.0 and seen = ref false in
-              let t = ref vlo in
-              while !t < vhi do
-                let len = min ub_tile (vhi - !t) in
-                let last_v, last_f =
-                  scan_tile ctx ~vec:v ~b ~x ~flags ~off:!t ~len ~base:!carry
-                in
-                carry := last_v;
-                seen := !seen || last_f;
-                t := !t + ub_tile
-              done;
+              Scan_core.foreach_ub_tile ~ub_tile ~vlo ~vhi (fun ~off ~len ->
+                  let last_v, last_f =
+                    scan_tile ctx ~vec:v ~b ~x ~flags ~off ~len ~base:!carry
+                  in
+                  carry := last_v;
+                  seen := !seen || last_f);
               let k = (i * vpc) + v in
               Vec.set ctx ~vec:v (List.nth stage_v v) 0 !carry;
               Vec.set ctx ~vec:v (List.nth stage_f v) 0
@@ -107,8 +102,7 @@ let phase2 ~x ~flags ~y ~rv ~rf ~chunk ~half ~n ctx =
     Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
         List.iteri
           (fun v b ->
-            let vlo = lo + (v * half) in
-            let vhi = min hi (vlo + half) in
+            let vlo, vhi = Scan_core.sub_block ~lo ~hi ~half v in
             if vhi > vlo then begin
               let k = (i * vpc) + v in
               Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:rv
@@ -123,17 +117,13 @@ let phase2 ~x ~flags ~y ~rv ~rf ~chunk ~half ~n ctx =
                 base := Fp16.round (if fj <> 0.0 then vj else !base +. vj)
               done;
               let carry = ref !base in
-              let t = ref vlo in
-              while !t < vhi do
-                let len = min ub_tile (vhi - !t) in
-                let last_v, _ =
-                  scan_tile ctx ~vec:v ~b ~x ~flags ~off:!t ~len ~base:!carry
-                in
-                carry := last_v;
-                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:b.v
-                  ~dst:y ~dst_off:!t ~len ();
-                t := !t + ub_tile
-              done
+              Scan_core.foreach_ub_tile ~ub_tile ~vlo ~vhi (fun ~off ~len ->
+                  let last_v, _ =
+                    scan_tile ctx ~vec:v ~b ~x ~flags ~off ~len ~base:!carry
+                  in
+                  carry := last_v;
+                  Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:b.v
+                    ~dst:y ~dst_off:off ~len ())
             end)
           bufs)
   end
@@ -153,8 +143,10 @@ let run ?blocks device ~x ~flags () =
     | None -> Scheduler.blocks (Scheduler.plan device ~n)
   in
   let vpc = (Device.cost device).Cost_model.vec_per_core in
-  let chunk = Kernel_util.round_up (Kernel_util.ceil_div n blocks) ub_tile in
-  let half = Kernel_util.round_up (Kernel_util.ceil_div chunk vpc) ub_tile in
+  let chunk, half =
+    Scan_core.block_partition ~n ~blocks ~vpc ~chunk_align:ub_tile
+      ~half_align:ub_tile
+  in
   let name = Global_tensor.name x in
   let y = Device.alloc device Dtype.F16 n ~name:(name ^ "_segscan") in
   let rv = Device.alloc device Dtype.F32 (blocks * vpc) ~name:(name ^ "_seg_rv") in

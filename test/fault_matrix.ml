@@ -61,14 +61,25 @@ let () =
     if not ok then incr failures
   in
   (* Scans through the resilient launcher: retries absorb transient
-     corruption, the vector-only kernel is the degradation target. *)
+     corruption, the vector-only kernel is the degradation target for
+     the sum-monoid entries (a different monoid gets no cross-kernel
+     fallback — the sum fallback would compute the wrong function).
+     The matrix enumerates the registry, so new scan entries are
+     covered without edits here. *)
+  let vec_only = Scan.Scan_api.get "vec_only" in
+  let is_sum (algo : Scan.Scan_api.algo) =
+    match algo.Scan.Op_registry.monoid with
+    | Some (module Op : Scan.Scan_op.S) -> String.equal Op.name "sum"
+    | None -> false
+  in
   List.iter
     (fun algo ->
       let name = "scan/" ^ Scan.Scan_api.algo_to_string algo in
+      let fallback = if is_sum algo then Some vec_only else None in
       match
         Runtime.Resilient.scan ~max_attempts:5
-          ~oracle:Runtime.Resilient.Reference ~fallback:Scan.Scan_api.Vec_only
-          ~algo (make_device ()) ~input
+          ~oracle:Runtime.Resilient.Reference ?fallback ~algo (make_device ())
+          ~input
       with
       | r ->
           report name r.Runtime.Resilient.ok
@@ -76,7 +87,7 @@ let () =
                r.Runtime.Resilient.attempts r.Runtime.Resilient.detections)
       | exception (Health.All_cores_dead as e) ->
           report name false (Printexc.to_string e))
-    [ Scan.Scan_api.U; Scan.Scan_api.Ul1; Scan.Scan_api.Mc; Scan.Scan_api.Tcu ];
+    Scan.Scan_api.all_algos;
   (* Checkpointed batched scan. *)
   (let batch = 16 and len = 2048 in
    let binput =

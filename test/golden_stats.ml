@@ -1,0 +1,191 @@
+(* Golden-stats snapshot: runs every pre-existing kernel and a sample
+   of scan-based operators at fixed inputs, under host domains 1 AND 4,
+   and serialises (output digest, full simulated Stats) per case. The
+   committed [golden_stats.expected] file is the pre-refactor record;
+   any structural refactor of the kernels must reproduce it bit for
+   bit — same outputs, same cycles, same bytes, same per-engine busy.
+
+   Usage:
+     golden_stats.exe            compare against golden_stats.expected
+     golden_stats.exe --write    regenerate the expected file *)
+
+open Ascend
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation. Floats print as %h (hex, lossless); lists are kept
+   in the order Stats produces them so ordering changes are caught
+   too. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let digest_fold h bits =
+  let h = ref h in
+  for b = 0 to 7 do
+    let byte = Int64.to_int (Int64.logand (Int64.shift_right_logical bits (b * 8)) 0xffL) in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+let digest_tensor t =
+  let n = Global_tensor.length t in
+  let h = ref (digest_fold fnv_offset (Int64.of_int n)) in
+  for i = 0 to n - 1 do
+    h := digest_fold !h (Int64.bits_of_float (Global_tensor.get t i))
+  done;
+  !h
+
+let digest_ints h ints =
+  List.fold_left (fun h i -> digest_fold h (Int64.of_int i)) h ints
+
+let buf = Buffer.create (1 lsl 16)
+let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let emit_phase (p : Stats.phase) =
+  pr "  phase compute=%h bandwidth=%h seconds=%h gm=%d fp=%d bound=%b\n"
+    p.Stats.compute_seconds p.Stats.bandwidth_seconds p.Stats.seconds
+    p.Stats.gm_bytes p.Stats.footprint_bytes p.Stats.bandwidth_bound
+
+let emit_stats (st : Stats.t) =
+  pr "  name=%s seconds=%h blocks=%d cores=%d read=%d write=%d\n" st.Stats.name
+    st.Stats.seconds st.Stats.blocks st.Stats.cores_used st.Stats.gm_read_bytes
+    st.Stats.gm_write_bytes;
+  List.iter emit_phase st.Stats.phases;
+  List.iter (fun (e, c) -> pr "  engine %s=%h\n" e c) st.Stats.engine_busy;
+  Array.iteri (fun i c -> if c <> 0.0 then pr "  core %d=%h\n" i c)
+    st.Stats.core_busy;
+  List.iter (fun (o, c) -> pr "  op %s=%d\n" o c) st.Stats.op_counts;
+  pr "  faults=%d retries=%d degraded=%d\n"
+    (List.length st.Stats.faults) st.Stats.retries st.Stats.degraded
+
+let case name ~digest st = pr "case %s digest=%Lx\n" name digest; emit_stats st
+
+(* ------------------------------------------------------------------ *)
+(* Fixed inputs. *)
+
+let n = 30000
+let scan_data = Array.init n (fun i -> if i mod 37 = 0 then 1.0 else 0.0)
+
+let mixed_data =
+  Array.init n (fun i ->
+      if i mod 37 = 0 then 2.0 else if i mod 5 = 0 then -0.5 else 0.25)
+
+let i8_data = Array.init n (fun i -> float_of_int ((i mod 7) - 3))
+let flags_data = Array.init n (fun i -> if (i * 7) mod 13 < 2 then 1.0 else 0.0)
+let small = Array.sub mixed_data 0 4097
+
+let run_cases dev =
+  let of_array dt name a = Device.of_array dev dt ~name a in
+  let scans =
+    [
+      ("vec_only_f16", Dtype.F16, scan_data,
+       fun x -> Scan.Scan_vec_only.run dev x);
+      ("vec_only_f32", Dtype.F32, mixed_data,
+       fun x -> Scan.Scan_vec_only.run dev x);
+      ("scanu_f16", Dtype.F16, scan_data, fun x -> Scan.Scan_u.run dev x);
+      ("scanul1_f16", Dtype.F16, scan_data, fun x -> Scan.Scan_ul1.run dev x);
+      ("mcscan_f16", Dtype.F16, scan_data, fun x -> Scan.Mcscan.run dev x);
+      ("mcscan_f16_exclusive", Dtype.F16, scan_data,
+       fun x -> Scan.Mcscan.run ~exclusive:true dev x);
+      ("mcscan_i8", Dtype.I8, i8_data, fun x -> Scan.Mcscan.run dev x);
+      ("tcu_f16", Dtype.F16, scan_data, fun x -> Scan.Tcu_scan.run dev x);
+      ("max_scan_f16", Dtype.F16, mixed_data, fun x -> Scan.Max_scan.run dev x);
+      ("max_scan_f32", Dtype.F32, mixed_data, fun x -> Scan.Max_scan.run dev x);
+      ("scanu_small", Dtype.F16, small, fun x -> Scan.Scan_u.run dev x);
+      ("scanul1_small", Dtype.F16, small, fun x -> Scan.Scan_ul1.run dev x);
+      ("vec_only_small", Dtype.F16, small, fun x -> Scan.Scan_vec_only.run dev x);
+      ("mcscan_small", Dtype.F16, small, fun x -> Scan.Mcscan.run dev x);
+      ("max_scan_small", Dtype.F16, small, fun x -> Scan.Max_scan.run dev x);
+    ]
+  in
+  List.iter
+    (fun (name, dt, data, run) ->
+      let x = of_array dt "x" data in
+      let y, st = run x in
+      case name ~digest:(digest_tensor y) st)
+    scans;
+  (* Segmented scan. *)
+  let x = of_array Dtype.F16 "x" scan_data in
+  let flags = of_array Dtype.I8 "f" flags_data in
+  let y, st = Scan.Segmented_scan.run dev ~x ~flags () in
+  case "segmented_f16" ~digest:(digest_tensor y) st;
+  (* Batched scans. *)
+  let batch = 4 and blen = 8192 in
+  let bdata =
+    Array.init (batch * blen) (fun i -> if i mod 31 = 0 then 1.0 else 0.0)
+  in
+  let bx = of_array Dtype.F16 "bx" bdata in
+  let y, st = Scan.Batched_scan.run_u dev ~batch ~len:blen bx in
+  case "batched_u" ~digest:(digest_tensor y) st;
+  let y, st = Scan.Batched_scan.run_ul1 dev ~batch ~len:blen bx in
+  case "batched_ul1" ~digest:(digest_tensor y) st;
+  (* Scan-based operators. *)
+  let cx = of_array Dtype.F16 "cx" mixed_data in
+  let cm = of_array Dtype.I8 "cm" flags_data in
+  let r = Ops.Compress.run dev ~x:cx ~mask:cm () in
+  case "compress"
+    ~digest:(digest_ints (digest_tensor r.Ops.Compress.values)
+               [ r.Ops.Compress.count ])
+    r.Ops.Compress.stats;
+  let sdata = Workload.Generators.uniform_f16 ~seed:7 ~lo:(-100.0) ~hi:100.0 8192 in
+  let sx = of_array Dtype.F16 "sx" sdata in
+  let r = Ops.Radix_sort.run dev sx in
+  case "radix_sort" ~digest:(digest_tensor r.Ops.Radix_sort.values)
+    r.Ops.Radix_sort.stats;
+  let probs = Workload.Generators.softmax_probs ~seed:11 4096 in
+  let pt = of_array Dtype.F16 "probs" probs in
+  let r = Ops.Topp.sample dev ~probs:pt ~p:0.9 ~theta:0.35 in
+  case "topp"
+    ~digest:(digest_ints fnv_offset
+               [ (match r.Ops.Topp.token with Some t -> t | None -> -1);
+                 r.Ops.Topp.kept ])
+    r.Ops.Topp.stats;
+  let w = of_array Dtype.F16 "w" probs in
+  let tok, st = Ops.Weighted_sampling.sample dev ~weights:w ~theta:0.4 in
+  case "weighted_sampling" ~digest:(digest_ints fnv_offset [ tok ]) st
+
+let render () =
+  Buffer.clear buf;
+  List.iter
+    (fun domains ->
+      pr "# domains=%d\n" domains;
+      run_cases (Device.create ~domains ()))
+    [ 1; 4 ];
+  Buffer.contents buf
+
+let expected_path =
+  (* Resolve relative to the executable so both `dune runtest` (cwd =
+     _build sandbox) and direct invocation work. *)
+  Filename.concat (Filename.dirname Sys.executable_name) "golden_stats.expected"
+
+let () =
+  let write = Array.exists (( = ) "--write") Sys.argv in
+  let got = render () in
+  if write then begin
+    let oc = open_out expected_path in
+    output_string oc got;
+    close_out oc;
+    Printf.printf "wrote %s (%d bytes)\n" expected_path (String.length got)
+  end
+  else begin
+    let ic = open_in_bin expected_path in
+    let want = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    if String.equal got want then print_endline "golden stats: OK"
+    else begin
+      (* Print the first differing line for diagnosis. *)
+      let gl = String.split_on_char '\n' got
+      and wl = String.split_on_char '\n' want in
+      let rec first_diff i = function
+        | g :: gs, w :: ws ->
+            if String.equal g w then first_diff (i + 1) (gs, ws)
+            else Printf.eprintf "line %d:\n  want: %s\n  got:  %s\n" i w g
+        | g :: _, [] -> Printf.eprintf "line %d: extra line: %s\n" i g
+        | [], w :: _ -> Printf.eprintf "line %d: missing line: %s\n" i w
+        | [], [] -> ()
+      in
+      first_diff 1 (gl, wl);
+      prerr_endline "golden stats: MISMATCH — kernels are not behaviour-preserving";
+      exit 1
+    end
+  end

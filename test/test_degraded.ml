@@ -253,12 +253,12 @@ let test_resilient_absorbs_deadline () =
   let tight () =
     let d = Device.create ~deadline_cycles:500.0 () in
     let x = Device.of_array d Dtype.F16 ~name:"x" input in
-    Scan.Scan_api.run ~algo:Scan.Scan_api.Mc d x
+    Scan.Scan_api.run ~algo:(Scan.Scan_api.get "mcscan") d x
   in
   let loose () =
     let d = Device.create () in
     let x = Device.of_array d Dtype.F16 ~name:"x" input in
-    Scan.Scan_api.run ~algo:Scan.Scan_api.Mc d x
+    Scan.Scan_api.run ~algo:(Scan.Scan_api.get "mcscan") d x
   in
   let validate y =
     Scan.Scan_api.check_against_reference ~round:Fp16.round ~input ~output:y ()
@@ -318,7 +318,7 @@ let prop_scan_algos_any_subset =
           Scan.Scan_api.check_against_reference ~round:Fp16.round
             ~input:scan_input ~output:y ()
           = Ok ())
-        [ Scan.Scan_api.U; Scan.Scan_api.Ul1; Scan.Scan_api.Tcu ])
+        [ (Scan.Scan_api.get "scanu"); (Scan.Scan_api.get "scanul1"); (Scan.Scan_api.get "tcu") ])
 
 let prop_segmented_any_subset =
   QCheck.Test.make ~name:"segmented scan bit-identical on any subset"

@@ -105,24 +105,25 @@ let check_domain_invariant name run =
     [ 2; 4 ]
 
 let test_scan_algos_domain_invariant () =
+  (* Every registered unary scan — a new registry entry is covered by
+     the domain-invariance contract automatically. *)
   List.iter
-    (fun (label, algo) ->
-      check_domain_invariant label (fun domains ->
+    (fun algo ->
+      check_domain_invariant (Scan.Scan_api.algo_to_string algo)
+        (fun domains ->
           let d = Device.create ~domains () in
           let x = Device.of_array d Dtype.F16 ~name:"x" scan_input in
           let y, st = Scan.Scan_api.run ~algo d x in
           (tensor_bits y (Array.length scan_input), st)))
-    [
-      ("scanu", Scan.Scan_api.U);
-      ("scanul1", Scan.Scan_api.Ul1);
-      ("mcscan", Scan.Scan_api.Mc);
-    ]
+    Scan.Scan_api.all_algos
 
 let test_mcscan_exclusive_domain_invariant () =
   check_domain_invariant "mcscan exclusive" (fun domains ->
       let d = Device.create ~domains () in
       let x = Device.of_array d Dtype.F16 ~name:"x" scan_input in
-      let y, st = Scan.Scan_api.run ~exclusive:true ~algo:Scan.Scan_api.Mc d x in
+      let y, st =
+        Scan.Scan_api.run ~exclusive:true ~algo:(Scan.Scan_api.get "mcscan") d x
+      in
       (tensor_bits y (Array.length scan_input), st))
 
 let test_batched_domain_invariant () =

@@ -144,16 +144,26 @@ let prop_weighted_sample_in_support =
       idx >= 0 && idx < Array.length mask && mask.(idx) > 0.0)
 
 let prop_scan_algos_agree =
-  QCheck.Test.make ~name:"all scan algorithms agree on exact data" ~count:15
+  QCheck.Test.make ~name:"all sum-scan algorithms agree on exact data" ~count:15
     arb_ints (fun data ->
       let dev = Device.create () in
       let x = Device.of_array dev Dtype.F16 ~name:"x" data in
+      let sum_algos =
+        (* Cross-kernel agreement only holds within one monoid: the
+           registry also carries e.g. the max scan. *)
+        List.filter
+          (fun (algo : Scan.Scan_api.algo) ->
+            match algo.Scan.Op_registry.monoid with
+            | Some (module Op : Scan.Scan_op.S) -> String.equal Op.name "sum"
+            | None -> false)
+          Scan.Scan_api.all_algos
+      in
       let outs =
         List.map
           (fun algo ->
             let y, _ = Scan.Scan_api.run ~algo dev x in
             Array.init (Array.length data) (Global_tensor.get y))
-          Scan.Scan_api.all_algos
+          sum_algos
       in
       match outs with
       | first :: rest -> List.for_all (fun o -> o = first) rest

@@ -21,8 +21,8 @@ let reference_ok output =
 let test_bitflip_caught_and_retried () =
   let d = Device.create ~fault:(Fault.config ~seed:3 ~rate:0.05 ()) () in
   let r =
-    Resilient.scan ~oracle:Resilient.Reference ~fallback:Scan.Scan_api.Vec_only
-      ~algo:Scan.Scan_api.Mc d ~input
+    Resilient.scan ~oracle:Resilient.Reference ~fallback:(Scan.Scan_api.get "vec_only")
+      ~algo:(Scan.Scan_api.get "mcscan") d ~input
   in
   check_bool "recovered" true r.Resilient.ok;
   check_bool "fault was detected" true (r.Resilient.detections >= 1);
@@ -43,8 +43,8 @@ let test_bitflip_caught_and_retried () =
 let test_rate_zero_overhead () =
   let plain_d = Device.create () in
   let x = Device.of_array plain_d Dtype.F16 ~name:"x" input in
-  let y_plain, st_plain = Scan.Scan_api.run ~algo:Scan.Scan_api.Mc plain_d x in
-  let r = Resilient.scan ~algo:Scan.Scan_api.Mc (Device.create ()) ~input in
+  let y_plain, st_plain = Scan.Scan_api.run ~algo:(Scan.Scan_api.get "mcscan") plain_d x in
+  let r = Resilient.scan ~algo:(Scan.Scan_api.get "mcscan") (Device.create ()) ~input in
   check_bool "validated" true r.Resilient.ok;
   check_int "single attempt" 1 r.Resilient.attempts;
   check_int "no retries" 0 r.Resilient.stats.Stats.retries;
@@ -70,7 +70,7 @@ let test_degrade_to_vec_only () =
   let d = Device.create ~fault () in
   let r =
     Resilient.scan ~max_attempts:2 ~oracle:Resilient.Reference
-      ~fallback:Scan.Scan_api.Vec_only ~algo:Scan.Scan_api.U d ~input
+      ~fallback:(Scan.Scan_api.get "vec_only") ~algo:(Scan.Scan_api.get "scanu") d ~input
   in
   check_bool "fallback saved the run" true r.Resilient.ok;
   check_bool "degraded" true r.Resilient.degraded;
@@ -121,7 +121,7 @@ let test_run_validation () =
   check_bool "cost-only device rejected" true
     (try
        ignore
-         (Resilient.scan ~algo:Scan.Scan_api.Mc
+         (Resilient.scan ~algo:(Scan.Scan_api.get "mcscan")
             (Device.create ~mode:Device.Cost_only ())
             ~input:[| 1.0 |]);
        false
