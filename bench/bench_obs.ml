@@ -1,0 +1,140 @@
+(* Observability benchmark (BENCH_5): two representative kernels
+   (ScanU and MCScan) run under full instruction tracing.
+
+   Reported per kernel:
+   - the simulated metrics (time, GM traffic, event counts) — these
+     are deterministic, so the JSON doubles as a cheap regression
+     check on the recorder;
+   - the per-phase engine occupancy and bounding resource, recovered
+     from the emitted Chrome trace exactly the way `trace summary`
+     does (through the JSON, not the in-memory recorder — exercising
+     the whole export path);
+   - the host-side cost of tracing: Bechamel wall-clock of the same
+     launch with the recorder armed vs disarmed.
+
+   Emits BENCH_5.json (path overridable as argv.(1)). *)
+
+let scan_n = 1 lsl 16
+let kernels = [ "scanu"; "mcscan" ]
+
+let ols =
+  Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false
+    ~predictors:[| Bechamel.Measure.run |]
+
+let cfg = Bechamel.Benchmark.cfg ~limit:20 ~quota:(Bechamel.Time.second 0.5) ()
+
+let time_ns name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let results = Benchmark.all cfg [ instance ] test in
+  let analysis = Analyze.all ols instance results in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ result ->
+      match Analyze.OLS.estimates result with
+      | Some [ e ] -> est := e
+      | _ -> ())
+    analysis;
+  !est
+
+let entry name =
+  match Scan.Op_registry.find name with
+  | Some e -> e
+  | None -> failwith ("unknown kernel: " ^ name)
+
+let phase_json (s : Obs.Trace_summary.phase_sum) =
+  Obs.Jsonw.Obj
+    [
+      ("index", Obs.Jsonw.Int s.Obs.Trace_summary.index);
+      ("dur_us", Obs.Jsonw.Float s.Obs.Trace_summary.dur_us);
+      ("bound", Obs.Jsonw.String s.Obs.Trace_summary.bound);
+      ("bounding", Obs.Jsonw.String s.Obs.Trace_summary.bounding);
+      ( "occupancy",
+        Obs.Jsonw.Obj
+          (List.map
+             (fun (name, occ) -> (name, Obs.Jsonw.Float occ))
+             s.Obs.Trace_summary.engines) );
+    ]
+
+let bench_kernel name =
+  let e = entry name in
+  let st, tr =
+    match Workload.Op_driver.run ~n:scan_n e with
+    | Ok (st, Some tr) -> (st, tr)
+    | Ok (_, None) -> failwith (name ^ ": driver returned no trace")
+    | Error msg -> failwith (name ^ ": " ^ msg)
+  in
+  (match Ascend.Trace.check tr with
+  | Ok () -> ()
+  | Error msg -> failwith (name ^ ": inconsistent trace: " ^ msg));
+  let doc = Obs.Chrome_trace.json tr in
+  let phases =
+    match Obs.Trace_summary.of_json doc with
+    | Ok s -> s
+    | Error msg -> failwith (name ^ ": " ^ msg)
+  in
+  let traced_ns =
+    time_ns (name ^ "_traced") (fun () ->
+        ignore (Workload.Op_driver.run ~n:scan_n ~traced:true e))
+  in
+  let plain_ns =
+    time_ns (name ^ "_plain") (fun () ->
+        ignore (Workload.Op_driver.run ~n:scan_n ~traced:false e))
+  in
+  Printf.printf
+    "  %-8s sim %8.3f us  %6d events  traced %9.0f ns/run  plain %9.0f \
+     ns/run  overhead %+.1f%%\n\
+     %!"
+    name
+    (st.Ascend.Stats.seconds *. 1e6)
+    (Ascend.Trace.event_count tr)
+    traced_ns plain_ns
+    (100.0 *. ((traced_ns /. plain_ns) -. 1.0));
+  List.iter
+    (fun (s : Obs.Trace_summary.phase_sum) ->
+      Printf.printf "    phase %d: %s-bound, bounded by %s\n%!"
+        s.Obs.Trace_summary.index s.Obs.Trace_summary.bound
+        s.Obs.Trace_summary.bounding)
+    phases;
+  ( name,
+    Obs.Jsonw.Obj
+      [
+        ("n", Obs.Jsonw.Int scan_n);
+        ("sim_us", Obs.Jsonw.Float (st.Ascend.Stats.seconds *. 1e6));
+        ( "gm_bytes",
+          Obs.Jsonw.Int
+            (st.Ascend.Stats.gm_read_bytes + st.Ascend.Stats.gm_write_bytes) );
+        ("trace_events", Obs.Jsonw.Int (Ascend.Trace.event_count tr));
+        ("trace_spans", Obs.Jsonw.Int (Ascend.Trace.span_count tr));
+        ("trace_instants", Obs.Jsonw.Int (Ascend.Trace.mark_count tr));
+        ("phases", Obs.Jsonw.List (List.map phase_json phases));
+        ("traced_ns_per_run", Obs.Jsonw.Float traced_ns);
+        ("plain_ns_per_run", Obs.Jsonw.Float plain_ns);
+        ("tracing_overhead", Obs.Jsonw.Float (traced_ns /. plain_ns));
+      ] )
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_5.json"
+  in
+  Printf.printf "BENCH_5: instruction tracing, n = %d\n%!" scan_n;
+  let rows = List.map bench_kernel kernels in
+  let doc =
+    Obs.Jsonw.Obj
+      [
+        ("bench", Obs.Jsonw.String "BENCH_5");
+        ("generated_by", Obs.Jsonw.String "bench/bench_obs.ml");
+        ( "note",
+          Obs.Jsonw.String
+            "Two kernels under full instruction tracing. Simulated metrics, \
+             event counts and occupancy are deterministic; the *_ns_per_run \
+             fields are host wall-clock and vary by machine." );
+        ("kernels", Obs.Jsonw.Obj rows);
+      ]
+  in
+  let oc = open_out out_path in
+  Obs.Jsonw.to_channel ~pretty:true oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path

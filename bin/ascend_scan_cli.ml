@@ -93,6 +93,90 @@ let print_robustness device =
     || Ascend.Health.num_alive health < Ascend.Device.num_cores device
   then Format.printf "%a@." Ascend.Health.pp health
 
+(* Observability options (tracing, stats export, metrics), shared by
+   the kernel-running subcommands. Arming happens before the run (the
+   recorder hooks the launch engine), emission after. *)
+
+type obs_opts = {
+  trace_file : string option;
+  stats_json_file : string option;
+  metrics : bool;
+}
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record every simulated instruction and write a Chrome \
+             trace-event JSON file (load it in Perfetto or \
+             chrome://tracing, or inspect it with $(b,trace summary)).")
+  in
+  let stats_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the run statistics as a JSON document.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print Prometheus text-format counters and histograms for the \
+             run on stdout.")
+  in
+  Term.(
+    const (fun trace_file stats_json_file metrics ->
+        { trace_file; stats_json_file; metrics })
+    $ trace_arg $ stats_json_arg $ metrics_arg)
+
+let arm_obs device obs =
+  if obs.trace_file <> None || obs.metrics then
+    ignore (Ascend.Device.arm_trace device)
+
+let emit_obs device obs st =
+  let trace = Ascend.Device.trace device in
+  (match (obs.trace_file, trace) with
+  | Some file, Some tr ->
+      (match Ascend.Trace.check tr with
+      | Ok () -> ()
+      | Error e ->
+          (* A consistency failure is a simulator bug, not a user error:
+             still write the file (it is the evidence), but say so. *)
+          Format.eprintf "trace: internal consistency check FAILED: %s@." e);
+      write_file file (Obs.Chrome_trace.to_string tr);
+      Format.printf "trace: %d events -> %s@."
+        (Ascend.Trace.event_count tr)
+        file
+  | _ -> ());
+  (match obs.stats_json_file with
+  | Some file ->
+      write_file file (Obs.Stats_json.to_string st);
+      Format.printf "stats json -> %s@." file
+  | None -> ());
+  if obs.metrics then begin
+    let m = Obs.Metrics.create () in
+    Obs.Metrics.observe_stats m st;
+    Option.iter (Obs.Metrics.observe_trace m) trace;
+    Format.printf "%a" Obs.Metrics.pp_prometheus m
+  end
+
 (* Common options. *)
 
 let n_arg =
@@ -234,7 +318,7 @@ let scan_cmd =
              exhausted. Requires functional mode.")
   in
   let run algo n s exclusive cost_only check resilient faults kills quarantine
-      deadline sanitize domains seed =
+      deadline sanitize domains seed obs =
     check_n n;
     (* Capability violations are argument errors (exit 2), not runtime
        kernel failures: check the registry before touching the device. *)
@@ -250,6 +334,7 @@ let scan_cmd =
       make_device ?faults ~kills ?quarantine ?deadline ~sanitize ?domains
         cost_only
     in
+    arm_obs device obs;
     let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
     if resilient then begin
       let input = Array.init n gen in
@@ -272,6 +357,7 @@ let scan_cmd =
         r;
       print_stats r.Runtime.Resilient.stats;
       print_robustness device;
+      emit_obs device obs r.Runtime.Resilient.stats;
       if not r.Runtime.Resilient.ok then exit 1
     end
     else begin
@@ -284,6 +370,7 @@ let scan_cmd =
       Format.printf "effective scan bandwidth: %.1f GB/s@."
         (Workload.Metrics.scan_bandwidth st ~n ~esize:2 /. 1e9);
       print_robustness device;
+      emit_obs device obs st;
       if check && not cost_only then begin
         let input = Array.init n gen in
         match
@@ -301,7 +388,7 @@ let scan_cmd =
     Term.(
       const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ cost_only_arg
       $ check_arg $ resilient_arg $ faults_arg $ kill_arg $ quarantine_arg
-      $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg)
+      $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg $ obs_term)
   in
   Cmd.v (Cmd.info "scan" ~doc:"Run a parallel scan algorithm.") term
 
@@ -358,7 +445,7 @@ let batched_cmd =
              meaningful with --checkpoint.")
   in
   let run batch len s algo checkpoint granularity cost_only faults kills
-      quarantine deadline sanitize domains seed =
+      quarantine deadline sanitize domains seed obs =
     if batch < 1 then raise (Usage_error "--batch must be >= 1");
     if len < 1 then raise (Usage_error "--len must be >= 1");
     (match granularity with
@@ -371,6 +458,7 @@ let batched_cmd =
       make_device ?faults ~kills ?quarantine ?deadline ~sanitize ?domains
         cost_only
     in
+    arm_obs device obs;
     let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
     if checkpoint then begin
       let input = Array.init (batch * len) gen in
@@ -381,6 +469,7 @@ let batched_cmd =
       Format.printf "%a@." Runtime.Resilient.pp_batched_report r;
       print_stats r.Runtime.Resilient.bstats;
       print_robustness device;
+      emit_obs device obs r.Runtime.Resilient.bstats;
       if not r.Runtime.Resilient.bok then exit 1
     end
     else begin
@@ -398,14 +487,16 @@ let batched_cmd =
             Scan.Batched_scan.run_ul1 ~s device ~batch ~len x
       in
       print_stats st;
-      print_robustness device
+      print_robustness device;
+      emit_obs device obs st
     end
   in
   let term =
     Term.(
       const run $ batch_arg $ len_arg $ s_arg $ algo_arg $ checkpoint_arg
       $ granularity_arg $ cost_only_arg $ faults_arg $ kill_arg
-      $ quarantine_arg $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg)
+      $ quarantine_arg $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg
+      $ obs_term)
   in
   Cmd.v
     (Cmd.info "batched"
@@ -422,12 +513,13 @@ let sort_cmd =
     Arg.(value & opt int 16 & info [ "bits" ] ~docv:"BITS" ~doc:"Radix passes (u16 keys).")
   in
   let run n s bits baseline cost_only faults kills quarantine deadline sanitize
-      domains seed =
+      domains seed obs =
     check_n n;
     let device =
       make_device ?faults ~kills ?quarantine ?deadline ~sanitize ?domains
         cost_only
     in
+    arm_obs device obs;
     (* Fewer than 16 bits selects the low-precision u16 key path. *)
     let dtype = if bits < 16 then Ascend.Dtype.U16 else Ascend.Dtype.F16 in
     let x =
@@ -464,13 +556,16 @@ let sort_cmd =
         Format.printf "radix speedup over torch.sort: %.2fx@."
           (st.Ascend.Stats.seconds
           /. r.Ops.Radix_sort.stats.Ascend.Stats.seconds)
-      end
+      end;
+    (* Emit after the optional baseline so the trace covers every
+       launch of the invocation. *)
+    emit_obs device obs r.Ops.Radix_sort.stats
   in
   let term =
     Term.(
       const run $ n_arg $ s_arg $ bits_arg $ baseline_arg $ cost_only_arg
       $ faults_arg $ kill_arg $ quarantine_arg $ deadline_arg $ sanitize_arg
-      $ domains_arg $ seed_arg)
+      $ domains_arg $ seed_arg $ obs_term)
   in
   Cmd.v (Cmd.info "sort" ~doc:"Run the cube-split radix sort.") term
 
@@ -565,6 +660,98 @@ let topk_cmd =
   let term = Term.(const run $ n_arg $ k_arg $ algo_arg $ seed_arg) in
   Cmd.v (Cmd.info "topk" ~doc:"Run a top-k selection.") term
 
+(* trace subcommand group: offline inspection of recorded trace
+   files. Both tools run from the JSON alone, so traces produced on
+   another machine (or checked into CI artifacts) work too. *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file (from --trace).")
+  in
+  let parse_file file =
+    let contents =
+      try read_file file
+      with Sys_error msg -> raise (Usage_error msg)
+    in
+    match Obs.Jsonw.parse contents with
+    | Ok doc -> doc
+    | Error e ->
+        raise (Usage_error (Printf.sprintf "%s: invalid JSON: %s" file e))
+  in
+  let summary_cmd =
+    let run file =
+      match Obs.Trace_summary.of_json (parse_file file) with
+      | Ok summaries -> Format.printf "%a" Obs.Trace_summary.pp summaries
+      | Error e ->
+          Format.eprintf "trace summary: %s@." e;
+          exit 1
+    in
+    Cmd.v
+      (Cmd.info "summary"
+         ~doc:
+           "Print per-phase engine occupancy and the bounding resource \
+            (busiest engine, or HBM/L2 bandwidth) for each launch in a \
+            recorded trace.")
+      Term.(const run $ file_arg)
+  in
+  let validate_cmd =
+    let run file =
+      match Obs.Chrome_trace.validate (parse_file file) with
+      | Ok c ->
+          Format.printf
+            "valid: %d events (%d spans, %d instants) across %d processes@."
+            c.Obs.Chrome_trace.events c.Obs.Chrome_trace.spans
+            c.Obs.Chrome_trace.instants c.Obs.Chrome_trace.processes
+      | Error e ->
+          Format.eprintf "trace validate: INVALID: %s@." e;
+          exit 1
+    in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:
+           "Check a trace file against the Chrome trace-event schema \
+            (required fields, non-negative durations, monotone tracks); \
+            exit 1 when invalid.")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect recorded trace files.")
+    [ summary_cmd; validate_cmd ]
+
+(* Every-registered-op tracing smoke check (rides next to --list-ops so
+   "what ops exist" and "do they all trace cleanly" live in one place). *)
+
+let trace_smoke () =
+  let failures = ref 0 in
+  let fail (e : Scan.Op_registry.entry) msg =
+    incr failures;
+    Format.printf "%-18s FAILED: %s@." e.Scan.Op_registry.name msg
+  in
+  List.iter
+    (fun ((e : Scan.Op_registry.entry), result) ->
+      match result with
+      | Error msg -> fail e msg
+      | Ok (_, None) -> fail e "no trace recorded"
+      | Ok (_, Some tr) -> (
+          match Ascend.Trace.check tr with
+          | Error msg -> fail e msg
+          | Ok () ->
+              if Ascend.Trace.dropped tr > 0 then
+                fail e
+                  (Printf.sprintf "%d dropped events" (Ascend.Trace.dropped tr))
+              else
+                Format.printf "%-18s ok: %d events@." e.Scan.Op_registry.name
+                  (Ascend.Trace.event_count tr)))
+    (Workload.Op_driver.run_all ());
+  if !failures > 0 then begin
+    Format.printf "trace smoke: %d operator(s) FAILED@." !failures;
+    exit 1
+  end
+  else Format.printf "trace smoke: all registered operators traced cleanly@."
+
 (* info subcommand. *)
 
 let info_cmd =
@@ -587,17 +774,31 @@ let () =
               "Print every registered operator (name, aliases, kind, dtypes, \
                capabilities) as a markdown table and exit.")
     in
+    let trace_smoke_arg =
+      Arg.(
+        value & flag
+        & info [ "trace-smoke" ]
+            ~doc:
+              "Run every registered operator once under tracing and check \
+               that the recorder captured a consistent event stream (zero \
+               dropped events, monotone per-engine tracks); exit 1 on any \
+               violation.")
+    in
     Term.(
       ret
-        (const (fun list_ops ->
+        (const (fun list_ops smoke ->
              if list_ops then begin
                Format.printf "%a" Scan.Op_registry.pp_markdown_table ();
                `Ok ()
              end
+             else if smoke then begin
+               trace_smoke ();
+               `Ok ()
+             end
              else `Help (`Pager, None))
-        $ list_ops_arg))
+        $ list_ops_arg $ trace_smoke_arg))
   in
-  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd ] in
+  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd ] in
   (* Unknown flags and malformed arguments exit 2 with a usage pointer
      rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
      aborted by injected fault corruption) exit 1 with a clean message

@@ -17,6 +17,7 @@ type t = {
   touched_tbl : (int, int) Hashtbl.t;
   ops_tbl : (string, int) Hashtbl.t;
   allocators : (Mem_kind.t * int ref) list;
+  tb : Trace.Block_builder.b option;
 }
 
 type result = {
@@ -26,6 +27,7 @@ type result = {
   gm_write_bytes : int;
   touched : (int * int) list;
   op_counts : (string * int) list;
+  trace : Trace.block_rec option;
 }
 
 let make_on ~core ~device ~idx ~num_blocks =
@@ -63,6 +65,10 @@ let make_on ~core ~device ~idx ~num_blocks =
     touched_tbl = Hashtbl.create 8;
     ops_tbl = Hashtbl.create 16;
     allocators = List.map (fun k -> (k, ref 0)) kinds;
+    tb =
+      Option.map
+        (fun tr -> Trace.block_builder tr ~idx ~core)
+        (Device.trace device);
   }
 
 let make ~device ~idx ~num_blocks =
@@ -84,8 +90,15 @@ let assume_disjoint_writes t gt ~reason =
   | Some san ->
       Sanitizer.exempt_tensor san ~tensor_id:(Global_tensor.id gt) ~reason
 
-let charge t engine cycles =
+let charge ?(op = "charge") ?(bytes = 0) t engine cycles =
   let i = Engine.index ~vec_per_core:t.vec_per_core engine in
+  (match t.tb with
+  | Some tb ->
+      (* The span starts where the previous one on this engine track
+         ended: the accumulated busy total before this charge. *)
+      Trace.Block_builder.span tb ~track:i ~engine:(Engine.to_string engine)
+        ~queue:(Engine.queue engine) ~op ~start:t.busy_total.(i) ~cycles ~bytes
+  | None -> ());
   t.busy_total.(i) <- t.busy_total.(i) +. cycles;
   t.charged <- t.charged +. cycles;
   if t.in_section then t.sec_busy.(i) <- t.sec_busy.(i) +. cycles
@@ -95,10 +108,20 @@ let charge t engine cycles =
        carries the seeded cycle, then let note_cycles mark it dead. *)
     Health.note_cycles t.health ~core:t.core
       (Float.max 0.0 (t.kill_at -. Health.cycles_done t.health t.core));
+    (match t.tb with
+    | Some tb ->
+        Trace.Block_builder.mark tb Trace.Death
+          ~name:(Printf.sprintf "core %d dead" t.core)
+          ~cycle:t.charged
+    | None -> ());
     raise (Health.Core_dead { core = t.core; cycle = t.kill_at })
   end
 
 let note_fault t =
+  (match t.tb with
+  | Some tb ->
+      Trace.Block_builder.mark tb Trace.Fault ~name:"fault" ~cycle:t.charged
+  | None -> ());
   Health.note_fault t.health ~core:t.core ~cycle:(t.clock0 +. t.charged)
 
 let count_op t name =
@@ -165,4 +188,8 @@ let finish t =
     gm_write_bytes = t.gm_write;
     touched = Hashtbl.fold (fun id b acc -> (id, b) :: acc) t.touched_tbl [];
     op_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ops_tbl [];
+    trace =
+      Option.map
+        (fun tb -> Trace.Block_builder.finish tb ~cycles:t.time_cycles)
+        t.tb;
   }

@@ -29,6 +29,9 @@ type result = {
   gm_write_bytes : int;
   touched : (int * int) list;  (** Distinct global tensors touched: (id, bytes). *)
   op_counts : (string * int) list;  (** Instructions issued, by op name. *)
+  trace : Trace.block_rec option;
+      (** The block's recorded events when the device has a {!Trace.t}
+          armed ({!Device.arm_trace}); [None] otherwise. *)
 }
 
 val make : device:Device.t -> idx:int -> num_blocks:int -> t
@@ -68,11 +71,15 @@ val assume_disjoint_writes : t -> Global_tensor.t -> reason:string -> unit
     (e.g. the split/compress gather phase), which the span-based
     analysis would otherwise flag. No-op without a sanitizer. *)
 
-val charge : t -> Engine.t -> float -> unit
+val charge : ?op:string -> ?bytes:int -> t -> Engine.t -> float -> unit
 (** Charge [cycles] to an engine; called by the engine-op modules.
-    Raises {!Health.Core_dead} at the charge that carries the block's
-    core past its seeded kill threshold (the partial work stays
-    accounted; {!Launch} replays the block on a surviving core). *)
+    When the device has a trace armed, the charge is also recorded as
+    a span labelled [op] (default ["charge"]) carrying [bytes] of
+    transfer payload (default 0) — this is the single choke point all
+    trace spans flow through. Raises {!Health.Core_dead} at the charge
+    that carries the block's core past its seeded kill threshold (the
+    partial work stays accounted; {!Launch} replays the block on a
+    surviving core). *)
 
 val note_fault : t -> unit
 (** Attribute one injected fault to the block's core ({!Health}

@@ -127,7 +127,7 @@ let mmad ctx ~a ~b ~c ~m ~k ~n ~accumulate =
              (Dtype.to_string da) (Dtype.to_string db) (Dtype.to_string dc))
   in
   Block.count_op ctx "mmad";
-  Block.charge ctx Engine.Cube
+  Block.charge ~op:"mmad" ctx Engine.Cube
     (Cost_model.mmad_cycles (Block.cost ctx) ~m ~k ~n ~int8);
   if Block.functional ctx then begin
     Local_tensor.touch c;

@@ -10,6 +10,7 @@ type t = {
   health : Health.t;
   deadline_cycles : float option;
   domains : int;
+  mutable trace : Trace.t option;
 }
 
 (* Default host-parallelism width: the ASCEND_SIM_DOMAINS environment
@@ -56,6 +57,7 @@ let create ?(cost = Cost_model.default) ?(mode = Functional) ?fault
     health;
     deadline_cycles;
     domains;
+    trace = None;
   }
 
 let cost t = t.cost
@@ -65,6 +67,13 @@ let sanitizer t = t.sanitizer
 let health t = t.health
 let deadline_cycles t = t.deadline_cycles
 let domains t = t.domains
+let trace t = t.trace
+let set_trace t tr = t.trace <- tr
+
+let arm_trace t =
+  let tr = Trace.create ~clock_hz:t.cost.Cost_model.clock_hz () in
+  t.trace <- Some tr;
+  tr
 
 let functional t =
   match t.mode with Functional -> true | Cost_only -> false

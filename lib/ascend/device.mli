@@ -61,6 +61,18 @@ val deadline_cycles : t -> float option
 val domains : t -> int
 (** Host execution width used by {!Launch} (>= 1; 1 = sequential). *)
 
+val trace : t -> Trace.t option
+(** The armed event recorder, if any. When present, {!Block} records a
+    span per issued instruction and {!Launch} folds each completed
+    launch into it. *)
+
+val arm_trace : t -> Trace.t
+(** Attach (and return) a fresh {!Trace.t} using the device clock.
+    Replaces any previously armed recorder. *)
+
+val set_trace : t -> Trace.t option -> unit
+(** Attach a custom recorder, or [None] to stop recording. *)
+
 val num_cores : t -> int
 val num_vec_cores : t -> int
 

@@ -57,6 +57,13 @@ let to_string = function
   | Vec i -> Printf.sprintf "vec%d" i
   | Vec_mte_out i -> Printf.sprintf "vec%d.mte_out" i
 
+let queue = function
+  | Cube_mte_in | Vec_mte_in _ -> "MTE2"
+  | Cube_mte_out | Vec_mte_out _ -> "MTE3"
+  | Cube -> "M"
+  | Vec _ -> "V"
+  | Scalar -> "S"
+
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
 let all ~vec_per_core =

@@ -23,6 +23,12 @@ val index : vec_per_core:int -> t -> int
     vector-core index outside [\[0, vec_per_core - 1\]]. *)
 
 val is_mte : t -> bool
+
+val queue : t -> string
+(** AscendC issue-queue name of the engine — ["MTE2"] (GM -> local
+    moves), ["MTE3"] (local -> GM), ["M"] (cube), ["V"] (vector),
+    ["S"] (scalar) — used as the span category in traces. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

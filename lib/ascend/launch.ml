@@ -264,6 +264,19 @@ let run_phases ?(name = "kernel") device ~blocks bodies =
   let cores_used =
     Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 total_core_used
   in
+  (match Device.trace device with
+  | Some tr ->
+      Trace.record_launch tr ~name ~seconds
+        ~latency_cycles:
+          (Cost_model.seconds_to_cycles cm cm.Cost_model.kernel_launch_seconds)
+        ~sync_cycles:
+          (Cost_model.seconds_to_cycles cm cm.Cost_model.sync_all_seconds)
+        ~phases:
+          (List.map
+             (fun (ph, rs) ->
+               (ph, List.filter_map (fun r -> r.Block.trace) rs))
+             phases_results)
+  | None -> ());
   {
     Stats.name;
     seconds;
@@ -283,6 +296,7 @@ let run_phases ?(name = "kernel") device ~blocks bodies =
     degraded = 0;
     host_seconds = Unix.gettimeofday () -. host_t0;
     domains = Device.domains device;
+    launches = 1;
   }
 
 let run ?name device ~blocks body = run_phases ?name device ~blocks [ body ]

@@ -53,7 +53,7 @@ let copy_in ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
     draw_fault ctx ~engine ~op:"datacopy_in" ~tensor:(Global_tensor.name src)
       ~dst_off ~len ~dst_dtype:(Local_tensor.dtype dst)
   in
-  Block.charge ctx engine
+  Block.charge ~op:"datacopy_in" ~bytes ctx engine
     (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
   Block.note_touched ctx src;
@@ -90,7 +90,7 @@ let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     draw_fault ctx ~engine ~op:"datacopy_in" ~tensor:(Global_tensor.name src)
       ~dst_off ~len ~dst_dtype:(Local_tensor.dtype dst)
   in
-  Block.charge ctx engine
+  Block.charge ~op:"datacopy_in" ~bytes ctx engine
     (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
   Block.note_touched ctx src;
@@ -138,7 +138,7 @@ let copy_out ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
     draw_fault ctx ~engine ~op:"datacopy_out" ~tensor:(Global_tensor.name dst)
       ~dst_off ~len ~dst_dtype:(Global_tensor.dtype dst)
   in
-  Block.charge ctx engine
+  Block.charge ~op:"datacopy_out" ~bytes ctx engine
     (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:0 ~write:bytes;
   Block.note_touched ctx dst;
@@ -174,7 +174,7 @@ let copy_out_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     draw_fault ctx ~engine ~op:"datacopy_out" ~tensor:(Global_tensor.name dst)
       ~dst_off ~len ~dst_dtype:(Global_tensor.dtype dst)
   in
-  Block.charge ctx engine
+  Block.charge ~op:"datacopy_out" ~bytes ctx engine
     (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
   Block.note_gm_traffic ctx ~read:0 ~write:bytes;
   Block.note_touched ctx dst;
@@ -217,7 +217,8 @@ let copy_local ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   check ctx "copy_local" ~tensor:"(local)" ~len ~src_off ~dst_off
     ~src_len:(Local_tensor.length src) ~dst_len:(Local_tensor.length dst);
   let bytes = max (local_bytes src len) (local_bytes dst len) in
-  Block.charge ctx engine (Cost_model.local_copy_cycles (Block.cost ctx) ~bytes);
+  Block.charge ~op:"datacopy_local" ~bytes ctx engine
+    (Cost_model.local_copy_cycles (Block.cost ctx) ~bytes);
   if Block.functional ctx then begin
     let whole =
       src_off = 0 && dst_off = 0

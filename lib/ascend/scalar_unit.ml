@@ -1,12 +1,13 @@
 let ops ctx ~count =
   let cm = Block.cost ctx in
-  Block.charge ctx Engine.Scalar
+  Block.charge ~op:"scalar_ops" ctx Engine.Scalar
     (float_of_int count *. cm.Cost_model.scalar_op_cycles)
 
 let access ctx gt =
   Block.count_op ctx "scalar_gm_access";
   let cm = Block.cost ctx in
-  Block.charge ctx Engine.Scalar cm.Cost_model.scalar_gm_cycles_per_access;
+  Block.charge ~op:"scalar_gm_access" ctx Engine.Scalar
+    cm.Cost_model.scalar_gm_cycles_per_access;
   Block.note_touched ctx gt
 
 let gm_read ctx gt i =

@@ -23,14 +23,25 @@ type t = {
   degraded : int;
   host_seconds : float;
   domains : int;
+  launches : int;
 }
 
 let host_speedup ~baseline t =
   if t.host_seconds <= 0.0 then 0.0 else baseline.host_seconds /. t.host_seconds
 
+let host_seconds_per_launch t =
+  if t.launches <= 0 then 0.0 else t.host_seconds /. float_of_int t.launches
+
+(* Zero-duration guard: a launch (or combined stats) can legitimately
+   report [seconds = 0.] — keep the array shape so callers can still
+   index per core instead of crashing on [[||]]. *)
 let core_utilization t =
-  if t.seconds <= 0.0 then [||]
+  if t.seconds <= 0.0 then Array.make (Array.length t.core_busy) 0.0
   else Array.map (fun b -> b /. t.seconds) t.core_busy
+
+let phase_occupancy (p : phase) ~busy_cycles ~clock_hz =
+  if p.seconds <= 0.0 || clock_hz <= 0.0 then 0.0
+  else busy_cycles /. (p.seconds *. clock_hz)
 
 let op_count t name =
   Option.value ~default:0 (List.assoc_opt name t.op_counts)
@@ -93,6 +104,7 @@ let combine ~name = function
         host_seconds =
           List.fold_left (fun acc s -> acc +. s.host_seconds) 0.0 stats;
         domains = List.fold_left (fun acc s -> max acc s.domains) 1 stats;
+        launches = List.fold_left (fun acc s -> acc + s.launches) 0 stats;
       }
 (* Equality of everything the simulation determines — i.e. every field
    except the host-side wall clock and execution width. The domain
@@ -106,6 +118,7 @@ let equal_simulated a b =
   && a.core_busy = b.core_busy
   && a.op_counts = b.op_counts && a.faults = b.faults
   && a.retries = b.retries && a.degraded = b.degraded
+  && a.launches = b.launches
 
 let effective_bandwidth t ~bytes = float_of_int bytes /. t.seconds
 let elements_per_second t ~elements = float_of_int elements /. t.seconds
@@ -162,7 +175,9 @@ let pp fmt t =
     Format.fprintf fmt "@ resilience: %d retries, %d degradations" t.retries
       t.degraded;
   if t.host_seconds > 0.0 then
-    Format.fprintf fmt "@ host: %.2f ms wall-clock on %d domain%s"
+    Format.fprintf fmt "@ host: %.2f ms wall-clock on %d domain%s%s"
       (t.host_seconds *. 1e3) t.domains
-      (if t.domains = 1 then "" else "s");
+      (if t.domains = 1 then "" else "s")
+      (if t.launches > 1 then Printf.sprintf " (%d launches)" t.launches
+       else "");
   Format.fprintf fmt "@]"

@@ -47,15 +47,39 @@ type t = {
   domains : int;
       (** Host execution width the launch ran with (see
           {!Device.create}'s [domains]); max under {!combine}. *)
+  launches : int;
+      (** Number of device launches folded into these stats: 1 from
+          {!Launch.run_phases}, the sum under {!combine}. Divides the
+          summed host metrics into per-launch averages (see
+          {!host_seconds_per_launch}), which would otherwise be
+          ill-defined for combined stats. *)
 }
 
 val op_count : t -> string -> int
 (** Count for one op name (0 when absent). *)
 
 val core_utilization : t -> float array
-(** Per-core busy cycles divided by the launch wall time in seconds
-    (cycles of engine work per second of timeline; [[||]] when the
-    launch took no time). *)
+(** Per-core busy cycles divided by the launch's simulated seconds.
+
+    {b Units: cycles per second, not a ratio.} A fully busy engine
+    contributes [clock_hz] cycles/second, so a core with its cube and
+    two vector cores (plus MTEs) saturated reads a multiple of
+    [clock_hz]; divide by it to get an occupancy factor. When the
+    launch took no simulated time ([seconds <= 0.]) every entry is 0
+    (the array keeps its per-core length instead of collapsing to
+    [[||]]). *)
+
+val phase_occupancy : phase -> busy_cycles:float -> clock_hz:float -> float
+(** [busy_cycles / (phase.seconds * clock_hz)]: occupancy of one engine
+    (or engine group) over one phase as a dimensionless fraction of the
+    phase duration, 0 when the phase took no time or the clock is
+    invalid — the per-phase analogue of {!core_utilization} with the
+    zero-duration divide guarded. *)
+
+val host_seconds_per_launch : t -> float
+(** [host_seconds / launches]: average host wall-clock per device
+    launch — well-defined for combined stats because both fields sum
+    under {!combine}; 0 when no launches were recorded. *)
 
 val gm_bytes : t -> int
 

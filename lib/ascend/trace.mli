@@ -1,0 +1,181 @@
+(** Engine-level execution tracing: the event recorder behind the
+    observability layer.
+
+    The paper's evaluation argues from profiler timelines — cube /
+    vector / MTE overlap read off msprof traces. The simulator computes
+    exactly those per-engine timelines but (without this module) throws
+    the event-level detail away, keeping only {!Stats} aggregates. A
+    [Trace.t] attached to a device ({!Device.arm_trace}) turns every
+    simulated instruction into a {e span} [{core; block; engine; op;
+    start_cycle; end_cycle; bytes; queue}] and every fault, core death,
+    retry, degradation, SyncAll barrier and checkpoint commit into an
+    {e instant} event, recorded at the single choke points in {!Block},
+    {!Launch} and [Runtime.Resilient] — kernels need no edits.
+
+    {2 Determinism}
+
+    Tracing is deterministic across host execution widths
+    ({!Device.create}'s [domains]): spans carry {e block-local}
+    engine-track positions computed inside each block (identical on any
+    schedule), blocks are folded into the trace in block-id order (the
+    same deterministic post-join merge {!Launch} uses for stats), and
+    {!assemble} sorts events by simulated time and track before any
+    writer sees them. Serialising the same kernel's trace at
+    [--domains 1] and [--domains 4] yields byte-identical output — the
+    {!Stats.equal_simulated} contract extended to traces.
+
+    {2 Timeline model}
+
+    Global placement is reconstructed at {!assemble} time: launches are
+    laid end to end; inside a launch, phases follow the launch latency
+    and are separated by SyncAll instants; inside a phase, the blocks
+    of one core serialise in block order while different cores (and
+    the engines within a block) overlap — one Perfetto track per
+    engine per core, processes = AI cores. All positions are simulated
+    cycles; writers convert with [cycles / clock_hz * 1e6] to the
+    microseconds of the Chrome trace-event format. *)
+
+type kind =
+  | Fault  (** An injected fault landed (from {!Block.note_fault}). *)
+  | Death  (** A core crossed its kill threshold mid-block. *)
+  | Retry  (** A resilient-runner re-execution. *)
+  | Degrade  (** A resilient-runner fallback switch. *)
+  | Checkpoint  (** A validated row group committed. *)
+  | Barrier  (** A SyncAll between launch phases (assembly-generated). *)
+  | Info
+
+val kind_to_string : kind -> string
+
+type span = {
+  sp_block : int;
+  sp_track : int;  (** {!Engine.index} of the engine within its core. *)
+  sp_engine : string;  (** {!Engine.to_string} name, e.g. ["vec0.mte_in"]. *)
+  sp_queue : string;  (** Issue queue ({!Engine.queue}): MTE2/MTE3/M/V/S. *)
+  sp_op : string;  (** Instruction name, e.g. ["mmad"], ["datacopy_in"]. *)
+  sp_start : float;  (** Block-local engine-track position, cycles. *)
+  sp_end : float;
+  sp_bytes : int;  (** Transfer payload (0 for non-MTE ops). *)
+}
+
+type mark = {
+  mk_block : int;
+  mk_kind : kind;
+  mk_name : string;
+  mk_cycle : float;  (** Block-local charged cycles at the instant. *)
+}
+
+type block_rec = {
+  b_idx : int;
+  b_core : int;
+  b_cycles : float;  (** Elapsed (pipelined) cycles of the block. *)
+  b_spans : span list;  (** In issue order. *)
+  b_marks : mark list;
+  b_dropped : int;  (** Spans discarded by the per-block cap. *)
+}
+
+type phase_rec = { ph_stats : Stats.phase; ph_blocks : block_rec list }
+
+type launch_rec = {
+  ln_name : string;
+  ln_seconds : float;  (** End-to-end simulated launch seconds. *)
+  ln_latency_cycles : float;
+  ln_sync_cycles : float;
+  ln_phases : phase_rec list;
+}
+
+type t
+
+val create : ?clock_hz:float -> ?max_spans_per_block:int -> unit -> t
+(** A fresh recorder. [clock_hz] (default {!Cost_model.default}'s
+    clock) converts cycles to trace microseconds;
+    [max_spans_per_block] (default unbounded) caps per-block span
+    memory — excess spans are counted as dropped, never silently
+    lost. *)
+
+val clock_hz : t -> float
+
+val span_count : t -> int
+(** Spans recorded so far (across all launches). *)
+
+val mark_count : t -> int
+
+val event_count : t -> int
+(** [span_count + mark_count] plus one note per global instant. *)
+
+val dropped : t -> int
+(** Spans discarded by the per-block cap; 0 in any healthy recording. *)
+
+val launches : t -> launch_rec list
+(** Recorded launches, oldest first. *)
+
+(** Per-block span builder, owned by one {!Block.t}. Builders are
+    block-local (no shared mutable state), so blocks recorded on
+    parallel host domains produce the same events as the sequential
+    schedule. *)
+module Block_builder : sig
+  type b
+
+  val span :
+    b ->
+    track:int ->
+    engine:string ->
+    queue:string ->
+    op:string ->
+    start:float ->
+    cycles:float ->
+    bytes:int ->
+    unit
+
+  val mark : b -> kind -> name:string -> cycle:float -> unit
+  val finish : b -> cycles:float -> block_rec
+end
+
+val block_builder : t -> idx:int -> core:int -> Block_builder.b
+
+val record_launch :
+  t ->
+  name:string ->
+  seconds:float ->
+  latency_cycles:float ->
+  sync_cycles:float ->
+  phases:(Stats.phase * block_rec list) list ->
+  unit
+(** Fold one completed launch into the trace; called by
+    {!Launch.run_phases} after its deterministic post-join merge, with
+    [phases] blocks in block-id order (partial blocks of mid-flight
+    core deaths appended after the full set, as in the stats). *)
+
+val note : t -> kind -> name:string -> unit
+(** Record a global instant (retry, degradation, checkpoint commit)
+    at the current end of the timeline. *)
+
+val check : t -> (unit, string) result
+(** Recorder invariants: zero dropped spans, non-negative span
+    durations, and per-(block, engine-track) monotone cycle positions
+    (each span starts exactly where the previous one on its track
+    ended). [Error] carries the first violation. *)
+
+(** {2 Assembly} *)
+
+type arg = I of int | F of float | S of string | B of bool
+
+type placed = {
+  p_pid : int;  (** 0 = device-level track; core [c] = [c + 1]. *)
+  p_tid : int;  (** Track id within the process (engine index). *)
+  p_tname : string;  (** Track label, e.g. ["cube.mte_in"], ["events"]. *)
+  p_name : string;
+  p_cat : string;  (** Span category (issue queue) or instant kind. *)
+  p_ts : float;  (** Global position, simulated cycles. *)
+  p_dur : float option;  (** [None] = instant event. *)
+  p_args : (string * arg) list;
+}
+
+val assemble : t -> placed list
+(** The full trace as globally-placed events, sorted by
+    [(ts, pid, tid, name)] — deterministic for a given recording
+    regardless of host schedule. Device-level events (pid 0) include
+    one span per launch, one span per phase (with compute/bandwidth
+    attribution in its args) and SyncAll {!Barrier} instants. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line recorder summary (events, launches, drops). *)

@@ -26,16 +26,16 @@ let check_range ctx what lt off len =
 
 (* Charge [instrs] vector instructions processing [len] elements of the
    widest operand involved. *)
-let charge_op ctx ~vec ~instrs ~len ~esize =
+let charge_op ctx ~vec ~op ~instrs ~len ~esize =
   let cm = Block.cost ctx in
   let per = Cost_model.vec_op_cycles cm ~bytes:(len * esize) in
-  Block.charge ctx (Engine.Vec vec) (float_of_int instrs *. per)
+  Block.charge ~op ctx (Engine.Vec vec) (float_of_int instrs *. per)
 
 let tick = Block.count_op
 
-let charge_scalar ctx ~vec =
+let charge_scalar ctx ~vec ~op =
   let cm = Block.cost ctx in
-  Block.charge ctx (Engine.Vec vec) cm.Cost_model.scalar_access_cycles
+  Block.charge ~op ctx (Engine.Vec vec) cm.Cost_model.scalar_access_cycles
 
 let esize lt = Dtype.size_bytes (Local_tensor.dtype lt)
 
@@ -76,11 +76,13 @@ let binop ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
   check_range ctx "binop" src0 src0_off len;
   check_range ctx "binop" src1 src1_off len;
   check_range ctx "binop" dst dst_off len;
-  tick ctx
-    (match op with
+  let name =
+    match op with
     | Add -> "vadd" | Sub -> "vsub" | Mul -> "vmul" | Max -> "vmax"
-    | Min -> "vmin");
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+    | Min -> "vmin"
+  in
+  tick ctx name;
+  charge_op ctx ~vec ~op:name ~instrs:1 ~len ~esize:(esize dst);
   map2 ctx (fun_of_binop op) ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len
 
 let add ctx ?(vec = 0) ~src0 ~src1 ~dst ~len () =
@@ -92,7 +94,7 @@ let scalar_map name f ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
   require_ub name dst;
   check_range ctx name src src_off len;
   check_range ctx name dst dst_off len;
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:name ~instrs:1 ~len ~esize:(esize dst);
   map1 ctx f ~src ~src_off ~dst ~dst_off ~len
 
 let adds ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
@@ -133,7 +135,7 @@ let compare ctx ?(vec = 0) cmp ~src0 ~src1 ~dst ~len () =
   check_range ctx "compare" src1 0 len;
   check_range ctx "compare" dst 0 len;
   tick ctx "vcompare";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src0);
+  charge_op ctx ~vec ~op:"vcompare" ~instrs:1 ~len ~esize:(esize src0);
   let test = fun_of_cmp cmp in
   map2 ctx
     (fun a b -> if test (Float.compare a b) 0 then 1.0 else 0.0)
@@ -150,7 +152,7 @@ let select ctx ?(vec = 0) ?(mask_off = 0) ~mask ?(src0_off = 0) ~src0
   check_range ctx "select" src1 src1_off len;
   check_range ctx "select" dst dst_off len;
   tick ctx "vselect";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:"vselect" ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
     let m = Local_tensor.buffer mask
     and a = Local_tensor.buffer src0
@@ -229,7 +231,7 @@ let bit_op ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
   check_range ctx "bit_op" src1 src1_off len;
   check_range ctx "bit_op" dst dst_off len;
   tick ctx "vbitop";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:"vbitop" ~instrs:1 ~len ~esize:(esize dst);
   let f = match op with
     | And -> ( land )
     | Or -> ( lor )
@@ -244,7 +246,7 @@ let arange ctx ?(vec = 0) ~dst ?(dst_off = 0) ~start ~len () =
   require_ub "arange" dst;
   check_range ctx "arange" dst dst_off len;
   tick ctx "arange";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:"arange" ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
     let db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
@@ -259,7 +261,7 @@ let cast ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   check_range ctx "cast" src src_off len;
   check_range ctx "cast" dst dst_off len;
   tick ctx "vcast";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(max (esize src) (esize dst));
+  charge_op ctx ~vec ~op:"vcast" ~instrs:1 ~len ~esize:(max (esize src) (esize dst));
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
     let from = Local_tensor.dtype src in
@@ -274,7 +276,7 @@ let dup ctx ?(vec = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
   require_ub "dup" dst;
   check_range ctx "dup" dst dst_off len;
   tick ctx "duplicate";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:"duplicate" ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
     let db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
@@ -290,8 +292,8 @@ let reduce_sum ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   require_ub "reduce_sum" src;
   check_range ctx "reduce_sum" src src_off len;
   tick ctx "reduce_sum";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src);
-  charge_scalar ctx ~vec;
+  charge_op ctx ~vec ~op:"reduce_sum" ~instrs:1 ~len ~esize:(esize src);
+  charge_scalar ctx ~vec ~op:"reduce_sum";
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src in
     let acc = ref 0.0 in
@@ -307,8 +309,8 @@ let reduce_max ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   check_range ctx "reduce_max" src src_off len;
   if len = 0 then invalid_arg "Vec.reduce_max: empty range";
   tick ctx "reduce_max";
-  charge_op ctx ~vec ~instrs:1 ~len ~esize:(esize src);
-  charge_scalar ctx ~vec;
+  charge_op ctx ~vec ~op:"reduce_max" ~instrs:1 ~len ~esize:(esize src);
+  charge_scalar ctx ~vec ~op:"reduce_max";
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src in
     let acc = ref neg_infinity in
@@ -330,11 +332,11 @@ let cumsum ctx ?(vec = 0) ~src ~dst ~rows ~cols () =
   let instrs =
     int_of_float (Float.ceil (cm.Cost_model.cumsum_instrs_per_row *. float_of_int rows))
   in
-  charge_op ctx ~vec ~instrs:1 ~len:(instrs * cols) ~esize:(esize src);
+  charge_op ctx ~vec ~op:"cumsum_api" ~instrs:1 ~len:(instrs * cols) ~esize:(esize src);
   (* The per-row instruction count is charged through a single composite
      call above: [instrs] row-sized instructions. Re-express the issue
      overhead explicitly since charge_op only adds one issue cost. *)
-  Block.charge ctx (Engine.Vec vec)
+  Block.charge ~op:"cumsum_api" ctx (Engine.Vec vec)
     (float_of_int (instrs - 1) *. cm.Cost_model.vec_issue_cycles);
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
@@ -359,7 +361,7 @@ let sort_region ctx ?(vec = 0) ?(descending = false) ~src ~dst ~len () =
     let rec go runs acc = if runs <= 1 then acc else go ((runs + 3) / 4) (acc + 1) in
     go ((len + 31) / 32) 0
   in
-  charge_op ctx ~vec ~instrs:(1 + (2 * merge_passes)) ~len ~esize:(esize src);
+  charge_op ctx ~vec ~op:"sort_region" ~instrs:(1 + (2 * merge_passes)) ~len ~esize:(esize src);
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
     let a = Array.init len (fun i -> Host_buffer.get sb i) in
@@ -381,8 +383,8 @@ let gather_mask ctx ?(vec = 0) ~src ?(src_off = 0) ~mask ?(mask_off = 0) ~dst
   (* Destination holds at most [len] gathered elements. *)
   check_range ctx "gather_mask" dst dst_off 0;
   tick ctx "gather_mask";
-  charge_op ctx ~vec ~instrs:2 ~len ~esize:(esize src);
-  charge_scalar ctx ~vec;
+  charge_op ctx ~vec ~op:"gather_mask" ~instrs:2 ~len ~esize:(esize src);
+  charge_scalar ctx ~vec ~op:"gather_mask";
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src
     and mb = Local_tensor.buffer mask
@@ -407,7 +409,7 @@ let gather_elements ctx ?(vec = 0) ~src ~idx ~dst ~len () =
   check_range ctx "gather_elements" idx 0 len;
   check_range ctx "gather_elements" dst 0 len;
   tick ctx "gather";
-  charge_op ctx ~vec ~instrs:2 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:"gather" ~instrs:2 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
     let sb = Local_tensor.buffer src
     and ib = Local_tensor.buffer idx
@@ -426,12 +428,12 @@ let get ctx ?(vec = 0) lt i =
   require_ub "get" lt;
   check_range ctx "get" lt i 0;
   tick ctx "scalar_get";
-  charge_scalar ctx ~vec;
+  charge_scalar ctx ~vec ~op:"scalar_get";
   if Block.functional ctx then Local_tensor.get lt i else 0.0
 
 let set ctx ?(vec = 0) lt i v =
   require_ub "set" lt;
   check_range ctx "set" lt i 0;
   tick ctx "scalar_set";
-  charge_scalar ctx ~vec;
+  charge_scalar ctx ~vec ~op:"scalar_set";
   if Block.functional ctx then Local_tensor.set lt i v

@@ -1,0 +1,236 @@
+module Trace = Ascend.Trace
+
+let arg_to_json = function
+  | Trace.I i -> Jsonw.Int i
+  | Trace.F f -> Jsonw.Float f
+  | Trace.S s -> Jsonw.String s
+  | Trace.B b -> Jsonw.Bool b
+
+let json tr =
+  let placed = Trace.assemble tr in
+  let clock = Trace.clock_hz tr in
+  let us cycles = cycles /. clock *. 1e6 in
+  (* Metadata: name every process and track we are about to emit, in
+     (pid, tid) order so the byte output is stable. *)
+  let procs = Hashtbl.create 8 in
+  let tracks = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Trace.placed) ->
+      if not (Hashtbl.mem procs p.Trace.p_pid) then
+        Hashtbl.add procs p.Trace.p_pid ();
+      let key = (p.Trace.p_pid, p.Trace.p_tid) in
+      if not (Hashtbl.mem tracks key) then
+        Hashtbl.add tracks key p.Trace.p_tname)
+    placed;
+  let pids = List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) procs []) in
+  let track_list =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tracks [])
+  in
+  let meta =
+    List.concat_map
+      (fun pid ->
+        let name = if pid = 0 then "device" else Printf.sprintf "core %d" (pid - 1) in
+        [
+          Jsonw.Obj
+            [
+              ("name", Jsonw.String "process_name");
+              ("ph", Jsonw.String "M");
+              ("pid", Jsonw.Int pid);
+              ("args", Jsonw.Obj [ ("name", Jsonw.String name) ]);
+            ];
+          Jsonw.Obj
+            [
+              ("name", Jsonw.String "process_sort_index");
+              ("ph", Jsonw.String "M");
+              ("pid", Jsonw.Int pid);
+              ("args", Jsonw.Obj [ ("sort_index", Jsonw.Int pid) ]);
+            ];
+        ])
+      pids
+    @ List.concat_map
+        (fun ((pid, tid), tname) ->
+          [
+            Jsonw.Obj
+              [
+                ("name", Jsonw.String "thread_name");
+                ("ph", Jsonw.String "M");
+                ("pid", Jsonw.Int pid);
+                ("tid", Jsonw.Int tid);
+                ("args", Jsonw.Obj [ ("name", Jsonw.String tname) ]);
+              ];
+            Jsonw.Obj
+              [
+                ("name", Jsonw.String "thread_sort_index");
+                ("ph", Jsonw.String "M");
+                ("pid", Jsonw.Int pid);
+                ("tid", Jsonw.Int tid);
+                ("args", Jsonw.Obj [ ("sort_index", Jsonw.Int tid) ]);
+              ];
+          ])
+        track_list
+  in
+  let events =
+    List.map
+      (fun (p : Trace.placed) ->
+        let args =
+          match p.Trace.p_args with
+          | [] -> []
+          | args ->
+              [
+                ( "args",
+                  Jsonw.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)
+                );
+              ]
+        in
+        match p.Trace.p_dur with
+        | Some dur ->
+            Jsonw.Obj
+              ([
+                 ("name", Jsonw.String p.Trace.p_name);
+                 ("cat", Jsonw.String p.Trace.p_cat);
+                 ("ph", Jsonw.String "X");
+                 ("pid", Jsonw.Int p.Trace.p_pid);
+                 ("tid", Jsonw.Int p.Trace.p_tid);
+                 ("ts", Jsonw.Float (us p.Trace.p_ts));
+                 ("dur", Jsonw.Float (us dur));
+               ]
+              @ args)
+        | None ->
+            Jsonw.Obj
+              ([
+                 ("name", Jsonw.String p.Trace.p_name);
+                 ("cat", Jsonw.String p.Trace.p_cat);
+                 ("ph", Jsonw.String "i");
+                 ("s", Jsonw.String "p");
+                 ("pid", Jsonw.Int p.Trace.p_pid);
+                 ("tid", Jsonw.Int p.Trace.p_tid);
+                 ("ts", Jsonw.Float (us p.Trace.p_ts));
+               ]
+              @ args))
+      placed
+  in
+  Jsonw.Obj
+    [
+      ("traceEvents", Jsonw.List (meta @ events));
+      ("displayTimeUnit", Jsonw.String "us");
+      ( "otherData",
+        Jsonw.Obj
+          [
+            ("generator", Jsonw.String "ascend-scan-sim");
+            ("schema", Jsonw.String "ascend-trace-1");
+            ("clock_hz", Jsonw.Float clock);
+            ("spans", Jsonw.Int (Trace.span_count tr));
+            ("instants", Jsonw.Int (Trace.mark_count tr));
+            ("dropped", Jsonw.Int (Trace.dropped tr));
+          ] );
+    ]
+
+let to_string tr = Jsonw.to_string (json tr)
+
+type counts = { events : int; spans : int; instants : int; processes : int }
+
+let validate doc =
+  let ( let* ) r f = Result.bind r f in
+  let* events =
+    match Option.bind (Jsonw.member "traceEvents" doc) Jsonw.to_list_opt with
+    | Some l -> Ok l
+    | None -> Error "missing traceEvents array"
+  in
+  (* Complete events sharing a track form a stack in the Chrome trace
+     model: a span may start inside the previous one only if it also
+     ends inside it (proper nesting — e.g. phase spans under their
+     launch span on the device timeline). Partial overlap is the
+     corruption this check exists to catch. *)
+  let module Track = struct
+    type t = { mutable stack : float list; mutable last_ts : float }
+  end in
+  let tracks : (int * int, Track.t) Hashtbl.t = Hashtbl.create 64 in
+  let procs = Hashtbl.create 8 in
+  let spans = ref 0 and instants = ref 0 in
+  (* Printing ts/dur at microsecond scale rounds in the last ulp; allow
+     a nanosecond of slack when checking track monotonicity. *)
+  let slack = 1e-3 in
+  let rec go i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        let err fmt =
+          Printf.ksprintf (fun m -> Error (Printf.sprintf "event %d: %s" i m)) fmt
+        in
+        let num k = Option.bind (Jsonw.member k ev) Jsonw.number_opt in
+        let* () =
+          match Option.bind (Jsonw.member "ph" ev) Jsonw.string_opt with
+          | Some "M" -> Ok ()
+          | Some (("X" | "i") as ph) -> (
+              match
+                ( Option.bind (Jsonw.member "pid" ev) Jsonw.int_opt,
+                  Option.bind (Jsonw.member "tid" ev) Jsonw.int_opt,
+                  num "ts",
+                  Option.bind (Jsonw.member "name" ev) Jsonw.string_opt )
+              with
+              | Some pid, Some tid, Some ts, Some _ ->
+                  if not (Hashtbl.mem procs pid) then Hashtbl.add procs pid ();
+                  if ts < -.slack then err "negative ts %g" ts
+                  else if ph = "i" then begin
+                    incr instants;
+                    Ok ()
+                  end
+                  else begin
+                    match num "dur" with
+                    | None -> err "span without dur"
+                    | Some dur when dur < 0.0 -> err "negative dur %g" dur
+                    | Some dur ->
+                        incr spans;
+                        let key = (pid, tid) in
+                        let tr =
+                          match Hashtbl.find_opt tracks key with
+                          | Some tr -> tr
+                          | None ->
+                              let tr =
+                                { Track.stack = []; last_ts = neg_infinity }
+                              in
+                              Hashtbl.add tracks key tr;
+                              tr
+                        in
+                        if ts < tr.Track.last_ts -. slack then
+                          err
+                            "track (%d,%d) not sorted: span at ts %g after \
+                             one at ts %g"
+                            pid tid ts tr.Track.last_ts
+                        else begin
+                          tr.Track.last_ts <- ts;
+                          (* Close every span that ended before this one
+                             starts. *)
+                          let rec close = function
+                            | e :: rest when e <= ts +. slack -> close rest
+                            | stack -> stack
+                          in
+                          tr.Track.stack <- close tr.Track.stack;
+                          match tr.Track.stack with
+                          | enclosing :: _ when ts +. dur > enclosing +. slack
+                            ->
+                              err
+                                "track (%d,%d) spans partially overlap: \
+                                 [%g,%g] crosses enclosing end %g"
+                                pid tid ts (ts +. dur) enclosing
+                          | stack ->
+                              tr.Track.stack <- (ts +. dur) :: stack;
+                              Ok ()
+                        end
+                  end
+              | None, _, _, _ -> err "missing pid"
+              | _, None, _, _ -> err "missing tid"
+              | _, _, None, _ -> err "missing ts"
+              | _, _, _, None -> err "missing name")
+          | Some ph -> err "unknown ph %S" ph
+          | None -> err "missing ph"
+        in
+        go (i + 1) rest
+  in
+  let* () = go 0 events in
+  Ok
+    {
+      events = List.length events;
+      spans = !spans;
+      instants = !instants;
+      processes = Hashtbl.length procs;
+    }

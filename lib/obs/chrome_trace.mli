@@ -1,0 +1,40 @@
+(** Chrome trace-event JSON export of a {!Ascend.Trace.t} — the format
+    Perfetto and chrome://tracing load directly.
+
+    Layout: one trace {e process} per simulated AI core (pid = core +
+    1, named ["core N"]) plus a device-level process (pid 0) carrying
+    the launch/phase timeline and global instants; one {e thread}
+    (track) per engine per core (tid = {!Ascend.Engine.index}, named
+    after the engine), plus an ["events"] track for instants.
+    Instruction spans are ["X"] complete events with [ts]/[dur] in
+    microseconds ([cycles / clock_hz * 1e6]); faults, deaths, retries,
+    barriers and checkpoints are ["i"] instant events; process and
+    thread names ride on ["M"] metadata events.
+
+    The byte output is deterministic: events come pre-sorted from
+    {!Ascend.Trace.assemble} and numbers print through
+    {!Jsonw.float_to_string}, so recordings of the same kernel at
+    different [--domains] settings serialize identically. *)
+
+val json : Ascend.Trace.t -> Jsonw.t
+(** The trace as a JSON value: [{"traceEvents": [...], "displayTimeUnit":
+    "us", "otherData": {...}}], with the recorder clock and event
+    totals under ["otherData"]. *)
+
+val to_string : Ascend.Trace.t -> string
+(** [Jsonw.to_string (json t)] — the exact bytes written by the CLI's
+    [--trace]. *)
+
+type counts = {
+  events : int;  (** All events incl. metadata. *)
+  spans : int;  (** ["X"] events. *)
+  instants : int;  (** ["i"] events. *)
+  processes : int;  (** Distinct pids. *)
+}
+
+val validate : Jsonw.t -> (counts, string) result
+(** Structural validation of a parsed trace document (the CLI's [trace
+    validate]): a [traceEvents] array whose members carry a [ph] of
+    ["X"]/["i"]/["M"], numeric [pid]/[tid]/[ts] (and non-negative
+    [dur] on spans), and — per (pid, tid) track — spans sorted by
+    [ts] with no overlap beyond float-printing slack. *)

@@ -1,0 +1,302 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+let float_to_string f =
+  if not (Float.is_finite f) then
+    invalid_arg "Jsonw: non-finite numbers are not valid JSON";
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let write_to ~pretty buf v =
+  let indent n =
+    if pretty then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * n) ' ')
+    end
+  in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_string f)
+    | String s -> escape_to buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            go (depth + 1) item)
+          items;
+        indent depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj members ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            indent (depth + 1);
+            escape_to buf k;
+            Buffer.add_char buf ':';
+            if pretty then Buffer.add_char buf ' ';
+            go (depth + 1) item)
+          members;
+        indent depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 4096 in
+  write_to ~pretty buf v;
+  Buffer.contents buf
+
+let to_channel ?(pretty = false) oc v =
+  let buf = Buffer.create 65536 in
+  write_to ~pretty buf v;
+  Buffer.output_buffer oc buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string_opt ("0x" ^ String.sub s !pos 4) in
+    match v with
+    | Some v ->
+        pos := !pos + 4;
+        v
+    | None -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           let c = s.[!pos] in
+           advance ();
+           match c with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+               let cp = hex4 () in
+               let cp =
+                 (* High surrogate: consume the paired low surrogate. *)
+                 if cp >= 0xD800 && cp <= 0xDBFF then begin
+                   if
+                     !pos + 2 <= n && s.[!pos] = '\\'
+                     && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = hex4 () in
+                     if lo < 0xDC00 || lo > 0xDFFF then
+                       fail "invalid low surrogate";
+                     0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                   end
+                   else fail "lone high surrogate"
+                 end
+                 else if cp >= 0xDC00 && cp <= 0xDFFF then
+                   fail "lone low surrogate"
+                 else cp
+               in
+               Buffer.add_utf_8_uchar buf (Uchar.of_int cp)
+           | _ -> fail "bad escape");
+          go ()
+      | c when Char.code c < 0x20 -> fail "control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        is_float := true;
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value depth =
+    if depth > 256 then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let members = ref [] in
+          let rec member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            members := (k, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                member ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected , or }"
+          in
+          member ();
+          Obj (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [] in
+          let rec item () =
+            let v = parse_value (depth + 1) in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                item ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected , or ]"
+          in
+          item ();
+          List (List.rev !items)
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member k = function Obj m -> List.assoc_opt k m | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None
+let string_opt = function String s -> Some s | _ -> None
+
+let number_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let int_opt = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None

@@ -1,0 +1,56 @@
+(** Minimal self-contained JSON: a value type, a deterministic writer
+    and a recursive-descent parser. No external dependencies — the
+    observability layer must not change the repo's dependency
+    footprint, and determinism of the byte output (for the
+    cross-domain trace-identity contract) is easier to guarantee in a
+    writer we own.
+
+    {2 Determinism}
+
+    [to_string] is a pure function of the value: object members are
+    written in the order given, floats print through one canonical
+    formatter (shortest round-trip style, ["%.17g"] fallback), and no
+    whitespace depends on ambient state. Two structurally equal values
+    always serialize to identical bytes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float_to_string : float -> string
+(** The canonical number formatter used by the writer: the shortest
+    of ["%.12g"]/["%.17g"] that round-trips, integral values without
+    an exponent where possible; non-finite values (invalid JSON)
+    raise [Invalid_argument]. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize. [pretty] (default false) adds newlines and 2-space
+    indentation; the compact form has no whitespace. *)
+
+val to_channel : ?pretty:bool -> out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed,
+    trailing garbage rejected). Numbers parse to [Int] when they are
+    integral and fit, else [Float]; [\uXXXX] escapes decode to UTF-8
+    (surrogate pairs supported). [Error] carries a message with the
+    byte offset of the failure. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on missing key or non-object. *)
+
+val to_list_opt : t -> t list option
+val string_opt : t -> string option
+
+val number_opt : t -> float option
+(** [Int] or [Float] as a float. *)
+
+val int_opt : t -> int option
+(** [Int], or a [Float] with an integral value. *)

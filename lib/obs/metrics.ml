@@ -1,0 +1,210 @@
+module Stats = Ascend.Stats
+module Trace = Ascend.Trace
+
+type series =
+  | Counter of float ref
+  | Histogram of {
+      bounds : float array;
+      counts : int array; (* length = Array.length bounds + 1 (+Inf) *)
+      mutable sum : float;
+      mutable count : int;
+    }
+
+type metric = {
+  help : string;
+  mutable series : ((string * string) list * series) list; (* insertion order *)
+}
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list; (* reversed registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let sort_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let metric t ~help name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+      let m = { help; series = [] } in
+      Hashtbl.add t.tbl name m;
+      t.order <- name :: t.order;
+      m
+
+let series m ~labels ~make =
+  match List.assoc_opt labels m.series with
+  | Some s -> s
+  | None ->
+      let s = make () in
+      m.series <- m.series @ [ (labels, s) ];
+      s
+
+let inc t ?(labels = []) ?(help = "") name v =
+  let labels = sort_labels labels in
+  let m = metric t ~help name in
+  match series m ~labels ~make:(fun () -> Counter (ref 0.0)) with
+  | Counter r -> r := !r +. Float.max 0.0 v
+  | Histogram _ ->
+      invalid_arg (Printf.sprintf "Metrics.inc: %s is a histogram" name)
+
+let observe t ?(labels = []) ?(help = "") ~buckets name v =
+  let labels = sort_labels labels in
+  let m = metric t ~help name in
+  match
+    series m ~labels ~make:(fun () ->
+        Histogram
+          {
+            bounds = buckets;
+            counts = Array.make (Array.length buckets + 1) 0;
+            sum = 0.0;
+            count = 0;
+          })
+  with
+  | Counter _ ->
+      invalid_arg (Printf.sprintf "Metrics.observe: %s is a counter" name)
+  | Histogram h ->
+      let n = Array.length h.bounds in
+      let i = ref 0 in
+      while !i < n && v > h.bounds.(!i) do
+        incr i
+      done;
+      h.counts.(!i) <- h.counts.(!i) + 1;
+      h.sum <- h.sum +. v;
+      h.count <- h.count + 1
+
+(* Bucket ladders: phase durations span sub-microsecond reductions to
+   millisecond sweeps; transfer sizes span a cache line to a UB tile. *)
+let seconds_buckets =
+  [| 1e-7; 3e-7; 1e-6; 3e-6; 1e-5; 3e-5; 1e-4; 3e-4; 1e-3; 3e-3; 1e-2 |]
+
+let bytes_buckets =
+  [| 64.; 256.; 1024.; 4096.; 16384.; 65536.; 262144.; 1048576.; 4194304.;
+     16777216. |]
+
+let observe_stats t (st : Stats.t) =
+  inc t "ascend_launches_total" ~help:"Device launches folded into the stats"
+    (float_of_int st.Stats.launches);
+  inc t "ascend_simulated_seconds_total"
+    ~help:"End-to-end simulated device time" st.Stats.seconds;
+  inc t "ascend_host_seconds_total"
+    ~help:"Host wall-clock spent simulating" st.Stats.host_seconds;
+  inc t "ascend_gm_bytes_total" ~help:"Global-memory traffic"
+    ~labels:[ ("dir", "read") ]
+    (float_of_int st.Stats.gm_read_bytes);
+  inc t "ascend_gm_bytes_total" ~help:"Global-memory traffic"
+    ~labels:[ ("dir", "write") ]
+    (float_of_int st.Stats.gm_write_bytes);
+  List.iter
+    (fun (op, c) ->
+      inc t "ascend_op_issues_total" ~help:"Instructions issued, by op"
+        ~labels:[ ("op", op) ] (float_of_int c))
+    st.Stats.op_counts;
+  List.iter
+    (fun (e, cycles) ->
+      if cycles > 0.0 then
+        inc t "ascend_engine_busy_cycles_total"
+          ~help:"Busy cycles per engine, summed over blocks"
+          ~labels:[ ("engine", e) ] cycles)
+    st.Stats.engine_busy;
+  inc t "ascend_faults_injected_total" ~help:"Faults injected"
+    (float_of_int (List.length st.Stats.faults));
+  inc t "ascend_retries_total" ~help:"Resilient-runner re-executions"
+    (float_of_int st.Stats.retries);
+  inc t "ascend_degraded_total" ~help:"Resilient-runner fallback switches"
+    (float_of_int st.Stats.degraded);
+  List.iter
+    (fun (p : Stats.phase) ->
+      inc t "ascend_phases_total" ~help:"Launch phases executed"
+        ~labels:
+          [ ("bound", if p.Stats.bandwidth_bound then "bandwidth" else "compute") ]
+        1.0;
+      observe t "ascend_phase_seconds" ~help:"Per-phase simulated duration"
+        ~buckets:seconds_buckets p.Stats.seconds;
+      observe t "ascend_phase_gm_bytes" ~help:"Per-phase GM traffic"
+        ~buckets:bytes_buckets
+        (float_of_int p.Stats.gm_bytes))
+    st.Stats.phases
+
+let observe_trace t tr =
+  List.iter
+    (fun (l : Trace.launch_rec) ->
+      List.iter
+        (fun (p : Trace.phase_rec) ->
+          List.iter
+            (fun (b : Trace.block_rec) ->
+              List.iter
+                (fun (s : Trace.span) ->
+                  inc t "ascend_trace_spans_total"
+                    ~help:"Recorded instruction spans, by issue queue"
+                    ~labels:[ ("queue", s.Trace.sp_queue) ] 1.0;
+                  if s.Trace.sp_bytes > 0 then
+                    observe t "ascend_transfer_bytes"
+                      ~help:"MTE transfer payload sizes (tile sizes)"
+                      ~buckets:bytes_buckets
+                      (float_of_int s.Trace.sp_bytes))
+                b.Trace.b_spans;
+              List.iter
+                (fun (m : Trace.mark) ->
+                  inc t "ascend_trace_instants_total"
+                    ~help:"Recorded instant events, by kind"
+                    ~labels:[ ("kind", Trace.kind_to_string m.Trace.mk_kind) ]
+                    1.0)
+                b.Trace.b_marks)
+            p.Trace.ph_blocks)
+        l.Trace.ln_phases)
+    (Trace.launches tr);
+  if Trace.dropped tr > 0 then
+    inc t "ascend_trace_dropped_total" ~help:"Spans dropped by the cap"
+      (float_of_int (Trace.dropped tr))
+
+let value_str = Jsonw.float_to_string
+
+let labels_str labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+      ^ "}"
+
+let pp_prometheus ppf t =
+  List.iter
+    (fun name ->
+      let m = Hashtbl.find t.tbl name in
+      if m.help <> "" then Format.fprintf ppf "# HELP %s %s@." name m.help;
+      let kind =
+        match m.series with
+        | (_, Counter _) :: _ -> "counter"
+        | (_, Histogram _) :: _ -> "histogram"
+        | [] -> "untyped"
+      in
+      Format.fprintf ppf "# TYPE %s %s@." name kind;
+      List.iter
+        (fun (labels, s) ->
+          match s with
+          | Counter r ->
+              Format.fprintf ppf "%s%s %s@." name (labels_str labels)
+                (value_str !r)
+          | Histogram h ->
+              let cum = ref 0 in
+              Array.iteri
+                (fun i c ->
+                  cum := !cum + c;
+                  let le =
+                    if i < Array.length h.bounds then value_str h.bounds.(i)
+                    else "+Inf"
+                  in
+                  Format.fprintf ppf "%s_bucket%s %d@." name
+                    (labels_str (labels @ [ ("le", le) ]))
+                    !cum)
+                h.counts;
+              Format.fprintf ppf "%s_sum%s %s@." name (labels_str labels)
+                (value_str h.sum);
+              Format.fprintf ppf "%s_count%s %d@." name (labels_str labels)
+                h.count)
+        m.series)
+    (List.rev t.order)

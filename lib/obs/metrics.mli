@@ -1,0 +1,45 @@
+(** A small metrics registry: monotonic counters and fixed-bucket
+    histograms with labels, rendered as Prometheus text exposition
+    (the CLI's [--metrics]).
+
+    Series are keyed by (metric name, sorted label set); observing the
+    same key twice accumulates. {!pp_prometheus} prints metrics in
+    registration order and label sets in sorted order, so the output
+    is deterministic for a given observation sequence. *)
+
+type t
+
+val create : unit -> t
+
+val inc :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> float -> unit
+(** Add to a counter (created on first use). Negative increments are
+    clamped to 0 — counters are monotonic. *)
+
+val observe :
+  t ->
+  ?labels:(string * string) list ->
+  ?help:string ->
+  buckets:float array ->
+  string ->
+  float ->
+  unit
+(** Record one observation into a histogram with the given upper
+    bounds (sorted ascending; a [+Inf] bucket is implicit). The
+    [buckets] of the first observation win; later calls reuse them. *)
+
+val observe_stats : t -> Ascend.Stats.t -> unit
+(** Fold one launch's (or combined) statistics in: launch/seconds/GM
+    byte counters, per-op issue counters, per-engine busy-cycle
+    counters, fault/retry/degrade counters and per-phase seconds +
+    GM-byte histograms. *)
+
+val observe_trace : t -> Ascend.Trace.t -> unit
+(** Fold a recording in: span/instant counters per issue queue and
+    instant kind, and an MTE transfer-size histogram (the tile-size
+    distribution the paper tunes). *)
+
+val pp_prometheus : Format.formatter -> t -> unit
+(** Prometheus text exposition format: [# HELP]/[# TYPE] headers,
+    [name{labels} value] samples, [_bucket]/[_sum]/[_count] triplets
+    for histograms. *)

@@ -1,0 +1,181 @@
+type phase_sum = {
+  launch : string;
+  index : int;
+  ts_us : float;
+  dur_us : float;
+  bound : string;
+  bounding : string;
+  engines : (string * float) list;
+}
+
+type phase_acc = {
+  a_launch : string;
+  a_index : int;
+  a_ts : float;
+  a_dur : float;
+  a_bound : string;
+  busy : (string, float) Hashtbl.t; (* engine name -> busy us *)
+}
+
+let of_json doc =
+  match Option.bind (Jsonw.member "traceEvents" doc) Jsonw.to_list_opt with
+  | None -> Error "not a trace: missing traceEvents array"
+  | Some events ->
+      (* Track names from thread_name metadata. *)
+      let track_names : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
+      (* Distinct tracks per engine name (to average across cores). *)
+      let tracks_of : (string, (int * int, unit) Hashtbl.t) Hashtbl.t =
+        Hashtbl.create 32
+      in
+      List.iter
+        (fun ev ->
+          let str k = Option.bind (Jsonw.member k ev) Jsonw.string_opt in
+          let int k = Option.bind (Jsonw.member k ev) Jsonw.int_opt in
+          if str "ph" = Some "M" && str "name" = Some "thread_name" then
+            match
+              ( int "pid",
+                int "tid",
+                Option.bind
+                  (Option.bind (Jsonw.member "args" ev) (Jsonw.member "name"))
+                  Jsonw.string_opt )
+            with
+            | Some pid, Some tid, Some name when pid > 0 && name <> "events" ->
+                Hashtbl.replace track_names (pid, tid) name;
+                let set =
+                  match Hashtbl.find_opt tracks_of name with
+                  | Some s -> s
+                  | None ->
+                      let s = Hashtbl.create 8 in
+                      Hashtbl.add tracks_of name s;
+                      s
+                in
+                Hashtbl.replace set (pid, tid) ()
+            | _ -> ())
+        events;
+      (* Phase windows (device process, cat = "phase"), in file order
+         (assemble sorts by ts). *)
+      let phases = ref [] in
+      List.iter
+        (fun ev ->
+          let str k = Option.bind (Jsonw.member k ev) Jsonw.string_opt in
+          let num k = Option.bind (Jsonw.member k ev) Jsonw.number_opt in
+          let args = Jsonw.member "args" ev in
+          let arg_str k = Option.bind (Option.bind args (Jsonw.member k)) Jsonw.string_opt in
+          let arg_int k = Option.bind (Option.bind args (Jsonw.member k)) Jsonw.int_opt in
+          if str "ph" = Some "X" && str "cat" = Some "phase" then
+            match (num "ts", num "dur") with
+            | Some ts, Some dur ->
+                phases :=
+                  {
+                    a_launch = Option.value ~default:"?" (arg_str "launch");
+                    a_index = Option.value ~default:0 (arg_int "index");
+                    a_ts = ts;
+                    a_dur = dur;
+                    a_bound = Option.value ~default:"compute" (arg_str "bound");
+                    busy = Hashtbl.create 16;
+                  }
+                  :: !phases
+            | _ -> ())
+        events;
+      let phases = Array.of_list (List.rev !phases) in
+      if Array.length phases = 0 then
+        Error "not a simulator trace: no phase spans found"
+      else begin
+        (* Attribute engine spans to the phase containing their start.
+           Events and phases are both ts-sorted, so a moving cursor
+           suffices. *)
+        let eps = 1e-6 in
+        let cursor = ref 0 in
+        List.iter
+          (fun ev ->
+            let str k = Option.bind (Jsonw.member k ev) Jsonw.string_opt in
+            let int k = Option.bind (Jsonw.member k ev) Jsonw.int_opt in
+            let num k = Option.bind (Jsonw.member k ev) Jsonw.number_opt in
+            match (str "ph", int "pid", int "tid", num "ts", num "dur") with
+            | Some "X", Some pid, Some tid, Some ts, Some dur when pid > 0 -> (
+                match Hashtbl.find_opt track_names (pid, tid) with
+                | None -> ()
+                | Some name ->
+                    while
+                      !cursor < Array.length phases - 1
+                      && ts >= phases.(!cursor).a_ts +. phases.(!cursor).a_dur -. eps
+                      && ts >= phases.(!cursor + 1).a_ts -. eps
+                    do
+                      incr cursor
+                    done;
+                    let p = phases.(!cursor) in
+                    if ts >= p.a_ts -. eps && ts < p.a_ts +. p.a_dur +. eps
+                    then
+                      Hashtbl.replace p.busy name
+                        (dur
+                        +. Option.value ~default:0.0
+                             (Hashtbl.find_opt p.busy name)))
+            | _ -> ())
+          events;
+        let summaries =
+          Array.to_list
+            (Array.map
+               (fun p ->
+                 let engines =
+                   Hashtbl.fold
+                     (fun name busy acc ->
+                       let n_tracks =
+                         match Hashtbl.find_opt tracks_of name with
+                         | Some s -> max 1 (Hashtbl.length s)
+                         | None -> 1
+                       in
+                       let occ =
+                         if p.a_dur <= 0.0 then 0.0
+                         else busy /. (p.a_dur *. float_of_int n_tracks)
+                       in
+                       (name, occ) :: acc)
+                     p.busy []
+                 in
+                 let engines =
+                   List.sort
+                     (fun (na, oa) (nb, ob) ->
+                       let c = Float.compare ob oa in
+                       if c <> 0 then c else String.compare na nb)
+                     engines
+                 in
+                 let bounding =
+                   if p.a_bound = "bandwidth" then "HBM/L2 bandwidth"
+                   else
+                     match engines with
+                     | (name, _) :: _ -> name
+                     | [] -> "launch overhead"
+                 in
+                 {
+                   launch = p.a_launch;
+                   index = p.a_index;
+                   ts_us = p.a_ts;
+                   dur_us = p.a_dur;
+                   bound = p.a_bound;
+                   bounding;
+                   engines;
+                 })
+               phases)
+        in
+        Ok summaries
+      end
+
+let pp ppf summaries =
+  let current = ref "" in
+  List.iter
+    (fun s ->
+      if s.launch <> !current then begin
+        current := s.launch;
+        Format.fprintf ppf "launch %s@." s.launch
+      end;
+      Format.fprintf ppf "  phase %d: %.3f us, %s-bound, bounded by %s@."
+        s.index s.dur_us s.bound s.bounding;
+      match List.filter (fun (_, o) -> o > 0.0005) s.engines with
+      | [] -> ()
+      | engines ->
+          Format.fprintf ppf "    occupancy:";
+          List.iter
+            (fun (name, occ) ->
+              Format.fprintf ppf " %s %.1f%%" name (100.0 *. occ))
+            engines;
+          Format.fprintf ppf "@.")
+    summaries

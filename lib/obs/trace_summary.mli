@@ -1,0 +1,31 @@
+(** Per-phase engine-occupancy analysis of an exported trace — the
+    paper's "cube idle / MTE bound" timeline reading, reproduced from
+    our own trace files (the CLI's [trace summary]).
+
+    Works from the parsed Chrome-trace JSON (not the live recorder),
+    so it can analyse any previously written [--trace] file: device
+    phase spans give the windows, engine-track spans give the busy
+    time, and thread-name metadata maps tracks back to engines. *)
+
+type phase_sum = {
+  launch : string;
+  index : int;  (** Phase index within the launch. *)
+  ts_us : float;
+  dur_us : float;
+  bound : string;  (** ["compute"] or ["bandwidth"] (from the phase args). *)
+  bounding : string;
+      (** What limits the phase: ["HBM/L2 bandwidth"] for
+          bandwidth-bound phases, else the busiest engine. *)
+  engines : (string * float) list;
+      (** Mean occupancy per engine name over the tracks of that
+          engine, as a fraction of the phase duration in [0, 1],
+          sorted descending. *)
+}
+
+val of_json : Jsonw.t -> (phase_sum list, string) result
+(** Analyse a parsed trace document; [Error] when it is not a trace
+    (no [traceEvents]) or has no phase spans. *)
+
+val pp : Format.formatter -> phase_sum list -> unit
+(** Human-readable report: one block per launch, one line per phase
+    with its bounding engine, then occupancy percentages. *)

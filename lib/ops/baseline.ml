@@ -185,7 +185,7 @@ let bitonic_fused_stage ~x ~n ~k ~tile ctx =
             Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off
               ~dst:(tiles.(v)) ~len ();
             (* Generic vector code for the in-tile network. *)
-            Block.charge ctx (Engine.Vec v)
+            Block.charge ~op:"scan_network" ctx (Engine.Vec v)
               (float_of_int (local_substage_instrs * substages)
               *. Cost_model.vec_op_cycles cm
                    ~bytes:(len * Dtype.size_bytes dt));

@@ -17,7 +17,7 @@ type 'a report = {
 }
 
 let run ?(name = "resilient") ?(max_attempts = 3) ?(backoff_s = 0.0) ?fallback
-    ~validate attempt =
+    ?(on_event = fun _ -> ()) ~validate attempt =
   if max_attempts < 1 then
     invalid_arg "Resilient.run: max_attempts must be >= 1";
   if backoff_s < 0.0 then invalid_arg "Resilient.run: negative backoff";
@@ -54,6 +54,7 @@ let run ?(name = "resilient") ?(max_attempts = 3) ?(backoff_s = 0.0) ?fallback
             incr detections;
             if !attempts < max_attempts then begin
               note_backoff ();
+              on_event `Retry;
               primary ()
             end
             else (Some v, false))
@@ -61,6 +62,7 @@ let run ?(name = "resilient") ?(max_attempts = 3) ?(backoff_s = 0.0) ?fallback
         incr detections;
         if !attempts < max_attempts then begin
           note_backoff ();
+          on_event `Retry;
           primary ()
         end
         else (None, false)
@@ -73,6 +75,7 @@ let run ?(name = "resilient") ?(max_attempts = 3) ?(backoff_s = 0.0) ?fallback
       | None -> (v, false, false)
       | Some fb -> (
           incr attempts;
+          on_event `Degrade;
           match guarded fb with
           | None -> (v, false, true)
           | Some fv ->
@@ -101,8 +104,18 @@ let run ?(name = "resilient") ?(max_attempts = 3) ?(backoff_s = 0.0) ?fallback
   { value = v; stats; attempts = !attempts; detections = !detections;
     degraded; backoff_seconds = !backoff; ok }
 
+let trace_events device name =
+  match Device.trace device with
+  | None -> fun _ -> ()
+  | Some tr -> (
+      function
+      | `Retry -> Trace.note tr Trace.Retry ~name:(name ^ " retry")
+      | `Degrade -> Trace.note tr Trace.Degrade ~name:(name ^ " degraded"))
+
 let launch ?name ?max_attempts ?fallback device ~blocks ~validate bodies =
   run ?name ?max_attempts ?fallback
+    ~on_event:
+      (trace_events device (Option.value ~default:"resilient launch" name))
     ~validate:(fun () -> validate ())
     (fun () -> ((), Launch.run_phases ?name device ~blocks bodies))
 
@@ -186,6 +199,9 @@ let scan ?(s = 128) ?max_attempts ?backoff_s ?(oracle = Checksum) ?fallback
   in
   run
     ~name:("resilient_" ^ Scan.Scan_api.algo_to_string algo)
+    ~on_event:
+      (trace_events device
+         ("resilient_" ^ Scan.Scan_api.algo_to_string algo))
     ?max_attempts ?backoff_s ?fallback ~validate attempt
 
 type batched_schedule = U | Ul1
@@ -258,6 +274,11 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
       incr group_attempts;
       if attempt > 1 then begin
         replayed_rows := !replayed_rows + (hi - lo);
+        (match Device.trace device with
+        | Some tr ->
+            Trace.note tr Trace.Retry
+              ~name:(Printf.sprintf "bscan rows %d-%d attempt %d" lo hi attempt)
+        | None -> ());
         if backoff_s > 0.0 then
           backoff :=
             !backoff +. (backoff_s *. (2.0 ** float_of_int (attempt - 2)))
@@ -267,6 +288,11 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
           stats_acc := st :: !stats_acc;
           if validate_batched_rows ~input ~len y ~lo ~hi then begin
             Checkpoint.mark ck ~lo ~hi;
+            (match Device.trace device with
+            | Some tr ->
+                Trace.note tr Trace.Checkpoint
+                  ~name:(Printf.sprintf "rows %d-%d committed" lo hi)
+            | None -> ());
             true
           end
           else if attempt < max_attempts then go (attempt + 1)

@@ -44,6 +44,7 @@ val run :
   ?max_attempts:int ->
   ?backoff_s:float ->
   ?fallback:(unit -> 'a * Ascend.Stats.t) ->
+  ?on_event:([ `Retry | `Degrade ] -> unit) ->
   validate:('a -> (unit, string) result) ->
   (unit -> 'a * Ascend.Stats.t) ->
   'a report
@@ -55,8 +56,11 @@ val run :
     same budget; the last one is re-raised only when {e no} attempt
     ever produced a value. [backoff_s] arms exponential retry backoff:
     the k-th retry adds [backoff_s * 2^(k-1)] simulated seconds to the
-    combined stats. Raises [Invalid_argument] when [max_attempts < 1]
-    or [backoff_s < 0]. *)
+    combined stats. [on_event] fires just before each re-execution
+    ([`Retry]) and before the fallback runs ([`Degrade]) — the
+    tracing hook ({!Ascend.Trace.note}); it defaults to a no-op.
+    Raises [Invalid_argument] when [max_attempts < 1] or
+    [backoff_s < 0]. *)
 
 val launch :
   ?name:string ->

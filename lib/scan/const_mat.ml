@@ -33,7 +33,8 @@ let load ctx ~engine ~kind ~dtype ~s which =
   (* Charged as one DataCopy of the statically pre-allocated GM
      constant into the cube hierarchy. *)
   let bytes = s * s * Dtype.size_bytes dtype in
-  Block.charge ctx engine (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
+  Block.charge ~op:"datacopy_const" ~bytes ctx engine
+    (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
   if Block.functional ctx then fill lt ~s which
   else Local_tensor.set_structure lt (structure_of which);

@@ -73,7 +73,7 @@ let run_cube ?(s = 128) device x =
         Local_tensor.set_structure row1 Local_tensor.All_ones
       end
       else Local_tensor.set_structure row1 Local_tensor.All_ones;
-      Block.charge ctx Engine.Cube
+      Block.charge ~op:"l1_to_l0" ctx Engine.Cube
         (Cost_model.local_copy_cycles (Block.cost ctx) ~bytes:(2 * s));
       Cube.mmad ctx ~a:row1 ~b:l0b ~c:c2 ~m:1 ~k:s ~n:s ~accumulate:false;
       Mte.copy_out ctx ~engine:Engine.Cube_mte_out ~src:c2 ~dst:partials

@@ -182,7 +182,7 @@ let () =
   register
     {
       name = "scanu";
-      aliases = [ "u" ];
+      aliases = [ "u"; "scan_u" ];
       kind = `Scan;
       caps = caps ();
       monoid = sum;
@@ -192,7 +192,7 @@ let () =
   register
     {
       name = "scanul1";
-      aliases = [ "ul1" ];
+      aliases = [ "ul1"; "scan_ul1" ];
       kind = `Scan;
       caps = caps ();
       monoid = sum;

@@ -1,0 +1,73 @@
+(* Golden-trace snapshot: one small ScanU launch under tracing, the
+   exported Chrome trace JSON compared byte-for-byte against the
+   committed [golden_trace.expected]. The trace is a function of the
+   simulated schedule alone, so any change to this file is a change to
+   what the simulator claims the hardware did — either an intended
+   cost-model/kernel change (regenerate with --write and review the
+   diff) or a recording regression.
+
+   Usage:
+     golden_trace.exe            compare against golden_trace.expected
+     golden_trace.exe --write    regenerate the expected file *)
+
+let n = 4096
+
+let run () =
+  let entry =
+    match Scan.Op_registry.find "scanu" with
+    | Some e -> e
+    | None -> failwith "scanu not registered"
+  in
+  match Workload.Op_driver.run ~n ~domains:1 entry with
+  | Ok (_, Some tr) -> (
+      match Ascend.Trace.check tr with
+      | Ok () -> Obs.Chrome_trace.to_string tr ^ "\n"
+      | Error msg -> failwith ("inconsistent trace: " ^ msg))
+  | Ok (_, None) -> failwith "driver returned no trace"
+  | Error msg -> failwith msg
+
+let expected_path =
+  Filename.concat (Filename.dirname Sys.executable_name) "golden_trace.expected"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let actual = run () in
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--write" then begin
+    let oc = open_out_bin expected_path in
+    output_string oc actual;
+    close_out oc;
+    Printf.printf "golden_trace: wrote %s (%d bytes)\n" expected_path
+      (String.length actual)
+  end
+  else begin
+    let expected = read_file expected_path in
+    if String.equal actual expected then
+      print_endline "golden_trace: ok (byte-identical)"
+    else begin
+      (* Locate the first divergence for a usable failure message. *)
+      let limit = min (String.length actual) (String.length expected) in
+      let i = ref 0 in
+      while !i < limit && actual.[!i] = expected.[!i] do
+        incr i
+      done;
+      Printf.eprintf
+        "golden_trace: MISMATCH at byte %d (expected %d bytes, got %d)\n" !i
+        (String.length expected) (String.length actual);
+      let context s =
+        let lo = max 0 (!i - 60)
+        and hi = min (String.length s) (!i + 60) in
+        String.sub s lo (hi - lo)
+      in
+      Printf.eprintf "  expected: ...%s...\n" (context expected);
+      Printf.eprintf "  actual:   ...%s...\n" (context actual);
+      Printf.eprintf
+        "  (intended schedule change? regenerate: golden_trace.exe --write)\n";
+      exit 1
+    end
+  end

@@ -1,0 +1,195 @@
+(* Tracing subsystem tests.
+
+   The contracts under test:
+   - recording is deterministic: the exported Chrome trace JSON is
+     byte-identical across host domain counts, for every registered
+     operator (the trace is keyed by simulated cycles and block ids,
+     never by host scheduling);
+   - the recorder is internally consistent for every operator: zero
+     dropped events, monotone per-engine tracks, spans inside their
+     block window;
+   - the exported JSON survives its own validator and parser, and the
+     occupancy summary derived from it never exceeds 100% per engine;
+   - the Stats additions (launch counting under [combine], the
+     zero-time guards) behave. *)
+
+open Ascend
+
+let () = Ops.Ops_registry.install ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Small enough to keep ~16 ops x 2 domain counts fast, large enough
+   that every kernel schedules several blocks. *)
+let n = 1024
+
+let trace_of entry ~domains =
+  match Workload.Op_driver.run ~n ~domains entry with
+  | Ok (st, Some tr) -> (st, tr)
+  | Ok (_, None) -> Alcotest.fail "driver returned no trace"
+  | Error msg ->
+      Alcotest.failf "%s: %s" entry.Scan.Op_registry.name msg
+
+(* ------------------------------------------------------------------ *)
+(* Determinism across host domains, per registered operator.          *)
+
+let test_domain_identity (entry : Scan.Op_registry.entry) () =
+  let _, tr1 = trace_of entry ~domains:1 in
+  let _, tr4 = trace_of entry ~domains:4 in
+  let j1 = Obs.Chrome_trace.to_string tr1 in
+  let j4 = Obs.Chrome_trace.to_string tr4 in
+  check_string "trace JSON identical across domains 1/4" j1 j4
+
+(* ------------------------------------------------------------------ *)
+(* Recorder consistency, per registered operator.                     *)
+
+let test_consistency (entry : Scan.Op_registry.entry) () =
+  let _, tr = trace_of entry ~domains:1 in
+  (match Trace.check tr with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "inconsistent trace: %s" msg);
+  check_int "no dropped events" 0 (Trace.dropped tr);
+  check_bool "events recorded" true (Trace.event_count tr > 0);
+  match Obs.Chrome_trace.validate (Obs.Chrome_trace.json tr) with
+  | Ok counts -> check_bool "validator accepts" true (counts.Obs.Chrome_trace.events > 0)
+  | Error msg -> Alcotest.failf "invalid chrome trace: %s" msg
+
+(* Every engine span survives the export, plus one timeline span per
+   launch and one per phase. *)
+let test_span_accounting () =
+  let entry = Option.get (Scan.Op_registry.find "mcscan") in
+  let _, tr = trace_of entry ~domains:1 in
+  match Obs.Chrome_trace.validate (Obs.Chrome_trace.json tr) with
+  | Ok counts ->
+      let launches = Trace.launches tr in
+      let expected =
+        Trace.span_count tr
+        + List.length launches
+        + List.fold_left
+            (fun acc l -> acc + List.length l.Trace.ln_phases)
+            0 launches
+      in
+      check_int "spans = engine spans + launch spans + phase spans"
+        expected counts.Obs.Chrome_trace.spans
+  | Error msg -> Alcotest.failf "invalid chrome trace: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip and summary bounds.                                *)
+
+let test_json_roundtrip () =
+  let entry = Option.get (Scan.Op_registry.find "scanu") in
+  let _, tr = trace_of entry ~domains:1 in
+  let s = Obs.Chrome_trace.to_string tr in
+  match Obs.Jsonw.parse s with
+  | Error msg -> Alcotest.failf "emitted JSON does not parse: %s" msg
+  | Ok doc ->
+      check_string "print/parse/print is a fixpoint" s
+        (Obs.Jsonw.to_string doc)
+
+let test_occupancy_bounds () =
+  List.iter
+    (fun name ->
+      let entry = Option.get (Scan.Op_registry.find name) in
+      let _, tr = trace_of entry ~domains:1 in
+      let doc = Obs.Chrome_trace.json tr in
+      match Obs.Trace_summary.of_json doc with
+      | Error msg -> Alcotest.failf "%s: %s" name msg
+      | Ok phases ->
+          check_bool "at least one phase" true (phases <> []);
+          List.iter
+            (fun (p : Obs.Trace_summary.phase_sum) ->
+              check_bool "bounding resource named" true
+                (p.Obs.Trace_summary.bounding <> "");
+              List.iter
+                (fun (engine, occ) ->
+                  if occ < 0.0 || occ > 1.0 +. 1e-6 then
+                    Alcotest.failf "%s phase %d: engine %s occupancy %g out \
+                                    of [0,1]"
+                      name p.Obs.Trace_summary.index engine occ)
+                p.Obs.Trace_summary.engines)
+            phases)
+    [ "scanu"; "mcscan"; "vec_only" ]
+
+(* ------------------------------------------------------------------ *)
+(* Stats satellites: combine launch counting and zero-time guards.    *)
+
+let stats_of name =
+  let entry = Option.get (Scan.Op_registry.find name) in
+  match Workload.Op_driver.run ~n ~traced:false entry with
+  | Ok (st, _) -> st
+  | Error msg -> Alcotest.failf "%s: %s" name msg
+
+let test_combine_launches () =
+  let a = stats_of "scanu" and b = stats_of "mcscan" and c = stats_of "tcu" in
+  check_int "single launch" 1 a.Stats.launches;
+  let left = Stats.combine ~name:"t" [ Stats.combine ~name:"t" [ a; b ]; c ] in
+  let right = Stats.combine ~name:"t" [ a; Stats.combine ~name:"t" [ b; c ] ] in
+  let flat = Stats.combine ~name:"t" [ a; b; c ] in
+  check_bool "combine associates (simulated fields)" true
+    (Stats.equal_simulated left right);
+  check_bool "combine flattens (simulated fields)" true
+    (Stats.equal_simulated left flat);
+  check_int "launches sum" 3 flat.Stats.launches;
+  check_bool "per-launch host seconds defined" true
+    (Float.is_finite (Stats.host_seconds_per_launch flat))
+
+let test_zero_time_guards () =
+  let st = stats_of "scanu" in
+  let frozen = { st with Stats.seconds = 0.0 } in
+  let u = Stats.core_utilization frozen in
+  check_int "utilization keeps core count"
+    (Array.length st.Stats.core_busy)
+    (Array.length u);
+  Array.iter (fun v -> check_bool "zero-seconds utilization is 0" true (v = 0.0)) u;
+  (match st.Stats.phases with
+  | p :: _ ->
+      let zero = { p with Stats.seconds = 0.0 } in
+      check_bool "zero-seconds phase occupancy is 0" true
+        (Stats.phase_occupancy zero ~busy_cycles:1000.0
+           ~clock_hz:(Trace.clock_hz (Trace.create ()))
+        = 0.0);
+      check_bool "zero-clock phase occupancy is 0" true
+        (Stats.phase_occupancy p ~busy_cycles:1000.0 ~clock_hz:0.0 = 0.0)
+  | [] -> Alcotest.fail "scanu produced no phases");
+  (* Real runs stay in range. *)
+  Array.iter
+    (fun v -> check_bool "utilization non-negative" true (v >= 0.0))
+    (Stats.core_utilization st)
+
+let test_recording_off_by_default () =
+  let d = Device.create () in
+  check_bool "no recorder unless armed" true (Device.trace d = None);
+  let tr = Device.arm_trace d in
+  check_bool "armed recorder attached" true (Device.trace d = Some tr)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let per_op label f =
+    List.map
+      (fun (e : Scan.Op_registry.entry) ->
+        Alcotest.test_case
+          (Printf.sprintf "%s: %s" label e.Scan.Op_registry.name)
+          `Quick (f e))
+      (Scan.Op_registry.all ())
+  in
+  Alcotest.run "trace"
+    [
+      ("domain-identity", per_op "domains 1=4" test_domain_identity);
+      ("consistency", per_op "check+validate" test_consistency);
+      ( "export",
+        [
+          Alcotest.test_case "span accounting" `Quick test_span_accounting;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "occupancy bounds" `Quick test_occupancy_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "combine launches" `Quick test_combine_launches;
+          Alcotest.test_case "zero-time guards" `Quick test_zero_time_guards;
+          Alcotest.test_case "recording off by default" `Quick
+            test_recording_off_by_default;
+        ] );
+    ]
