@@ -1,0 +1,256 @@
+(* Chaos / recovery benchmark (BENCH_6): the robustness subsystem
+   measured end to end, in process.
+
+   For each embedded scenario:
+   - an uninterrupted reference run (crash events skipped) fixes the
+     expected output bytes and the fault-free-of-crash cost;
+   - a crashed run executes until the scenario's crash event raises
+     [Chaos.Host_crash] mid-batch, leaving only the checkpoint store;
+   - a resume run restores the store and finishes the batch.
+
+   Reported per scenario:
+   - recovery latency: simulated seconds of crashed + resumed runs
+     over the uninterrupted run (work lost to the crash + replay), and
+     the host-side wall-clock of a store reopen+restore (Bechamel);
+   - retry amplification: group attempts per committed group;
+   - rows lost: rows missing from the resumed output — MUST be 0;
+   - re-executed committed rows: rows the resume launched again even
+     though the store already held them — MUST be 0;
+   - byte diffs between the resumed output and the reference — MUST
+     be 0 (resume-equals-replay);
+   - determinism: two fresh runs of the same scenario produce the
+     same fired-event log and identical output bytes.
+
+   Emits BENCH_6.json (path overridable as argv.(1)); exits 1 when
+   any MUST-be-zero invariant is violated, so CI can gate on it. *)
+
+let batch = 32
+let len = 2048
+
+let scenarios =
+  [
+    ( "crash_resume",
+      "name crash_resume\n\
+       seed 11\n\
+       at launch 1 storm rate=0.3 kinds=dropped_copy for=2\n\
+       at launch 4 crash\n" );
+    ( "storm_then_crash",
+      "name storm_then_crash\n\
+       seed 42\n\
+       rate 0.0005\n\
+       at launch 0 storm rate=0.7 kinds=dropped_copy,truncated_copy \
+       scope=cube for=3\n\
+       at launch 5 crash\n" );
+    ( "attrition_crash",
+      "name attrition_crash\n\
+       seed 7\n\
+       at launch 1 kill core=3\n\
+       at launch 2 quarantine core=5 for=2\n\
+       at launch 3 crash\n" );
+  ]
+
+let ols =
+  Bechamel.Analyze.ols ~bootstrap:0 ~r_square:false
+    ~predictors:[| Bechamel.Measure.run |]
+
+let cfg = Bechamel.Benchmark.cfg ~limit:20 ~quota:(Bechamel.Time.second 0.5) ()
+
+let time_ns name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let results = Benchmark.all cfg [ instance ] test in
+  let analysis = Analyze.all ols instance results in
+  let est = ref nan in
+  Hashtbl.iter
+    (fun _ result ->
+      match Analyze.OLS.estimates result with
+      | Some [ e ] -> est := e
+      | _ -> ())
+    analysis;
+  !est
+
+let parse_scenario name text =
+  match Runtime.Chaos.parse text with
+  | Ok sc -> sc
+  | Error msg -> failwith (name ^ ": " ^ msg)
+
+let input = Array.init (batch * len) (fun i -> if i mod 53 = 0 then 1.0 else 0.0)
+
+let make_device sc =
+  Ascend.Device.create ~mode:Ascend.Device.Functional
+    ~fault:(Runtime.Chaos.fault_config sc) ()
+
+(* One batched run under the scenario; [store] and [skip_crashes]
+   select the reference / crashed / resumed roles. *)
+let run_once ?store ~skip_crashes sc =
+  let device = make_device sc in
+  let ctl = Runtime.Degrade_ctl.create () in
+  let ch = Runtime.Chaos.arm ~skip_crashes sc in
+  let r =
+    Runtime.Resilient.batched_scan ?store ~ctl ~chaos:ch device ~batch ~len
+      ~input
+  in
+  (r, ch)
+
+let output_bytes (r : Runtime.Resilient.batched_report) =
+  Array.init (batch * len) (fun i ->
+      Ascend.Global_tensor.get r.Runtime.Resilient.y i)
+
+let diffs a b =
+  let d = ref 0 in
+  Array.iteri (fun i v -> if v <> b.(i) then incr d) a;
+  !d
+
+let failures = ref 0
+
+let must_zero what v =
+  if v <> 0 then begin
+    incr failures;
+    Printf.printf "  INVARIANT VIOLATED: %s = %d (expected 0)\n%!" what v
+  end
+
+let bench_scenario (name, text) =
+  let sc = parse_scenario name text in
+  let store_path = Filename.temp_file "bench_chaos_" ".ckpt" in
+  (* Reference: the same storyline with the crash skipped. *)
+  let ref_r, _ = run_once ~skip_crashes:true sc in
+  let ref_bytes = output_bytes ref_r in
+  (* Crashed run: Host_crash escapes mid-batch; only the store survives. *)
+  let store =
+    Runtime.Checkpoint_store.create ~path:store_path ~rows:batch ~len ()
+  in
+  let crash_seconds = ref 0.0 in
+  let crashed_commits =
+    match run_once ~store ~skip_crashes:false sc with
+    | r, _ ->
+        (* No crash event reached: treat the full run as the "crashed"
+           leg so the resume leg becomes a no-op restore. *)
+        crash_seconds := r.Runtime.Resilient.bstats.Ascend.Stats.seconds;
+        Runtime.Checkpoint_store.commits store
+    | exception Runtime.Chaos.Host_crash _ ->
+        Runtime.Checkpoint_store.commits store
+  in
+  (* Resume: reopen the store like a fresh process would. *)
+  let resumed, l =
+    match Runtime.Checkpoint_store.reopen ~path:store_path with
+    | Ok (st, l) -> (st, l)
+    | Error e -> failwith (name ^ ": reopen: " ^ e)
+  in
+  let res_r, _ = run_once ~store:resumed ~skip_crashes:true sc in
+  let res_bytes = output_bytes res_r in
+  let rows_done = Runtime.Checkpoint.done_count res_r.Runtime.Resilient.checkpoint in
+  let rows_lost = batch - rows_done in
+  let byte_diffs = diffs ref_bytes res_bytes in
+  (* Committed rows must never be re-executed: the store's commit log
+     is (crashed-run groups) ++ (resume-run groups) in order, and the
+     resume's groups must be row-disjoint from what it restored. *)
+  let reexecuted_committed =
+    let all_groups = Runtime.Checkpoint_store.groups resumed in
+    let restored_set = Array.make batch false in
+    List.iteri
+      (fun i (lo, hi, _) ->
+        if i < crashed_commits then
+          for r = lo to hi - 1 do
+            restored_set.(r) <- true
+          done)
+      all_groups;
+    let overlap = ref 0 in
+    List.iteri
+      (fun i (lo, hi, _) ->
+        if i >= crashed_commits then
+          for r = lo to hi - 1 do
+            if restored_set.(r) then incr overlap
+          done)
+      all_groups;
+    !overlap
+  in
+  (* Determinism: two fresh runs, same storyline, same bytes. *)
+  let det_a, ch_a = run_once ~skip_crashes:true sc in
+  let det_b, ch_b = run_once ~skip_crashes:true sc in
+  let det_log_equal = Runtime.Chaos.fired ch_a = Runtime.Chaos.fired ch_b in
+  let det_diffs = diffs (output_bytes det_a) (output_bytes det_b) in
+  let retry_amp =
+    float_of_int ref_r.Runtime.Resilient.group_attempts
+    /. float_of_int
+         (max 1 (Runtime.Checkpoint.commits ref_r.Runtime.Resilient.checkpoint))
+  in
+  let reopen_ns =
+    time_ns (name ^ "_reopen") (fun () ->
+        match Runtime.Checkpoint_store.load ~path:store_path with
+        | Ok _ -> ()
+        | Error e -> failwith e)
+  in
+  let ref_us = ref_r.Runtime.Resilient.bstats.Ascend.Stats.seconds *. 1e6 in
+  let resume_us = res_r.Runtime.Resilient.bstats.Ascend.Stats.seconds *. 1e6 in
+  let crash_us = !crash_seconds *. 1e6 in
+  Printf.printf
+    "  %-18s ref %8.3f us  resume %8.3f us  restored %2d rows  retry-amp \
+     %.2f  lost %d  diffs %d  det %b\n\
+     %!"
+    name ref_us resume_us res_r.Runtime.Resilient.restored_rows retry_amp
+    rows_lost byte_diffs
+    (det_log_equal && det_diffs = 0);
+  must_zero (name ^ ": rows lost") rows_lost;
+  must_zero (name ^ ": resume-vs-reference byte diffs") byte_diffs;
+  must_zero (name ^ ": re-executed committed rows") reexecuted_committed;
+  must_zero (name ^ ": determinism byte diffs") det_diffs;
+  must_zero
+    (name ^ ": determinism fired-log mismatch")
+    (if det_log_equal then 0 else 1);
+  Sys.remove store_path;
+  (try Sys.remove (store_path ^ ".tmp") with Sys_error _ -> ());
+  ( name,
+    Obs.Jsonw.Obj
+      [
+        ("batch", Obs.Jsonw.Int batch);
+        ("len", Obs.Jsonw.Int len);
+        ("reference_sim_us", Obs.Jsonw.Float ref_us);
+        ("crashed_sim_us", Obs.Jsonw.Float crash_us);
+        ("resume_sim_us", Obs.Jsonw.Float resume_us);
+        ( "recovery_overhead",
+          Obs.Jsonw.Float (if ref_us > 0.0 then resume_us /. ref_us else 0.0) );
+        ("store_commits_at_crash", Obs.Jsonw.Int crashed_commits);
+        ("restored_rows", Obs.Jsonw.Int res_r.Runtime.Resilient.restored_rows);
+        ( "replayed_rows",
+          Obs.Jsonw.Int res_r.Runtime.Resilient.replayed_rows );
+        ("torn_tail_on_reopen", Obs.Jsonw.Bool l.Runtime.Checkpoint_store.l_torn);
+        ("retry_amplification", Obs.Jsonw.Float retry_amp);
+        ("rows_lost", Obs.Jsonw.Int rows_lost);
+        ("resume_byte_diffs", Obs.Jsonw.Int byte_diffs);
+        ("reexecuted_committed_rows", Obs.Jsonw.Int reexecuted_committed);
+        ( "deterministic",
+          Obs.Jsonw.Bool (det_log_equal && det_diffs = 0) );
+        ("store_reopen_ns", Obs.Jsonw.Float reopen_ns);
+      ] )
+
+let () =
+  let out_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_6.json"
+  in
+  Printf.printf "BENCH_6: chaos recovery, batch = %d, len = %d\n%!" batch len;
+  let rows = List.map bench_scenario scenarios in
+  let doc =
+    Obs.Jsonw.Obj
+      [
+        ("bench", Obs.Jsonw.String "BENCH_6");
+        ("generated_by", Obs.Jsonw.String "bench/bench_chaos.ml");
+        ( "note",
+          Obs.Jsonw.String
+            "Crash/resume recovery under embedded chaos scenarios. Simulated \
+             metrics and all invariant fields are deterministic; \
+             store_reopen_ns is host wall-clock and varies by machine. \
+             rows_lost, resume_byte_diffs and reexecuted_committed_rows must \
+             be 0." );
+        ("scenarios", Obs.Jsonw.Obj rows);
+      ]
+  in
+  let oc = open_out out_path in
+  Obs.Jsonw.to_channel ~pretty:true oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out_path;
+  if !failures > 0 then begin
+    Printf.printf "BENCH_6: %d invariant violation(s)\n%!" !failures;
+    exit 1
+  end

@@ -150,7 +150,7 @@ let arm_obs device obs =
   if obs.trace_file <> None || obs.metrics then
     ignore (Ascend.Device.arm_trace device)
 
-let emit_obs device obs st =
+let emit_obs ?extra device obs st =
   let trace = Ascend.Device.trace device in
   (match (obs.trace_file, trace) with
   | Some file, Some tr ->
@@ -174,6 +174,9 @@ let emit_obs device obs st =
     let m = Obs.Metrics.create () in
     Obs.Metrics.observe_stats m st;
     Option.iter (Obs.Metrics.observe_trace m) trace;
+    (* Subcommand-specific series (resilient reports, controller
+       decisions) ride on the same registry and exposition. *)
+    (match extra with Some f -> f m | None -> ());
     Format.printf "%a" Obs.Metrics.pp_prometheus m
   end
 
@@ -357,7 +360,8 @@ let scan_cmd =
         r;
       print_stats r.Runtime.Resilient.stats;
       print_robustness device;
-      emit_obs device obs r.Runtime.Resilient.stats;
+      emit_obs device obs r.Runtime.Resilient.stats
+        ~extra:(fun m -> Obs.Metrics.observe_report m r);
       if not r.Runtime.Resilient.ok then exit 1
     end
     else begin
@@ -469,7 +473,8 @@ let batched_cmd =
       Format.printf "%a@." Runtime.Resilient.pp_batched_report r;
       print_stats r.Runtime.Resilient.bstats;
       print_robustness device;
-      emit_obs device obs r.Runtime.Resilient.bstats;
+      emit_obs device obs r.Runtime.Resilient.bstats
+        ~extra:(fun m -> Obs.Metrics.observe_batched_report m r);
       if not r.Runtime.Resilient.bok then exit 1
     end
     else begin
@@ -660,6 +665,221 @@ let topk_cmd =
   let term = Term.(const run $ n_arg $ k_arg $ algo_arg $ seed_arg) in
   Cmd.v (Cmd.info "topk" ~doc:"Run a top-k selection.") term
 
+(* chaos subcommand group: scenario-driven failure storylines over the
+   checkpointed batched runner, with crash-consistent resume.
+
+   chaos run    --scenario FILE [--store FILE]   fresh run; a [crash]
+                event self-SIGKILLs (default) so the store is the only
+                survivor — exactly the failure being rehearsed.
+   chaos resume --scenario FILE --store FILE     continue a killed run
+                from the store (crash events are skipped: one
+                storyline, one host crash).
+   chaos report --scenario FILE [--store FILE]   validate and print a
+                scenario, and the durable state of a store. *)
+
+let chaos_cmd =
+  let scenario_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:
+            "Chaos scenario file (see $(b,chaos report) and DESIGN.md §4e \
+             for the DSL). Malformed files exit 2.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Crash-consistent checkpoint store path: validated row groups \
+             are durably committed there, and $(b,chaos resume) continues \
+             from them.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch"; "b" ] ~docv:"B" ~doc:"Number of independent rows.")
+  in
+  let len_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "len"; "l" ] ~docv:"L" ~doc:"Length of each row.")
+  in
+  let granularity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "granularity" ] ~docv:"ROWS"
+          ~doc:
+            "Base rows per checkpoint group (default: quarter batches); the \
+             degradation controller shrinks it under brownout.")
+  in
+  let crash_mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sigkill", `Sigkill); ("raise", `Raise) ]) `Sigkill
+      & info [ "crash-mode" ] ~docv:"MODE"
+          ~doc:
+            "What a $(b,crash) event does: $(b,sigkill) (default) kills this \
+             process with SIGKILL — the e2e harness's real mid-batch death — \
+             while $(b,raise) aborts with a clean error (exit 1) for \
+             in-process testing.")
+  in
+  let load_scenario file =
+    match Runtime.Chaos.load file with
+    | Ok sc -> sc
+    | Error msg -> raise (Usage_error msg)
+  in
+  (* The store's meta pins everything that shapes the bytes being
+     resumed: scenario identity plus run geometry. A resume with a
+     different scenario, size or workload would silently splice
+     incompatible rows together — refuse it up front. *)
+  let meta_of sc ~batch ~len ~s ~seed =
+    Printf.sprintf "%s|seed=%d|batch=%d|len=%d|s=%d|wseed=%d"
+      sc.Runtime.Chaos.sc_name sc.Runtime.Chaos.sc_seed batch len s seed
+  in
+  let run_or_resume ~resume scenario_file store_path batch len s granularity
+      crash_mode seed obs =
+    if batch < 1 then raise (Usage_error "--batch must be >= 1");
+    if len < 1 then raise (Usage_error "--len must be >= 1");
+    (match granularity with
+    | Some g when g < 1 -> raise (Usage_error "--granularity must be >= 1")
+    | _ -> ());
+    let sc = load_scenario scenario_file in
+    let meta = meta_of sc ~batch ~len ~s ~seed in
+    let store =
+      match (store_path, resume) with
+      | None, true -> raise (Usage_error "chaos resume requires --store FILE")
+      | None, false -> None
+      | Some path, false ->
+          Some (Runtime.Checkpoint_store.create ~path ~rows:batch ~len ~meta ())
+      | Some path, true -> (
+          match Runtime.Checkpoint_store.reopen ~path with
+          | Error e -> raise (Usage_error ("--store: " ^ e))
+          | Ok (st, l) ->
+              if Runtime.Checkpoint_store.meta st <> meta then
+                raise
+                  (Usage_error
+                     (Printf.sprintf
+                        "--store: meta mismatch: store was written by %S, \
+                         this invocation is %S"
+                        (Runtime.Checkpoint_store.meta st)
+                        meta));
+              Format.printf "%a@." Runtime.Checkpoint_store.pp_loaded l;
+              Some st)
+    in
+    let device =
+      Ascend.Device.create ~mode:Ascend.Device.Functional
+        ~fault:(Runtime.Chaos.fault_config sc) ()
+    in
+    arm_obs device obs;
+    let ctl =
+      Runtime.Degrade_ctl.create
+        ~on_decision:(fun d ->
+          match Ascend.Device.trace device with
+          | Some tr ->
+              Ascend.Trace.note tr Ascend.Trace.Degrade
+                ~name:(Format.asprintf "%a" Runtime.Degrade_ctl.pp_decision d)
+          | None -> ())
+        ()
+    in
+    let on_crash msg =
+      match crash_mode with
+      | `Raise -> raise (Runtime.Chaos.Host_crash msg)
+      | `Sigkill ->
+          (* The committed store is the only thing meant to survive;
+             flush the narrative first so the harness log is honest. *)
+          Format.printf "chaos: %s -- dying with SIGKILL@." msg;
+          Format.pp_print_flush Format.std_formatter ();
+          flush stdout;
+          flush stderr;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+    in
+    let ch = Runtime.Chaos.arm ~skip_crashes:resume ~on_crash sc in
+    let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
+    let input = Array.init (batch * len) gen in
+    let r =
+      Runtime.Resilient.batched_scan ~s ?granularity ?store ~ctl ~chaos:ch
+        device ~batch ~len ~input
+    in
+    Format.printf "%a@." Runtime.Resilient.pp_batched_report r;
+    (match Runtime.Chaos.fired ch with
+    | [] -> Format.printf "chaos: no events fired@."
+    | evs ->
+        List.iter
+          (fun (i, d) -> Format.printf "chaos launch %d: %s@." i d)
+          evs);
+    Format.printf "%a@." Runtime.Degrade_ctl.pp ctl;
+    (match store with
+    | Some st ->
+        Format.printf "store: %d commits durable at %s@."
+          (Runtime.Checkpoint_store.commits st)
+          (Runtime.Checkpoint_store.path st)
+    | None -> ());
+    print_stats r.Runtime.Resilient.bstats;
+    print_robustness device;
+    emit_obs device obs r.Runtime.Resilient.bstats ~extra:(fun m ->
+        Obs.Metrics.observe_batched_report m r;
+        Obs.Metrics.observe_ctl m ctl);
+    if not r.Runtime.Resilient.bok then exit 1
+  in
+  let run_term ~resume =
+    Term.(
+      const (run_or_resume ~resume)
+      $ scenario_arg $ store_arg $ batch_arg $ len_arg $ s_arg
+      $ granularity_arg $ crash_mode_arg $ seed_arg $ obs_term)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a checkpointed batched scan under a chaos scenario: the \
+            scenario's kills, storms and stalls fire deterministically at \
+            group-launch boundaries, the adaptive degradation controller \
+            absorbs them, and a $(b,crash) event kills the process \
+            mid-batch (resume with $(b,chaos resume)).")
+      (run_term ~resume:false)
+  in
+  let resume_cmd =
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Resume a chaos run killed mid-batch: restore every durably \
+            committed row group from $(b,--store) (never re-executing \
+            them), then finish the remaining rows. The final output is \
+            bit-identical to an uninterrupted run.")
+      (run_term ~resume:true)
+  in
+  let report_cmd =
+    let run scenario_file store_path =
+      let sc = load_scenario scenario_file in
+      Format.printf "%a@." Runtime.Chaos.pp_scenario sc;
+      match store_path with
+      | None -> ()
+      | Some path -> (
+          match Runtime.Checkpoint_store.load ~path with
+          | Ok l -> Format.printf "%a@." Runtime.Checkpoint_store.pp_loaded l
+          | Error e ->
+              Format.eprintf "chaos report: %s@." e;
+              exit 1)
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Validate and pretty-print a chaos scenario (malformed files \
+            exit 2), and the durable contents of a checkpoint store when \
+            $(b,--store) is given.")
+      Term.(const run $ scenario_arg $ store_arg)
+  in
+  Cmd.group
+    (Cmd.info "chaos"
+       ~doc:
+         "Deterministic chaos engineering: scripted failure storylines, \
+          crash-consistent checkpointing and adaptive degradation.")
+    [ run_cmd; resume_cmd; report_cmd ]
+
 (* trace subcommand group: offline inspection of recorded trace
    files. Both tools run from the JSON alone, so traces produced on
    another machine (or checked into CI artifacts) work too. *)
@@ -798,7 +1018,7 @@ let () =
              else `Help (`Pager, None))
         $ list_ops_arg $ trace_smoke_arg))
   in
-  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd ] in
+  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd; chaos_cmd ] in
   (* Unknown flags and malformed arguments exit 2 with a usage pointer
      rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
      aborted by injected fault corruption) exit 1 with a clean message
@@ -822,6 +1042,9 @@ let () =
         Format.eprintf
           "ascend_scan_cli: all AI cores dead: no surviving core to schedule \
            on@.";
+        1
+    | Runtime.Chaos.Host_crash msg ->
+        Format.eprintf "ascend_scan_cli: simulated host crash: %s@." msg;
         1
     | Invalid_argument msg | Failure msg ->
         Format.eprintf "ascend_scan_cli: runtime error: %s@." msg;

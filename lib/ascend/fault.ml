@@ -79,7 +79,7 @@ type action =
   | Stall of float
 
 type t = {
-  cfg : config;
+  mutable cfg : config;
   mutable state : int64;
   mutable events : event list;  (* newest first *)
   mutable n_events : int;
@@ -88,6 +88,12 @@ type t = {
 let create cfg = { cfg; state = Int64.of_int cfg.seed; events = []; n_events = 0 }
 
 let config_of t = t.cfg
+
+(* Swap the live injection policy without touching the splitmix64
+   stream: the chaos scheduler raises and restores storm windows
+   mid-job while the draw sequence stays a pure function of the
+   original seed and the transfer sequence. *)
+let set_config t cfg = t.cfg <- cfg
 
 (* splitmix64: a small, high-quality, deterministic stream. *)
 let next_u64 t =

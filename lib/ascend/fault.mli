@@ -92,7 +92,17 @@ type action =
 type t
 
 val create : config -> t
+
 val config_of : t -> config
+(** The {e currently active} config (see {!set_config}). *)
+
+val set_config : t -> config -> unit
+(** Replace the active injection policy (rate/kinds/scope/stall
+    factor) without resetting the random stream or the event log —
+    the mechanism behind [Runtime.Chaos] fault storms. The [seed],
+    [kills] and [quarantine_after] fields of the new config are
+    ignored: the stream keeps its position and the {!Health} monitor
+    keeps the wiring it was created with. *)
 
 val draw :
   t ->

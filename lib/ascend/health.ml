@@ -17,6 +17,8 @@ type t = {
   quarantine_after : int option;
   inert_config : bool;  (* no kills seeded and no quarantine budget *)
   mutable num_dead : int;
+  mutable total_deaths : int;  (* cumulative, never decremented *)
+  mutable revivals : int;  (* chaos revivals, part of the generation stamp *)
   mutable deaths : (int * float * reason) list;  (* newest first *)
 }
 
@@ -47,6 +49,8 @@ let create ~num_cores ?(kills = []) ?quarantine_after () =
     inert_config =
       quarantine_after = None && Array.for_all (fun k -> k = infinity) kill_at;
     num_dead = 0;
+    total_deaths = 0;
+    revivals = 0;
     deaths = [];
   }
 
@@ -78,6 +82,7 @@ let mark_dead ?(reason = Marked) t ~core =
   if not t.dead.(core) then begin
     t.dead.(core) <- true;
     t.num_dead <- t.num_dead + 1;
+    t.total_deaths <- t.total_deaths + 1;
     t.deaths <- (core, t.cycles.(core), reason) :: t.deaths
   end
 
@@ -111,8 +116,23 @@ let note_fault t ~core ~cycle =
       raise (Core_dead { core; cycle })
   | _ -> ()
 
+let revive t ~core =
+  check_core t core;
+  if t.dead.(core) then begin
+    t.dead.(core) <- false;
+    t.num_dead <- t.num_dead - 1;
+    t.revivals <- t.revivals + 1;
+    (* A seeded kill keeps [alive] false through the cycle clock; a
+       revived core must not instantly re-die on its old threshold. *)
+    if t.cycles.(core) >= t.kill_at.(core) then t.kill_at.(core) <- infinity
+  end
+
 let deaths t = List.rev t.deaths
 let death_count t = t.num_dead
+(* Monotonic: [num_dead] would alias a kill->revive cycle back to the
+   starting stamp, leaving a snapshot taken while the core was dead
+   looking fresh after the revive. *)
+let generation t = t.total_deaths + t.revivals
 
 (* An inert monitor can never raise [Core_dead] nor shrink the alive
    set: no seeded kills, no quarantine budget, nothing dead yet. The

@@ -73,13 +73,24 @@ val note_fault : t -> core:int -> cycle:float -> unit
 val mark_dead : ?reason:reason -> t -> core:int -> unit
 (** Retire a core immediately (idempotent). *)
 
+val revive : t -> core:int -> unit
+(** Return a dead core to service (idempotent) — the substrate of
+    {e transient} quarantines scheduled by [Runtime.Chaos]. A core
+    retired past its seeded kill cycle comes back with the threshold
+    cleared, so it does not instantly re-die. Only call between
+    launches: the launch path snapshots the alive set per phase and
+    refreshes it on {!generation} changes, not mid-block. *)
+
 val deaths : t -> (int * float * reason) list
 (** [(core, cycle, reason)] per death, in death order. *)
 
 val death_count : t -> int
-(** O(1) count of dead cores; doubles as a generation stamp the launch
-    path uses to cheaply detect that an alive-core snapshot went
-    stale. *)
+(** O(1) count of dead cores. *)
+
+val generation : t -> int
+(** O(1) alive-set generation stamp: bumps on every death {e and}
+    every {!revive}, so the launch path can cheaply detect that an
+    alive-core snapshot went stale in either direction. *)
 
 val inert : t -> bool
 (** O(1): the monitor can never raise {!Core_dead} nor shrink the

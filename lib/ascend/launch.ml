@@ -74,11 +74,11 @@ let run_phase device ~blocks body =
      so the per-block core lookup is O(1) instead of the historical
      O(alive) [List.nth] walk. *)
   let alive = ref (Array.of_list (Health.alive_cores health)) in
-  let alive_gen = ref (Health.death_count health) in
+  let alive_gen = ref (Health.generation health) in
   let refresh_alive () =
-    if Health.death_count health <> !alive_gen then begin
+    if Health.generation health <> !alive_gen then begin
       alive := Array.of_list (Health.alive_cores health);
-      alive_gen := Health.death_count health
+      alive_gen := Health.generation health
     end
   in
   let parallel =

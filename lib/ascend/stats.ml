@@ -48,6 +48,26 @@ let op_count t name =
 
 let gm_bytes t = t.gm_read_bytes + t.gm_write_bytes
 
+let empty ~name =
+  {
+    name;
+    seconds = 0.0;
+    phases = [];
+    blocks = 0;
+    cores_used = 0;
+    gm_read_bytes = 0;
+    gm_write_bytes = 0;
+    engine_busy = [];
+    core_busy = [||];
+    op_counts = [];
+    faults = [];
+    retries = 0;
+    degraded = 0;
+    host_seconds = 0.0;
+    domains = 1;
+    launches = 0;
+  }
+
 let combine ~name = function
   | [] -> invalid_arg "Stats.combine: empty list"
   | first :: _ as stats ->

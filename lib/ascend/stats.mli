@@ -94,6 +94,11 @@ val equal_simulated : t -> t -> bool
     Two runs of the same kernel at different [--domains] settings must
     satisfy this exactly (the determinism contract of {!Launch}). *)
 
+val empty : name:string -> t
+(** All-zero statistics with no launches folded in — the honest result
+    of a resumed job whose checkpoint store already covered every row,
+    so nothing was launched at all. *)
+
 val combine : name:string -> t list -> t
 (** Aggregate the statistics of a multi-launch operator (e.g. the 17
     scans inside a radix-sorted top-p): seconds and traffic add up,

@@ -128,6 +128,66 @@ let observe_stats t (st : Stats.t) =
         (float_of_int p.Stats.gm_bytes))
     st.Stats.phases
 
+(* Resilience counters: the retry/degrade/fallback story of the
+   resilient runners and the degradation controller, as monotonic
+   Prometheus series. *)
+let observe_report t (r : _ Runtime.Resilient.report) =
+  inc t "resilient_attempts_total" ~help:"Kernel executions incl. fallback"
+    (float_of_int r.Runtime.Resilient.attempts);
+  inc t "resilient_detections_total" ~help:"Validation failures observed"
+    (float_of_int r.Runtime.Resilient.detections);
+  inc t "resilient_retries_total" ~help:"Re-executions after a detection"
+    (float_of_int (max 0 (r.Runtime.Resilient.attempts - 1)));
+  inc t "resilient_fallbacks_total" ~help:"Fallback-path switches"
+    (if r.Runtime.Resilient.degraded then 1.0 else 0.0);
+  inc t "resilient_backoff_seconds_total"
+    ~help:"Simulated retry backoff charged"
+    r.Runtime.Resilient.backoff_seconds;
+  inc t "resilient_runs_total" ~help:"Resilient runs, by outcome"
+    ~labels:[ ("ok", if r.Runtime.Resilient.ok then "true" else "false") ]
+    1.0
+
+let observe_batched_report t (r : Runtime.Resilient.batched_report) =
+  let open Runtime.Resilient in
+  inc t "resilient_group_attempts_total"
+    ~help:"Batched-scan group launches incl. replays"
+    (float_of_int r.group_attempts);
+  inc t "resilient_replayed_rows_total"
+    ~help:"Rows re-executed after a failed group attempt"
+    (float_of_int r.replayed_rows);
+  inc t "resilient_restored_rows_total"
+    ~help:"Rows recovered from the checkpoint store on resume"
+    (float_of_int r.restored_rows);
+  inc t "resilient_shed_rows_total"
+    ~help:"Rows abandoned by the brownout floor"
+    (float_of_int r.shed_rows);
+  inc t "resilient_committed_rows_total" ~help:"Rows validated and committed"
+    (float_of_int (Runtime.Checkpoint.done_count r.checkpoint));
+  inc t "resilient_backoff_seconds_total"
+    ~help:"Simulated retry backoff charged" r.backoff_seconds;
+  inc t "resilient_runs_total" ~help:"Resilient runs, by outcome"
+    ~labels:[ ("ok", if r.bok then "true" else "false") ]
+    1.0
+
+let observe_decision t (d : Runtime.Degrade_ctl.decision) =
+  inc t "degrade_ctl_decisions_total"
+    ~help:"Degradation-controller transitions, by resulting state and level"
+    ~labels:
+      [
+        ("state", Runtime.Degrade_ctl.state_to_string d.Runtime.Degrade_ctl.d_state);
+        ("level", Runtime.Degrade_ctl.level_to_string d.Runtime.Degrade_ctl.d_level);
+      ]
+    1.0;
+  if d.Runtime.Degrade_ctl.d_cooldown_s > 0.0 then
+    inc t "degrade_ctl_cooldown_seconds_total"
+      ~help:"Simulated breaker cooldown charged"
+      d.Runtime.Degrade_ctl.d_cooldown_s
+
+let observe_ctl t ctl =
+  List.iter (observe_decision t) (Runtime.Degrade_ctl.decisions ctl);
+  inc t "degrade_ctl_opens_total" ~help:"Times the breaker opened"
+    (float_of_int (Runtime.Degrade_ctl.opens ctl))
+
 let observe_trace t tr =
   List.iter
     (fun (l : Trace.launch_rec) ->

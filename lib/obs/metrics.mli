@@ -34,6 +34,25 @@ val observe_stats : t -> Ascend.Stats.t -> unit
     counters, fault/retry/degrade counters and per-phase seconds +
     GM-byte histograms. *)
 
+val observe_report : t -> _ Runtime.Resilient.report -> unit
+(** Fold one resilient run's retry/detection/fallback/backoff story
+    into [resilient_*_total] counters (runs labelled by outcome). *)
+
+val observe_batched_report : t -> Runtime.Resilient.batched_report -> unit
+(** Fold one checkpointed batched scan in: group attempts, replayed /
+    restored / shed / committed row counters, backoff and outcome. *)
+
+val observe_decision : t -> Runtime.Degrade_ctl.decision -> unit
+(** Count one degradation-controller transition, labelled by the
+    resulting breaker state and brownout level; cooldown seconds
+    accumulate separately. Pass as [Degrade_ctl.create]'s
+    [on_decision] to stream decisions as they happen. *)
+
+val observe_ctl : t -> Runtime.Degrade_ctl.t -> unit
+(** {!observe_decision} over a controller's whole decision log, plus
+    the breaker-open counter — the after-the-fact alternative to the
+    [on_decision] hook. *)
+
 val observe_trace : t -> Ascend.Trace.t -> unit
 (** Fold a recording in: span/instant counters per issue queue and
     instant kind, and an MTE transfer-size histogram (the tile-size

@@ -207,6 +207,7 @@ let scan ?(s = 128) ?max_attempts ?backoff_s ?(oracle = Checksum) ?fallback
 type batched_schedule = U | Ul1
 
 let batched_schedule_to_string = function U -> "u" | Ul1 -> "ul1"
+let other_schedule = function U -> Ul1 | Ul1 -> U
 
 type batched_report = {
   y : Global_tensor.t;
@@ -214,7 +215,9 @@ type batched_report = {
   checkpoint : Checkpoint.t;
   group_attempts : int;
   replayed_rows : int;
-  bbackoff_seconds : float;
+  restored_rows : int;
+  shed_rows : int;
+  backoff_seconds : float;
   bok : bool;
 }
 
@@ -237,7 +240,7 @@ let validate_batched_rows ~input ~len y ~lo ~hi =
   !ok
 
 let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
-    ?granularity ?(schedule = U) device ~batch ~len ~input =
+    ?granularity ?(schedule = U) ?store ?ctl ?chaos device ~batch ~len ~input =
   if not (Device.functional device) then
     invalid_arg "Resilient.batched_scan: requires a functional-mode device";
   if batch < 1 || len < 1 then
@@ -246,7 +249,7 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
     invalid_arg "Resilient.batched_scan: input shorter than batch * len";
   if max_attempts < 1 then
     invalid_arg "Resilient.batched_scan: max_attempts must be >= 1";
-  let granularity =
+  let base_granularity =
     match granularity with
     | None -> max 1 ((batch + 3) / 4)
     | Some g when g >= 1 -> g
@@ -255,8 +258,42 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
   let x = Device.of_array device Dtype.F16 ~name:"bscan_x" input in
   let y = Device.alloc device Dtype.F16 (batch * len) ~name:"bscan_y" in
   let ck = Checkpoint.create ~rows:batch in
-  let run_rows rows =
-    match schedule with
+  let note kind name =
+    match Device.trace device with
+    | Some tr -> Trace.note tr kind ~name
+    | None -> ()
+  in
+  (* Resume: replay the store's validated groups into the checkpoint
+     and the output tensor before touching the device — committed rows
+     are never re-executed, and their bytes are exactly the ones the
+     killed process validated. *)
+  let restored_rows =
+    match store with
+    | None -> 0
+    | Some st ->
+        if Checkpoint_store.rows st <> batch || Checkpoint_store.len st <> len
+        then
+          invalid_arg
+            (Printf.sprintf
+               "Resilient.batched_scan: store is %d rows x %d, run is %d x %d"
+               (Checkpoint_store.rows st) (Checkpoint_store.len st) batch len);
+        List.iter
+          (fun (lo, hi, values) ->
+            for r = lo to hi - 1 do
+              for i = 0 to len - 1 do
+                Global_tensor.set y ((r * len) + i)
+                  values.(((r - lo) * len) + i)
+              done
+            done;
+            Checkpoint.mark ck ~lo ~hi;
+            note Trace.Checkpoint
+              (Printf.sprintf "rows %d-%d restored from store" lo hi))
+          (Checkpoint_store.groups st);
+        Checkpoint.done_count ck
+  in
+  let commits0 = Checkpoint.commits ck in
+  let run_rows sched rows =
+    match sched with
     | U -> Scan.Batched_scan.run_u ~s ~rows ~y device ~batch ~len x
     | Ul1 -> Scan.Batched_scan.run_ul1 ~s ~rows ~y device ~batch ~len x
   in
@@ -264,49 +301,141 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
   let group_attempts = ref 0 in
   let replayed_rows = ref 0 in
   let backoff = ref 0.0 in
+  let elapsed = ref 0.0 in
   let dead_device = ref false in
-  (* One group: retry with exponential backoff until its rows validate
-     or the attempt budget is spent. Already-checkpointed rows are
-     never touched again — a mid-batch failure replays only the
-     unfinished remainder. *)
+  let fail_count = Array.make batch 0 in
+  let shed = Array.make batch false in
+  let charge_backoff sec =
+    if sec > 0.0 then begin
+      backoff := !backoff +. sec;
+      elapsed := !elapsed +. sec
+    end
+  in
+  (* One group: retry until its rows validate or the attempt budget is
+     spent. Already-checkpointed rows are never touched again — a
+     mid-batch failure replays only the unfinished remainder. The
+     budget, backoff and schedule come from the degradation controller
+     when one is armed, else from the fixed legacy constants. *)
   let run_group (lo, hi) =
     let rec go attempt =
-      incr group_attempts;
-      if attempt > 1 then begin
-        replayed_rows := !replayed_rows + (hi - lo);
-        (match Device.trace device with
-        | Some tr ->
-            Trace.note tr Trace.Retry
-              ~name:(Printf.sprintf "bscan rows %d-%d attempt %d" lo hi attempt)
-        | None -> ());
-        if backoff_s > 0.0 then
-          backoff :=
-            !backoff +. (backoff_s *. (2.0 ** float_of_int (attempt - 2)))
-      end;
-      match run_rows (lo, hi) with
-      | _, st ->
-          stats_acc := st :: !stats_acc;
-          if validate_batched_rows ~input ~len y ~lo ~hi then begin
+      (* Every group launch is a chaos boundary: due scenario events
+         (kills, storms, crashes, expiries) land exactly here, so a
+         storyline is a pure function of the attempt sequence. *)
+      (match chaos with
+      | Some ch ->
+          Chaos.before_launch ch device ~launch_index:!group_attempts
+            ~elapsed_s:!elapsed
+      | None -> ());
+      if !dead_device then false
+      else begin
+        (match ctl with
+        | Some c ->
+            charge_backoff (Degrade_ctl.before_attempt c ~retry:(attempt > 1))
+        | None ->
+            if attempt > 1 && backoff_s > 0.0 then
+              charge_backoff
+                (backoff_s *. (2.0 ** float_of_int (attempt - 2))));
+        incr group_attempts;
+        if attempt > 1 then begin
+          replayed_rows := !replayed_rows + (hi - lo);
+          note Trace.Retry
+            (Printf.sprintf "bscan rows %d-%d attempt %d" lo hi attempt)
+        end;
+        let sched =
+          match ctl with
+          | Some c when Degrade_ctl.switch_schedule c ->
+              other_schedule schedule
+          | _ -> schedule
+        in
+        let budget =
+          match ctl with
+          | Some c -> Degrade_ctl.attempts_allowed c
+          | None -> max_attempts
+        in
+        let outcome =
+          match run_rows sched (lo, hi) with
+          | _, st ->
+              stats_acc := st :: !stats_acc;
+              elapsed := !elapsed +. st.Stats.seconds;
+              if validate_batched_rows ~input ~len y ~lo ~hi then `Ok
+              else `Failed
+          | exception Launch.Deadline_exceeded _ -> `Failed
+          | exception Health.All_cores_dead ->
+              dead_device := true;
+              `Dead
+        in
+        match outcome with
+        | `Ok ->
+            (match ctl with
+            | Some c -> Degrade_ctl.record c ~ok:true
+            | None -> ());
             Checkpoint.mark ck ~lo ~hi;
-            (match Device.trace device with
-            | Some tr ->
-                Trace.note tr Trace.Checkpoint
-                  ~name:(Printf.sprintf "rows %d-%d committed" lo hi)
+            note Trace.Checkpoint
+              (Printf.sprintf "rows %d-%d committed" lo hi);
+            (match store with
+            | Some st ->
+                let values =
+                  Array.init
+                    ((hi - lo) * len)
+                    (fun i -> Global_tensor.get y ((lo * len) + i))
+                in
+                Checkpoint_store.commit st ~lo ~hi ~values
             | None -> ());
             true
-          end
-          else if attempt < max_attempts then go (attempt + 1)
-          else false
-      | exception Launch.Deadline_exceeded _ ->
-          if attempt < max_attempts then go (attempt + 1) else false
-      | exception Health.All_cores_dead ->
-          dead_device := true;
-          false
+        | `Failed -> (
+            (match ctl with
+            | Some c -> Degrade_ctl.record c ~ok:false
+            | None -> ());
+            for r = lo to hi - 1 do
+              fail_count.(r) <- fail_count.(r) + 1
+            done;
+            match ctl with
+            | Some c when Degrade_ctl.shed c ~group_attempts:fail_count.(lo)
+              ->
+                (* Brownout floor: give the rows up so the rest of the
+                   batch completes instead of burning the budget. *)
+                for r = lo to hi - 1 do
+                  shed.(r) <- true
+                done;
+                note Trace.Degrade (Printf.sprintf "rows %d-%d shed" lo hi);
+                false
+            | _ -> if attempt < budget then go (attempt + 1) else false)
+        | `Dead -> false
+      end
     in
     go 1
   in
-  let rec drain () =
-    match Checkpoint.pending ck ~granularity with
+  (* Pending groups at the controller's brownout granularity, with
+     shed rows carved out (they stay un-done but are never retried). *)
+  let pending_groups () =
+    let g =
+      match ctl with
+      | Some c -> Degrade_ctl.granularity c ~base:base_granularity
+      | None -> base_granularity
+    in
+    Checkpoint.pending ck ~granularity:g
+    |> List.concat_map (fun (lo, hi) ->
+           let acc = ref [] in
+           let start = ref (-1) in
+           for r = lo to hi - 1 do
+             if shed.(r) then begin
+               if !start >= 0 then begin
+                 acc := (!start, r) :: !acc;
+                 start := -1
+               end
+             end
+             else if !start < 0 then start := r
+           done;
+           if !start >= 0 then acc := (!start, hi) :: !acc;
+           List.rev !acc)
+  in
+  (* Keep sweeping while any group makes progress. With a controller
+     armed, a few zero-progress sweeps are tolerated: an open breaker
+     fails its probes by design and needs a sweep or two before the
+     cooldown, the brownout ladder or a chaos expiry turns the tide. *)
+  let grace = if ctl <> None then 3 else 0 in
+  let rec drain stalled =
+    match pending_groups () with
     | [] -> ()
     | groups ->
         let any_ok =
@@ -314,15 +443,20 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
             (fun acc g -> if !dead_device then acc else run_group g || acc)
             false groups
         in
-        (* Re-derive pending after this sweep; stop once no group makes
-           progress (budget exhausted or no cores left). *)
-        if any_ok && not !dead_device then drain ()
+        if !dead_device then ()
+        else if any_ok then drain 0
+        else if stalled < grace then drain (stalled + 1)
   in
-  drain ();
+  drain 0;
   let bstats =
     match List.rev !stats_acc with
     | [] ->
-        raise Health.All_cores_dead
+        (* Nothing launched: legitimate when the store already covered
+           every row; otherwise the device died before any launch. *)
+        if restored_rows > 0 then
+          Stats.empty
+            ~name:("resilient_bscan_" ^ batched_schedule_to_string schedule)
+        else raise Health.All_cores_dead
     | stats ->
         let st =
           Stats.combine
@@ -331,7 +465,7 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
         in
         { st with
           Stats.seconds = st.Stats.seconds +. !backoff;
-          retries = !group_attempts - Checkpoint.commits ck }
+          retries = !group_attempts - (Checkpoint.commits ck - commits0) }
   in
   {
     y;
@@ -339,18 +473,28 @@ let batched_scan ?(s = 128) ?(max_attempts = 3) ?(backoff_s = 0.0)
     checkpoint = ck;
     group_attempts = !group_attempts;
     replayed_rows = !replayed_rows;
-    bbackoff_seconds = !backoff;
+    restored_rows;
+    shed_rows =
+      Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 shed;
+    backoff_seconds = !backoff;
     bok = Checkpoint.complete ck;
   }
 
 let pp_batched_report fmt r =
   Format.fprintf fmt
-    "@[<v>%s: %s, %a, %d group attempts, %d rows replayed%s@ %a@]"
+    "@[<v>%s: %s, %a, %d group attempts, %d rows replayed%s%s%s@ %a@]"
     r.bstats.Stats.name
-    (if r.bok then "ok" else "FAILED")
+    (if r.bok then "ok"
+     else if r.shed_rows > 0 then "DEGRADED (rows shed)"
+     else "FAILED")
     Checkpoint.pp r.checkpoint r.group_attempts r.replayed_rows
-    (if r.bbackoff_seconds > 0.0 then
-       Printf.sprintf ", %.1f us backoff" (r.bbackoff_seconds *. 1e6)
+    (if r.restored_rows > 0 then
+       Printf.sprintf ", %d rows restored from store" r.restored_rows
+     else "")
+    (if r.shed_rows > 0 then Printf.sprintf ", %d rows shed" r.shed_rows
+     else "")
+    (if r.backoff_seconds > 0.0 then
+       Printf.sprintf ", %.1f us backoff" (r.backoff_seconds *. 1e6)
      else "")
     Stats.pp_summary r.bstats
 

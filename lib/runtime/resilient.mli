@@ -116,7 +116,13 @@ type batched_report = {
   checkpoint : Checkpoint.t;
   group_attempts : int;  (** Group launches, including replays. *)
   replayed_rows : int;  (** Rows re-executed after a failed attempt. *)
-  bbackoff_seconds : float;
+  restored_rows : int;
+      (** Rows recovered from the {!Checkpoint_store} before any
+          launch — 0 on a fresh (non-resumed) run. *)
+  shed_rows : int;
+      (** Rows abandoned by the degradation controller's brownout
+          floor; they stay pending in [checkpoint]. *)
+  backoff_seconds : float;  (** Simulated retry backoff folded in. *)
   bok : bool;  (** Whether every row checkpointed. *)
 }
 
@@ -126,6 +132,9 @@ val batched_scan :
   ?backoff_s:float ->
   ?granularity:int ->
   ?schedule:batched_schedule ->
+  ?store:Checkpoint_store.t ->
+  ?ctl:Degrade_ctl.t ->
+  ?chaos:Chaos.t ->
   Ascend.Device.t ->
   batch:int ->
   len:int ->
@@ -136,6 +145,23 @@ val batched_scan :
     Each group retries up to [max_attempts] times with [backoff_s]
     exponential backoff. Requires a functional-mode device; raises
     {!Ascend.Health.All_cores_dead} only when the device dies before
-    any group completes a launch. *)
+    any group completes a launch and nothing was restored.
+
+    [store] makes the run crash-consistent: the store's surviving
+    groups are replayed into the output {e before} any launch (their
+    rows are never re-executed), and every newly validated group is
+    durably committed, so a process killed at any instant resumes to a
+    bit-identical final output. The store's [rows]/[len] must match
+    [batch]/[len] ([Invalid_argument] otherwise).
+
+    [ctl] replaces the fixed [max_attempts]/[backoff_s] policy with
+    the adaptive {!Degrade_ctl} (circuit breaker + brownout ladder):
+    attempt budgets, backoff, group granularity, schedule switching
+    and row shedding all come from the controller, which observes
+    every attempt outcome.
+
+    [chaos] arms a {!Chaos} scheduler: its due events are applied at
+    every group-launch boundary, making an injected storyline a
+    deterministic function of the attempt sequence. *)
 
 val pp_batched_report : Format.formatter -> batched_report -> unit

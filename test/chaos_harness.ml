@@ -1,0 +1,169 @@
+(* End-to-end crash harness: a REAL process death, not a simulated one.
+
+   The parent forks a child that runs a chaos batched scan against a
+   checkpoint store; the scenario's crash event makes the child
+   SIGKILL itself mid-batch (after some retries have made the store's
+   partial state interesting). The parent observes the WSIGNALED
+   status, reopens the store exactly like `chaos resume` does, and
+   finishes the batch — then proves:
+
+   - the child was killed by SIGKILL (the crash was real);
+   - the store held partial progress (0 < commits < groups);
+   - the resumed output is byte-for-byte identical to an
+     uninterrupted reference run of the same storyline;
+   - no committed row was ever re-executed (the resume's commits are
+     row-disjoint from the crashed run's);
+   - no rows were lost;
+   - with tracing armed the resumed run's recording passes
+     Trace.check.
+
+   Runs under `dune runtest` via a rule in test/dune; exits 1 on any
+   violation. *)
+
+open Ascend
+open Runtime
+
+let batch = 32
+let len = 2048
+let input = Array.init (batch * len) (fun i -> if i mod 53 = 0 then 1.0 else 0.0)
+
+let scenario_text =
+  "name harness-crash\n\
+   seed 11\n\
+   at launch 1 storm rate=0.3 kinds=dropped_copy for=2\n\
+   at launch 4 crash\n"
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "  ok: %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "  FAILED: %s\n%!" name
+  end
+
+let scenario =
+  match Chaos.parse scenario_text with
+  | Ok sc -> sc
+  | Error e ->
+      Printf.printf "harness: scenario parse error: %s\n%!" e;
+      exit 1
+
+let make_device () =
+  Device.create ~mode:Device.Functional
+    ~fault:(Chaos.fault_config scenario) ()
+
+let run_batched ?store ?trace_ref ~skip_crashes ~on_crash () =
+  let device = make_device () in
+  (match trace_ref with
+  | Some r -> r := Some (Device.arm_trace device)
+  | None -> ());
+  let ctl = Degrade_ctl.create () in
+  let ch = Chaos.arm ~skip_crashes ~on_crash scenario in
+  Resilient.batched_scan ?store ~ctl ~chaos:ch device ~batch ~len ~input
+
+let bytes_of r = Array.init (batch * len) (Global_tensor.get r.Resilient.y)
+
+let () =
+  Printf.printf "chaos harness: fork, SIGKILL mid-batch, resume\n%!";
+  let store_path = Filename.temp_file "chaos_harness_" ".ckpt" in
+  (* Reference: the same storyline, crash skipped, in this process. *)
+  let ref_r =
+    run_batched ~skip_crashes:true ~on_crash:(fun _ -> ()) ()
+  in
+  check "reference run completes" ref_r.Resilient.bok;
+  let ref_bytes = bytes_of ref_r in
+  (* Child: runs with the store and dies by its own hand. *)
+  (match Unix.fork () with
+  | 0 ->
+      (* In the child. Exit codes other than death-by-signal are
+         failures the parent will flag. *)
+      let store =
+        Checkpoint_store.create ~path:store_path ~rows:batch ~len ()
+      in
+      let r =
+        run_batched ~store ~skip_crashes:false
+          ~on_crash:(fun _ -> Unix.kill (Unix.getpid ()) Sys.sigkill)
+          ()
+      in
+      (* Reaching here means the crash event never fired. *)
+      ignore r;
+      Stdlib.exit 3
+  | pid -> (
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WSIGNALED s when s = Sys.sigkill ->
+          check "child died of SIGKILL" true
+      | Unix.WEXITED 3 ->
+          check "child died of SIGKILL (crash event never fired)" false
+      | Unix.WEXITED c ->
+          check (Printf.sprintf "child died of SIGKILL (exited %d)" c) false
+      | Unix.WSIGNALED s ->
+          check (Printf.sprintf "child died of SIGKILL (signal %d)" s) false
+      | Unix.WSTOPPED _ -> check "child died of SIGKILL (stopped)" false);
+      (* Parent: resume from whatever the child made durable. *)
+      match Checkpoint_store.reopen ~path:store_path with
+      | Error e ->
+          check (Printf.sprintf "store reopens (%s)" e) false
+      | Ok (store, l) ->
+          check "store parsed with no torn tail (atomic commit)"
+            (not l.Checkpoint_store.l_torn);
+          let commits_at_crash = Checkpoint_store.commits store in
+          check
+            (Printf.sprintf "partial progress durable (%d commits)"
+               commits_at_crash)
+            (commits_at_crash > 0);
+          check "crash was mid-batch, not at the end"
+            (List.fold_left
+               (fun acc (lo, hi, _) -> acc + (hi - lo))
+               0
+               (Checkpoint_store.groups store)
+            < batch);
+          let trace_ref = ref None in
+          let res_r =
+            run_batched ~store ~trace_ref ~skip_crashes:true
+              ~on_crash:(fun _ -> ())
+              ()
+          in
+          check "resumed run completes" res_r.Resilient.bok;
+          check "rows were restored from the store"
+            (res_r.Resilient.restored_rows > 0);
+          check "no rows lost"
+            (Checkpoint.done_count res_r.Resilient.checkpoint = batch);
+          check "resume equals replay, byte for byte"
+            (bytes_of res_r = ref_bytes);
+          (* Zero re-executed committed rows: the resume's new commits
+             must be row-disjoint from the crashed run's. *)
+          let all = Checkpoint_store.groups store in
+          let restored = Array.make batch false in
+          List.iteri
+            (fun i (lo, hi, _) ->
+              if i < commits_at_crash then
+                for r = lo to hi - 1 do
+                  restored.(r) <- true
+                done)
+            all;
+          let reexec = ref 0 in
+          List.iteri
+            (fun i (lo, hi, _) ->
+              if i >= commits_at_crash then
+                for r = lo to hi - 1 do
+                  if restored.(r) then incr reexec
+                done)
+            all;
+          check "zero re-executed committed rows" (!reexec = 0);
+          (match !trace_ref with
+          | Some tr -> (
+              match Trace.check tr with
+              | Ok () -> check "resumed trace is check-clean" true
+              | Error e ->
+                  check (Printf.sprintf "resumed trace is check-clean (%s)" e)
+                    false)
+          | None -> check "resumed trace recorded" false)));
+  (try Sys.remove store_path with Sys_error _ -> ());
+  (try Sys.remove (store_path ^ ".tmp") with Sys_error _ -> ());
+  if !failures > 0 then begin
+    Printf.printf "chaos harness: %d check(s) FAILED\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf "chaos harness: all checks passed\n%!"

@@ -1,0 +1,380 @@
+(* Tests of the chaos subsystem: the scenario DSL parser, the
+   deterministic armed scheduler, the adaptive degradation
+   controller's state machine, and the in-process crash/resume
+   storyline (resume-equals-replay, byte for byte). *)
+
+open Ascend
+open Runtime
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- scenario parser ------------------------------------------------ *)
+
+let parse_ok text =
+  match Chaos.parse text with
+  | Ok sc -> sc
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let parse_err text =
+  match Chaos.parse text with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e -> e
+
+let test_parse_full_scenario () =
+  let sc =
+    parse_ok
+      "# comment\n\
+       name full\n\
+       seed 9\n\
+       rate 0.25\n\
+       at launch 2 storm rate=0.8 kinds=bit_flip,dropped_copy scope=cube \
+       factor=4 for=3\n\
+       at launch 4 kill core=3\n\
+       at launch 6 quarantine core=5 for=4\n\
+       at time 2.5e-3 stall factor=16 for=2\n\
+       at launch 9 crash\n"
+  in
+  check_string "name" "full" sc.Chaos.sc_name;
+  check_int "seed" 9 sc.Chaos.sc_seed;
+  Alcotest.(check (float 1e-9)) "rate" 0.25 sc.Chaos.sc_rate;
+  check_int "events" 5 (List.length sc.Chaos.sc_events);
+  (match (List.nth sc.Chaos.sc_events 0).Chaos.action with
+  | Chaos.Storm { rate; kinds; scope; stall_factor; for_launches } ->
+      Alcotest.(check (float 1e-9)) "storm rate" 0.8 rate;
+      check_int "storm kinds" 2 (List.length kinds);
+      check_bool "storm scope" true (scope = Fault.Cube_mtes);
+      check_bool "storm factor" true (stall_factor = Some 4.0);
+      check_int "storm window" 3 for_launches
+  | a -> Alcotest.failf "expected storm, got %s" (Chaos.action_to_string a));
+  match (List.nth sc.Chaos.sc_events 3).Chaos.action with
+  | Chaos.Storm { rate; kinds; _ } ->
+      (* stall desugars to a rate-1 engine_stall storm *)
+      Alcotest.(check (float 1e-9)) "stall rate" 1.0 rate;
+      check_bool "stall kind" true (kinds = [ Fault.Engine_stall ])
+  | a -> Alcotest.failf "expected stall storm, got %s" (Chaos.action_to_string a)
+
+let test_parse_errors_carry_line_numbers () =
+  let cases =
+    [
+      ("at launch 1 explode core=1\n", "line 1");
+      ("seed 1\nrate 2.0\n", "line 2");
+      ("name x\nseed -3\n", "line 2");
+      ("at launch 1 kill\n", "core");
+      ("at launch 1 storm rate=0.5\n", "for");
+      ("at launch 1 quarantine core=1 for=0\n", "for");
+      ("at launch 1 storm rate=0.5 kinds=meteor for=1\n", "meteor");
+      ("bogus directive\n", "bogus");
+    ]
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  List.iter
+    (fun (text, needle) ->
+      let e = parse_err text in
+      check_bool
+        (Printf.sprintf "%S mentions %S (got %S)" text needle e)
+        true (contains e needle))
+    cases
+
+(* --- armed scheduler ------------------------------------------------ *)
+
+let storyline text ~launches =
+  let sc = parse_ok text in
+  let device =
+    Device.create ~mode:Device.Functional ~fault:(Chaos.fault_config sc) ()
+  in
+  let ch = Chaos.arm ~skip_crashes:true sc in
+  for i = 0 to launches - 1 do
+    Chaos.before_launch ch device ~launch_index:i ~elapsed_s:0.0
+  done;
+  (Chaos.fired ch, device)
+
+let test_scheduler_is_deterministic () =
+  let text =
+    "seed 5\n\
+     at launch 1 kill core=2\n\
+     at launch 2 storm rate=0.5 for=2\n\
+     at launch 6 quarantine core=4 for=3\n"
+  in
+  let log_a, _ = storyline text ~launches:12 in
+  let log_b, _ = storyline text ~launches:12 in
+  check_bool "same storyline fires the same log" true (log_a = log_b);
+  check_bool "something fired" true (log_a <> [])
+
+let test_quarantine_revives () =
+  let log, device =
+    storyline "at launch 1 quarantine core=2 for=3\n" ~launches:8
+  in
+  let health = Device.health device in
+  check_bool "core alive again" true (Health.alive health 2);
+  check_bool "revive logged" true
+    (List.exists (fun (_, m) -> m = "quarantine expired, core 2 revived") log);
+  (* generation must distinguish dead->revived from never-touched *)
+  check_bool "generation advanced" true (Health.generation health >= 2)
+
+let test_storm_restores_base_policy () =
+  let log, device =
+    storyline "rate 0.001\nat launch 1 storm rate=0.9 for=2\n" ~launches:6
+  in
+  (match Device.fault device with
+  | Some f ->
+      Alcotest.(check (float 1e-9))
+        "base rate restored" 0.001 (Fault.config_of f).Fault.rate
+  | None -> Alcotest.fail "device has no fault model");
+  check_bool "restore logged" true
+    (List.exists
+       (fun (_, m) -> m = "storm expired, base policy restored")
+       log)
+
+let test_crash_raises_host_crash () =
+  let sc = parse_ok "at launch 2 crash\n" in
+  let device =
+    Device.create ~mode:Device.Functional ~fault:(Chaos.fault_config sc) ()
+  in
+  let ch = Chaos.arm sc in
+  Chaos.before_launch ch device ~launch_index:0 ~elapsed_s:0.0;
+  check_bool "not crashed yet" true (not (Chaos.crashed ch));
+  (match Chaos.before_launch ch device ~launch_index:2 ~elapsed_s:0.0 with
+  | () -> Alcotest.fail "expected Host_crash"
+  | exception Chaos.Host_crash _ -> ());
+  check_bool "crashed" true (Chaos.crashed ch)
+
+(* --- degradation controller ---------------------------------------- *)
+
+let feed ctl outcomes = List.iter (fun ok -> Degrade_ctl.record ctl ~ok) outcomes
+
+let test_breaker_opens_and_recovers () =
+  let decisions = ref [] in
+  let ctl =
+    Degrade_ctl.create ~on_decision:(fun d -> decisions := d :: !decisions) ()
+  in
+  check_bool "starts closed" true (Degrade_ctl.state ctl = Degrade_ctl.Closed);
+  check_int "full budget when closed" 3 (Degrade_ctl.attempts_allowed ctl);
+  (* 4 straight failures: rate 1.0 over >= min_samples trips it *)
+  feed ctl [ false; false; false; false ];
+  check_bool "open after failures" true (Degrade_ctl.state ctl = Degrade_ctl.Open);
+  check_bool "escalated" true
+    (Degrade_ctl.level ctl = Degrade_ctl.Shrink_groups);
+  check_int "probe budget when open" 1 (Degrade_ctl.attempts_allowed ctl);
+  (* before_attempt charges the cooldown and half-opens the breaker *)
+  let cooldown = Degrade_ctl.before_attempt ctl ~retry:false in
+  check_bool "cooldown charged" true (cooldown > 0.0);
+  check_bool "half-open probe" true
+    (Degrade_ctl.state ctl = Degrade_ctl.Half_open);
+  (* a successful probe closes it *)
+  Degrade_ctl.record ctl ~ok:true;
+  check_bool "closed after good probe" true
+    (Degrade_ctl.state ctl = Degrade_ctl.Closed);
+  (* sustained success de-escalates back to Normal *)
+  feed ctl [ true; true; true; true ];
+  check_bool "recovered to normal" true
+    (Degrade_ctl.level ctl = Degrade_ctl.Normal);
+  check_bool "decisions were streamed" true (!decisions <> [])
+
+let test_failed_probe_doubles_cooldown () =
+  let ctl = Degrade_ctl.create () in
+  feed ctl [ false; false; false; false ];
+  let c1 = Degrade_ctl.before_attempt ctl ~retry:false in
+  Degrade_ctl.record ctl ~ok:false;
+  check_bool "re-opened" true (Degrade_ctl.state ctl = Degrade_ctl.Open);
+  let c2 = Degrade_ctl.before_attempt ctl ~retry:false in
+  check_bool
+    (Printf.sprintf "cooldown doubled (%.2g -> %.2g)" c1 c2)
+    true (c2 > c1)
+
+let test_ladder_escalates_to_shedding () =
+  let ctl = Degrade_ctl.create () in
+  let trip () =
+    feed ctl [ false; false; false; false ];
+    (* half-open, then fail the probe to re-open and escalate *)
+    ignore (Degrade_ctl.before_attempt ctl ~retry:false);
+    Degrade_ctl.record ctl ~ok:false
+  in
+  trip ();
+  check_bool "level 2" true (Degrade_ctl.level ctl = Degrade_ctl.Switch_schedule);
+  check_bool "schedule switched" true (Degrade_ctl.switch_schedule ctl);
+  trip ();
+  check_bool "level 3" true (Degrade_ctl.level ctl = Degrade_ctl.Shed_rows);
+  check_bool "sheds past budget" true
+    (Degrade_ctl.shed ctl ~group_attempts:7);
+  check_bool "keeps young groups" true
+    (not (Degrade_ctl.shed ctl ~group_attempts:2));
+  check_int "granularity quartered" 2 (Degrade_ctl.granularity ctl ~base:8)
+
+let test_controller_is_deterministic () =
+  let run () =
+    let ctl = Degrade_ctl.create () in
+    feed ctl [ false; false; true; false; false; false ];
+    ignore (Degrade_ctl.before_attempt ctl ~retry:true);
+    feed ctl [ false; true; true; true; true; true ];
+    List.map
+      (fun (d : Degrade_ctl.decision) ->
+        (d.Degrade_ctl.seq, d.Degrade_ctl.d_state, d.Degrade_ctl.d_level,
+         d.Degrade_ctl.d_cooldown_s, d.Degrade_ctl.d_reason))
+      (Degrade_ctl.decisions ctl)
+  in
+  check_bool "same outcome sequence, same decisions" true (run () = run ())
+
+(* --- crash + resume, in process ------------------------------------ *)
+
+let batch = 32
+let len = 2048
+let input = Array.init (batch * len) (fun i -> if i mod 53 = 0 then 1.0 else 0.0)
+
+let crash_scenario =
+  "name crash\n\
+   seed 11\n\
+   at launch 1 storm rate=0.3 kinds=dropped_copy for=2\n\
+   at launch 4 crash\n"
+
+let run_batched ?store ~skip_crashes sc =
+  let device =
+    Device.create ~mode:Device.Functional ~fault:(Chaos.fault_config sc) ()
+  in
+  let ctl = Degrade_ctl.create () in
+  let ch = Chaos.arm ~skip_crashes sc in
+  Resilient.batched_scan ?store ~ctl ~chaos:ch device ~batch ~len ~input
+
+let bytes_of r =
+  Array.init (batch * len) (Global_tensor.get r.Resilient.y)
+
+let test_crash_resume_is_byte_identical () =
+  let sc = parse_ok crash_scenario in
+  (* reference storyline without the crash *)
+  let ref_r = run_batched ~skip_crashes:true sc in
+  check_bool "reference completes" true ref_r.Resilient.bok;
+  let path = Filename.temp_file "test_chaos_" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () ->
+      let store = Checkpoint_store.create ~path ~rows:batch ~len () in
+      (match run_batched ~store ~skip_crashes:false sc with
+      | _ -> Alcotest.fail "expected Host_crash mid-batch"
+      | exception Chaos.Host_crash _ -> ());
+      let commits_at_crash = Checkpoint_store.commits store in
+      check_bool "partial progress durable" true
+        (commits_at_crash > 0 && commits_at_crash < batch);
+      (* a fresh process: reopen and resume *)
+      let resumed, l =
+        match Checkpoint_store.reopen ~path with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "reopen: %s" e
+      in
+      check_bool "no torn tail (atomic rename)" true
+        (not l.Checkpoint_store.l_torn);
+      let res_r = run_batched ~store:resumed ~skip_crashes:true sc in
+      check_bool "resume completes" true res_r.Resilient.bok;
+      check_bool "rows were restored, not recomputed" true
+        (res_r.Resilient.restored_rows > 0);
+      check_int "no rows lost" batch
+        (Checkpoint.done_count res_r.Resilient.checkpoint);
+      (* the acceptance bar: byte-for-byte equal to the uninterrupted run *)
+      check_bool "resume equals replay, byte for byte" true
+        (bytes_of ref_r = bytes_of res_r);
+      (* committed rows are never re-executed: the resume's new commits
+         are row-disjoint from what the crashed run persisted *)
+      let all = Checkpoint_store.groups resumed in
+      let restored = Array.make batch false in
+      List.iteri
+        (fun i (lo, hi, _) ->
+          if i < commits_at_crash then
+            for r = lo to hi - 1 do
+              restored.(r) <- true
+            done)
+        all;
+      let reexec = ref 0 in
+      List.iteri
+        (fun i (lo, hi, _) ->
+          if i >= commits_at_crash then
+            for r = lo to hi - 1 do
+              if restored.(r) then incr reexec
+            done)
+        all;
+      check_int "zero re-executed committed rows" 0 !reexec)
+
+let test_fully_covered_store_launches_nothing () =
+  let sc = parse_ok "seed 1\n" in
+  let path = Filename.temp_file "test_chaos_full_" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () ->
+      let store = Checkpoint_store.create ~path ~rows:batch ~len () in
+      let full = run_batched ~store ~skip_crashes:true sc in
+      check_bool "first run completes" true full.Resilient.bok;
+      let resumed =
+        match Checkpoint_store.reopen ~path with
+        | Ok (st, _) -> st
+        | Error e -> Alcotest.failf "reopen: %s" e
+      in
+      let res = run_batched ~store:resumed ~skip_crashes:true sc in
+      check_bool "resume completes" true res.Resilient.bok;
+      check_int "every row restored" batch res.Resilient.restored_rows;
+      check_int "zero launches" 0 res.Resilient.bstats.Stats.launches;
+      check_bool "bytes still identical" true (bytes_of full = bytes_of res))
+
+let test_trace_stays_consistent_under_chaos () =
+  let sc =
+    parse_ok "seed 5\nat launch 1 kill core=2\nat launch 2 storm rate=0.4 \
+              kinds=dropped_copy for=2\n"
+  in
+  let device =
+    Device.create ~mode:Device.Functional ~fault:(Chaos.fault_config sc) ()
+  in
+  let tr = Device.arm_trace device in
+  let ctl = Degrade_ctl.create () in
+  let ch = Chaos.arm ~skip_crashes:true sc in
+  let r = Resilient.batched_scan ~ctl ~chaos:ch device ~batch ~len ~input in
+  check_bool "completes" true r.Resilient.bok;
+  (match Trace.check tr with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trace inconsistent: %s" e);
+  check_bool "chaos events visible in trace" true (Trace.mark_count tr > 0)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "full scenario" `Quick test_parse_full_scenario;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_parse_errors_carry_line_numbers;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_scheduler_is_deterministic;
+          Alcotest.test_case "quarantine revives" `Quick test_quarantine_revives;
+          Alcotest.test_case "storm restores policy" `Quick
+            test_storm_restores_base_policy;
+          Alcotest.test_case "crash raises" `Quick test_crash_raises_host_crash;
+        ] );
+      ( "degrade_ctl",
+        [
+          Alcotest.test_case "breaker opens and recovers" `Quick
+            test_breaker_opens_and_recovers;
+          Alcotest.test_case "failed probe doubles cooldown" `Quick
+            test_failed_probe_doubles_cooldown;
+          Alcotest.test_case "ladder reaches shedding" `Quick
+            test_ladder_escalates_to_shedding;
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_controller_is_deterministic;
+        ] );
+      ( "crash_resume",
+        [
+          Alcotest.test_case "byte-identical resume" `Quick
+            test_crash_resume_is_byte_identical;
+          Alcotest.test_case "full store launches nothing" `Quick
+            test_fully_covered_store_launches_nothing;
+          Alcotest.test_case "trace stays consistent" `Quick
+            test_trace_stays_consistent_under_chaos;
+        ] );
+    ]

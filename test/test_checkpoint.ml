@@ -1,0 +1,180 @@
+(* Property-based tests (QCheck) of the row-granular Checkpoint and
+   the crash-consistent Checkpoint_store: pending/done bookkeeping
+   under random mark interleavings, and serialization roundtrips with
+   torn-tail recovery. *)
+
+open Runtime
+
+(* Generator: a row count plus a random sequence of valid [lo, hi)
+   mark ranges over it (possibly overlapping and repeated). *)
+let marks_gen =
+  QCheck.Gen.(
+    let* rows = int_range 1 64 in
+    let* n = int_range 0 24 in
+    let* ranges =
+      list_size (return n)
+        (let* lo = int_range 0 (rows - 1) in
+         let* hi = int_range (lo + 1) rows in
+         return (lo, hi))
+    in
+    return (rows, ranges))
+
+let print_marks (rows, ranges) =
+  Printf.sprintf "rows=%d marks=[%s]" rows
+    (String.concat ";"
+       (List.map (fun (lo, hi) -> Printf.sprintf "%d,%d" lo hi) ranges))
+
+let arb_marks = QCheck.make ~print:print_marks marks_gen
+
+let replay (rows, ranges) =
+  let ck = Checkpoint.create ~rows in
+  List.iter (fun (lo, hi) -> Checkpoint.mark ck ~lo ~hi) ranges;
+  ck
+
+(* The model: a plain bool array driven by the same mark sequence. *)
+let model (rows, ranges) =
+  let done_ = Array.make rows false in
+  List.iter
+    (fun (lo, hi) ->
+      for r = lo to hi - 1 do
+        done_.(r) <- true
+      done)
+    ranges;
+  done_
+
+let prop_done_matches_model =
+  QCheck.Test.make ~name:"is_done/done_count match a bool-array model"
+    ~count:200 arb_marks (fun ((rows, _) as case) ->
+      let ck = replay case in
+      let m = model case in
+      let expected = Array.fold_left (fun a d -> if d then a + 1 else a) 0 m in
+      Checkpoint.done_count ck = expected
+      && Checkpoint.complete ck = (expected = rows)
+      && Array.for_all Fun.id
+           (Array.init rows (fun r -> Checkpoint.is_done ck r = m.(r))))
+
+let prop_pending_covers_undone =
+  QCheck.Test.make
+    ~name:"pending = exactly the un-done rows, disjoint and ascending"
+    ~count:200
+    (QCheck.pair arb_marks (QCheck.int_range 1 16))
+    (fun (((rows, _) as case), granularity) ->
+      let ck = replay case in
+      let m = model case in
+      let groups = Checkpoint.pending ck ~granularity in
+      let covered = Array.make rows false in
+      let ok = ref true in
+      let last_hi = ref (-1) in
+      List.iter
+        (fun (lo, hi) ->
+          if lo < !last_hi then ok := false;
+          last_hi := hi;
+          if lo < 0 || hi > rows || lo >= hi then ok := false;
+          if hi - lo > granularity then ok := false;
+          for r = lo to hi - 1 do
+            if covered.(r) || m.(r) then ok := false;
+            covered.(r) <- true
+          done)
+        groups;
+      (* every un-done row is covered *)
+      Array.iteri (fun r d -> if (not d) && not covered.(r) then ok := false) m;
+      !ok)
+
+let prop_commits_counts_marks =
+  QCheck.Test.make ~name:"commits counts mark calls" ~count:100 arb_marks
+    (fun ((_, ranges) as case) ->
+      Checkpoint.commits (replay case) = List.length ranges)
+
+(* Store roundtrip: commit random groups with random payloads, reload,
+   and require the exact (bit-level) groups back in commit order. *)
+let store_case_gen =
+  QCheck.Gen.(
+    let* rows = int_range 1 16 in
+    let* len = int_range 1 8 in
+    let* n = int_range 0 8 in
+    let* groups =
+      list_size (return n)
+        (let* lo = int_range 0 (rows - 1) in
+         let* hi = int_range (lo + 1) rows in
+         let* values =
+           array_size
+             (return ((hi - lo) * len))
+             (map (fun f -> Ascend.Fp16.round f) (float_range (-8.0) 8.0))
+         in
+         return (lo, hi, values))
+    in
+    return (rows, len, groups))
+
+let print_store_case (rows, len, groups) =
+  Printf.sprintf "rows=%d len=%d groups=%d" rows len (List.length groups)
+
+let arb_store_case = QCheck.make ~print:print_store_case store_case_gen
+
+let with_temp_store f =
+  let path = Filename.temp_file "test_ckpt_" ".bin" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (path ^ ".tmp") with Sys_error _ -> ())
+    (fun () -> f path)
+
+let prop_store_roundtrip =
+  QCheck.Test.make ~name:"store roundtrip is exact and ordered" ~count:60
+    arb_store_case (fun (rows, len, groups) ->
+      with_temp_store (fun path ->
+          let st = Checkpoint_store.create ~path ~rows ~len ~meta:"m" () in
+          List.iter
+            (fun (lo, hi, values) -> Checkpoint_store.commit st ~lo ~hi ~values)
+            groups;
+          match Checkpoint_store.load ~path with
+          | Error _ -> false
+          | Ok l ->
+              l.Checkpoint_store.l_rows = rows
+              && l.Checkpoint_store.l_len = len
+              && l.Checkpoint_store.l_meta = "m"
+              && (not l.Checkpoint_store.l_torn)
+              && l.Checkpoint_store.l_groups = groups))
+
+(* Torn-write recovery: truncating the file anywhere strictly inside
+   the record region must never error, and must yield a prefix of the
+   committed groups. *)
+let prop_store_torn_tail_is_prefix =
+  QCheck.Test.make ~name:"any truncation yields a clean prefix" ~count:60
+    (QCheck.pair arb_store_case (QCheck.int_range 0 1000))
+    (fun ((rows, len, groups), cut_salt) ->
+      QCheck.assume (groups <> []);
+      with_temp_store (fun path ->
+          let st = Checkpoint_store.create ~path ~rows ~len () in
+          List.iter
+            (fun (lo, hi, values) -> Checkpoint_store.commit st ~lo ~hi ~values)
+            groups;
+          let full = In_channel.with_open_bin path In_channel.input_all in
+          let header_len =
+            (* magic + version + rows + len + meta_len + crc *)
+            String.length "ASCKPT" + 2 + 4 + 4 + 4 + 4
+          in
+          let body = String.length full - header_len in
+          let cut = header_len + (cut_salt mod max 1 body) in
+          Out_channel.with_open_bin path (fun oc ->
+              Out_channel.output_string oc (String.sub full 0 cut));
+          match Checkpoint_store.load ~path with
+          | Error _ -> false
+          | Ok l ->
+              let k = List.length l.Checkpoint_store.l_groups in
+              k <= List.length groups
+              && l.Checkpoint_store.l_groups
+                 = List.filteri (fun i _ -> i < k) groups))
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_done_matches_model;
+            prop_pending_covers_undone;
+            prop_commits_counts_marks;
+            prop_store_roundtrip;
+            prop_store_torn_tail_is_prefix;
+          ] );
+    ]
