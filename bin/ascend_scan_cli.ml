@@ -320,9 +320,24 @@ let scan_cmd =
              and degrade to the vector-only kernel when retries are \
              exhausted. Requires functional mode.")
   in
-  let run algo n s exclusive cost_only check resilient faults kills quarantine
-      deadline sanitize domains seed obs =
+  let devices_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "devices" ] ~docv:"D"
+          ~doc:
+            "Pod size for pod-backed entries ($(b,dist_scan) runs its shards \
+             across D simulated devices); ignored by single-device kernels.")
+  in
+  let run algo n s exclusive devices cost_only check resilient faults kills
+      quarantine deadline sanitize domains seed obs =
     check_n n;
+    (match devices with
+    | Some d when d < 1 ->
+        raise
+          (Usage_error
+             (Printf.sprintf "--devices: device count must be >= 1 (got %d)" d))
+    | _ -> ());
     (* Capability violations are argument errors (exit 2), not runtime
        kernel failures: check the registry before touching the device. *)
     if exclusive && not algo.Scan.Op_registry.caps.Scan.Op_registry.exclusive
@@ -369,7 +384,7 @@ let scan_cmd =
         if cost_only then Ascend.Device.alloc device Ascend.Dtype.F16 n ~name:"x"
         else Ascend.Device.of_array device Ascend.Dtype.F16 ~name:"x" (Array.init n gen)
       in
-      let y, st = Scan.Scan_api.run ~s ~exclusive ~algo device x in
+      let y, st = Scan.Scan_api.run ~s ~exclusive ?devices ~algo device x in
       print_stats st;
       Format.printf "effective scan bandwidth: %.1f GB/s@."
         (Workload.Metrics.scan_bandwidth st ~n ~esize:2 /. 1e9);
@@ -390,9 +405,10 @@ let scan_cmd =
   in
   let term =
     Term.(
-      const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ cost_only_arg
-      $ check_arg $ resilient_arg $ faults_arg $ kill_arg $ quarantine_arg
-      $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg $ obs_term)
+      const run $ algo_arg $ n_arg $ s_arg $ exclusive_arg $ devices_arg
+      $ cost_only_arg $ check_arg $ resilient_arg $ faults_arg $ kill_arg
+      $ quarantine_arg $ deadline_arg $ sanitize_arg $ domains_arg $ seed_arg
+      $ obs_term)
   in
   Cmd.v (Cmd.info "scan" ~doc:"Run a parallel scan algorithm.") term
 
@@ -880,6 +896,267 @@ let chaos_cmd =
           crash-consistent checkpointing and adaptive degradation.")
     [ run_cmd; resume_cmd; report_cmd ]
 
+(* pod subcommand group: the distributed runner under chaos, with the
+   same run/resume/report shape as [chaos] but a multi-device pod
+   behind the launches. The store's meta additionally pins the pod
+   geometry (devices, topology): resuming a 4-device run on a 2-device
+   pod would re-shard the remaining rows differently than the bytes
+   already committed claim, so it is refused up front. *)
+
+let pod_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:
+            "Chaos scenario file; pod scenarios may add $(b,kill device=D) \
+             and $(b,link src=A dst=B for=N) events. Malformed files exit 2.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Crash-consistent checkpoint store path; $(b,pod resume) \
+             continues from it and refuses a store whose pinned pod \
+             geometry differs.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch"; "b" ] ~docv:"B" ~doc:"Number of independent rows.")
+  in
+  let len_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "len"; "l" ] ~docv:"L" ~doc:"Length of each row.")
+  in
+  let granularity_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "granularity" ] ~docv:"ROWS"
+          ~doc:"Base rows per checkpoint group (default: quarter batches).")
+  in
+  let devices_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "devices" ] ~docv:"D" ~doc:"Pod size (simulated NPUs).")
+  in
+  let topology_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ring", Pod.Ring); ("full", Pod.Fully_connected) ]) Pod.Ring
+      & info [ "topology" ] ~docv:"TOPO"
+          ~doc:"Pod topology: $(b,ring) or $(b,full) (fully connected).")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("ring", Scan.Dist_scan.Ring);
+                  ("allgather", Scan.Dist_scan.All_gather);
+                ]))
+          None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Prefix-exchange schedule: $(b,ring) or $(b,allgather) \
+             (default: the topology's native schedule).")
+  in
+  let pod_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "pod-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the pod-level Chrome trace (one Perfetto process per \
+             device, link-transfer spans, phase timeline).")
+  in
+  let crash_mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sigkill", `Sigkill); ("raise", `Raise) ]) `Sigkill
+      & info [ "crash-mode" ] ~docv:"MODE"
+          ~doc:
+            "What a $(b,crash) event does: $(b,sigkill) (default) or \
+             $(b,raise) (clean exit 1).")
+  in
+  let load_scenario file =
+    match Runtime.Chaos.load file with
+    | Ok sc -> sc
+    | Error msg -> raise (Usage_error msg)
+  in
+  let meta_of sc ~batch ~len ~s ~seed ~devices ~topology =
+    Printf.sprintf "pod|%s|seed=%d|batch=%d|len=%d|s=%d|wseed=%d|devices=%d|topology=%s"
+      (match sc with
+      | Some sc -> sc.Runtime.Chaos.sc_name
+      | None -> "-")
+      (match sc with Some sc -> sc.Runtime.Chaos.sc_seed | None -> 0)
+      batch len s seed devices
+      (Pod.topology_to_string topology)
+  in
+  let run_or_resume ~resume scenario_file store_path batch len s granularity
+      devices topology schedule pod_trace crash_mode seed obs =
+    if batch < 1 then raise (Usage_error "--batch must be >= 1");
+    if len < 1 then raise (Usage_error "--len must be >= 1");
+    if devices < 1 then
+      raise
+        (Usage_error
+           (Printf.sprintf "--devices: device count must be >= 1 (got %d)"
+              devices));
+    (match granularity with
+    | Some g when g < 1 -> raise (Usage_error "--granularity must be >= 1")
+    | _ -> ());
+    let sc = Option.map load_scenario scenario_file in
+    let meta = meta_of sc ~batch ~len ~s ~seed ~devices ~topology in
+    let store =
+      match (store_path, resume) with
+      | None, true -> raise (Usage_error "pod resume requires --store FILE")
+      | None, false -> None
+      | Some path, false ->
+          Some (Runtime.Checkpoint_store.create ~path ~rows:batch ~len ~meta ())
+      | Some path, true -> (
+          match Runtime.Checkpoint_store.reopen ~path with
+          | Error e -> raise (Usage_error ("--store: " ^ e))
+          | Ok (st, l) ->
+              if Runtime.Checkpoint_store.meta st <> meta then
+                raise
+                  (Usage_error
+                     (Printf.sprintf
+                        "--store: meta mismatch: store was written by %S, \
+                         this invocation is %S"
+                        (Runtime.Checkpoint_store.meta st)
+                        meta));
+              Format.printf "%a@." Runtime.Checkpoint_store.pp_loaded l;
+              Some st)
+    in
+    let primary =
+      Ascend.Device.create ~mode:Ascend.Device.Functional
+        ?fault:(Option.map Runtime.Chaos.fault_config sc)
+        ()
+    in
+    arm_obs primary obs;
+    let pod = Pod.create_with ~topology ~primary ~devices () in
+    let ctl =
+      Runtime.Degrade_ctl.create
+        ~on_decision:(fun d ->
+          match Ascend.Device.trace primary with
+          | Some tr ->
+              Ascend.Trace.note tr Ascend.Trace.Degrade
+                ~name:(Format.asprintf "%a" Runtime.Degrade_ctl.pp_decision d)
+          | None -> ())
+        ()
+    in
+    let on_crash msg =
+      match crash_mode with
+      | `Raise -> raise (Runtime.Chaos.Host_crash msg)
+      | `Sigkill ->
+          Format.printf "pod chaos: %s -- dying with SIGKILL@." msg;
+          Format.pp_print_flush Format.std_formatter ();
+          flush stdout;
+          flush stderr;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+    in
+    let chaos =
+      Option.map (fun sc -> Runtime.Chaos.arm ~skip_crashes:resume ~on_crash sc) sc
+    in
+    let gen i = if (i + seed) mod 53 = 0 then 1.0 else 0.0 in
+    let input = Array.init (batch * len) gen in
+    let r =
+      Runtime.Pod_runner.batched_scan ~s ?granularity ?schedule ?store ~ctl
+        ?chaos pod ~batch ~len ~input
+    in
+    Format.printf "%a@." Runtime.Pod_runner.pp_report r;
+    (match chaos with
+    | Some ch -> (
+        match Runtime.Chaos.fired ch with
+        | [] -> Format.printf "pod chaos: no events fired@."
+        | evs ->
+            List.iter
+              (fun (i, d) -> Format.printf "pod chaos launch %d: %s@." i d)
+              evs)
+    | None -> ());
+    Format.printf "%a@." Runtime.Degrade_ctl.pp ctl;
+    Format.printf "%a@." Pod.pp pod;
+    (match store with
+    | Some st ->
+        Format.printf "store: %d commits durable at %s@."
+          (Runtime.Checkpoint_store.commits st)
+          (Runtime.Checkpoint_store.path st)
+    | None -> ());
+    (match pod_trace with
+    | Some file ->
+        write_file file (Obs.Pod_trace.to_string pod);
+        Format.printf "pod trace: %d events -> %s@."
+          (List.length (Pod.events pod))
+          file
+    | None -> ());
+    print_stats r.Runtime.Pod_runner.pstats;
+    print_robustness primary;
+    emit_obs primary obs r.Runtime.Pod_runner.pstats;
+    if not r.Runtime.Pod_runner.pok then exit 1
+  in
+  let run_term ~resume =
+    Term.(
+      const (run_or_resume ~resume)
+      $ scenario_arg $ store_arg $ batch_arg $ len_arg $ s_arg
+      $ granularity_arg $ devices_arg $ topology_arg $ schedule_arg
+      $ pod_trace_arg $ crash_mode_arg $ seed_arg $ obs_term)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run a checkpointed batched scan distributed across a simulated \
+            multi-NPU pod, optionally under a chaos scenario with link \
+            faults and whole-device kills. Device deaths re-shard the scan \
+            over the survivors with bit-identical output.")
+      (run_term ~resume:false)
+  in
+  let resume_cmd =
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Resume a pod run killed mid-batch from its checkpoint store \
+            (committed row groups are never re-executed); the store's \
+            pinned pod geometry must match this invocation.")
+      (run_term ~resume:true)
+  in
+  let report_cmd =
+    let run scenario_file store_path =
+      (match scenario_file with
+      | Some file ->
+          Format.printf "%a@." Runtime.Chaos.pp_scenario (load_scenario file)
+      | None -> ());
+      match store_path with
+      | None -> ()
+      | Some path -> (
+          match Runtime.Checkpoint_store.load ~path with
+          | Ok l -> Format.printf "%a@." Runtime.Checkpoint_store.pp_loaded l
+          | Error e ->
+              Format.eprintf "pod report: %s@." e;
+              exit 1)
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:
+           "Validate and pretty-print a pod chaos scenario and/or the \
+            durable contents of a checkpoint store.")
+      Term.(const run $ scenario_arg $ store_arg)
+  in
+  Cmd.group
+    (Cmd.info "pod"
+       ~doc:
+         "Distributed scans on a simulated multi-NPU pod: link/device \
+          fault injection, failover re-sharding and crash-consistent \
+          resume.")
+    [ run_cmd; resume_cmd; report_cmd ]
+
 (* trace subcommand group: offline inspection of recorded trace
    files. Both tools run from the JSON alone, so traces produced on
    another machine (or checked into CI artifacts) work too. *)
@@ -1018,7 +1295,7 @@ let () =
              else `Help (`Pager, None))
         $ list_ops_arg $ trace_smoke_arg))
   in
-  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd; chaos_cmd ] in
+  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd; chaos_cmd; pod_cmd ] in
   (* Unknown flags and malformed arguments exit 2 with a usage pointer
      rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
      aborted by injected fault corruption) exit 1 with a clean message

@@ -1,0 +1,187 @@
+(* Perfetto export of a pod's event log: one trace process per pod
+   device plus a pod-level process carrying the distributed-scan phase
+   timeline, mirroring the per-core layout of Chrome_trace at the next
+   level of the hierarchy. *)
+
+module Pod = Pod
+
+let phases_tid = 0
+let compute_tid = 0
+let link_tid = 1
+let events_tid = 2
+
+(* (pid, tid, sort-key extras) placement for one pod event; None means
+   the event does not reach the trace (there are none today). *)
+let place (ev : Pod.event) =
+  match ev.Pod.ev_kind with
+  | Pod.Phase -> (0, phases_tid)
+  | Pod.Local_scan | Pod.Fixup -> (ev.Pod.ev_device + 1, compute_tid)
+  | Pod.Link_send -> (ev.Pod.ev_device + 1, link_tid)
+  | Pod.Reroute | Pod.Device_kill | Pod.Note ->
+      (ev.Pod.ev_device + 1, events_tid)
+
+let is_span (ev : Pod.event) =
+  match ev.Pod.ev_kind with
+  | Pod.Phase | Pod.Local_scan | Pod.Fixup | Pod.Link_send -> true
+  | Pod.Reroute | Pod.Device_kill | Pod.Note -> false
+
+let cat (ev : Pod.event) =
+  match ev.Pod.ev_kind with
+  | Pod.Phase -> "phase"
+  | Pod.Local_scan | Pod.Fixup -> "kernel"
+  | Pod.Link_send -> "link"
+  | Pod.Reroute | Pod.Device_kill | Pod.Note -> "pod"
+
+let json pod =
+  let events = Pod.events pod in
+  (* Global stable time order: pod events append in issue order across
+     devices, but the trace must be ts-sorted — both per Perfetto
+     track (validate checks it) and globally (the summary's
+     phase-attribution cursor walks the file in time order). *)
+  let indexed = List.mapi (fun i ev -> (i, ev)) events in
+  let sorted =
+    List.sort
+      (fun (ia, a) (ib, b) ->
+        let c = Float.compare a.Pod.ev_start_s b.Pod.ev_start_s in
+        if c <> 0 then c else Int.compare ia ib)
+      indexed
+  in
+  let us s = s *. 1e6 in
+  let tracks_present = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ev) -> Hashtbl.replace tracks_present (place ev) ())
+    indexed;
+  (* The pod process always exists (even for an event-free pod), and
+     every device contributes its tracks only if it has events. *)
+  Hashtbl.replace tracks_present (0, phases_tid) ();
+  let track_list =
+    List.sort compare
+      (Hashtbl.fold (fun k () acc -> k :: acc) tracks_present [])
+  in
+  let pids =
+    List.sort_uniq Int.compare (List.map fst track_list)
+  in
+  let pname pid = if pid = 0 then "pod" else Printf.sprintf "device %d" (pid - 1) in
+  let tname (pid, tid) =
+    if pid = 0 then "phases"
+    else if tid = compute_tid then "compute"
+    else if tid = link_tid then "link"
+    else "events"
+  in
+  let meta =
+    List.concat_map
+      (fun pid ->
+        [
+          Jsonw.Obj
+            [
+              ("name", Jsonw.String "process_name");
+              ("ph", Jsonw.String "M");
+              ("pid", Jsonw.Int pid);
+              ("args", Jsonw.Obj [ ("name", Jsonw.String (pname pid)) ]);
+            ];
+          Jsonw.Obj
+            [
+              ("name", Jsonw.String "process_sort_index");
+              ("ph", Jsonw.String "M");
+              ("pid", Jsonw.Int pid);
+              ("args", Jsonw.Obj [ ("sort_index", Jsonw.Int pid) ]);
+            ];
+        ])
+      pids
+    @ List.concat_map
+        (fun ((pid, tid) as key) ->
+          [
+            Jsonw.Obj
+              [
+                ("name", Jsonw.String "thread_name");
+                ("ph", Jsonw.String "M");
+                ("pid", Jsonw.Int pid);
+                ("tid", Jsonw.Int tid);
+                ("args", Jsonw.Obj [ ("name", Jsonw.String (tname key)) ]);
+              ];
+            Jsonw.Obj
+              [
+                ("name", Jsonw.String "thread_sort_index");
+                ("ph", Jsonw.String "M");
+                ("pid", Jsonw.Int pid);
+                ("tid", Jsonw.Int tid);
+                ("args", Jsonw.Obj [ ("sort_index", Jsonw.Int tid) ]);
+              ];
+          ])
+        track_list
+  in
+  let phase_index = ref (-1) in
+  let body =
+    List.map
+      (fun (_, ev) ->
+        let pid, tid = place ev in
+        let base =
+          [
+            ("name", Jsonw.String ev.Pod.ev_label);
+            ("cat", Jsonw.String (cat ev));
+          ]
+        in
+        if is_span ev then
+          let args =
+            match ev.Pod.ev_kind with
+            | Pod.Phase ->
+                incr phase_index;
+                [
+                  ( "args",
+                    Jsonw.Obj
+                      [
+                        ("launch", Jsonw.String "dist_scan");
+                        ("index", Jsonw.Int !phase_index);
+                        ( "bound",
+                          Jsonw.String
+                            (if ev.Pod.ev_label = "prefix exchange" then
+                               "bandwidth"
+                             else "compute") );
+                      ] );
+                ]
+            | Pod.Link_send -> (
+                match ev.Pod.ev_peer with
+                | Some peer -> [ ("args", Jsonw.Obj [ ("dst", Jsonw.Int peer) ]) ]
+                | None -> [])
+            | _ -> []
+          in
+          Jsonw.Obj
+            (base
+            @ [
+                ("ph", Jsonw.String "X");
+                ("pid", Jsonw.Int pid);
+                ("tid", Jsonw.Int tid);
+                ("ts", Jsonw.Float (us ev.Pod.ev_start_s));
+                ("dur", Jsonw.Float (us ev.Pod.ev_dur_s));
+              ]
+            @ args)
+        else
+          Jsonw.Obj
+            (base
+            @ [
+                ("ph", Jsonw.String "i");
+                ("s", Jsonw.String "p");
+                ("pid", Jsonw.Int pid);
+                ("tid", Jsonw.Int tid);
+                ("ts", Jsonw.Float (us ev.Pod.ev_start_s));
+              ]))
+      sorted
+  in
+  let n_spans = List.length (List.filter (fun (_, e) -> is_span e) indexed) in
+  Jsonw.Obj
+    [
+      ("traceEvents", Jsonw.List (meta @ body));
+      ("displayTimeUnit", Jsonw.String "us");
+      ( "otherData",
+        Jsonw.Obj
+          [
+            ("generator", Jsonw.String "ascend-scan-sim");
+            ("schema", Jsonw.String "ascend-pod-trace-1");
+            ("devices", Jsonw.Int (Pod.num_devices pod));
+            ("topology", Jsonw.String (Pod.topology_to_string (Pod.topology pod)));
+            ("spans", Jsonw.Int n_spans);
+            ("instants", Jsonw.Int (List.length indexed - n_spans));
+          ] );
+    ]
+
+let to_string pod = Jsonw.to_string (json pod)

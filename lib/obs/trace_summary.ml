@@ -21,6 +21,34 @@ let of_json doc =
   match Option.bind (Jsonw.member "traceEvents" doc) Jsonw.to_list_opt with
   | None -> Error "not a trace: missing traceEvents array"
   | Some events ->
+      (* Process names first: pod traces carry one process per device
+         ("device N"), and an engine track must stay distinct across
+         devices — a "compute" track on device 0 and one on device 1
+         are different hardware. Device traces name their processes
+         "core N" / "device", which keeps the legacy bare engine key
+         (and byte-identical output). *)
+      let process_names : (int, string) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun ev ->
+          let str k = Option.bind (Jsonw.member k ev) Jsonw.string_opt in
+          let int k = Option.bind (Jsonw.member k ev) Jsonw.int_opt in
+          if str "ph" = Some "M" && str "name" = Some "process_name" then
+            match
+              ( int "pid",
+                Option.bind
+                  (Option.bind (Jsonw.member "args" ev) (Jsonw.member "name"))
+                  Jsonw.string_opt )
+            with
+            | Some pid, Some name -> Hashtbl.replace process_names pid name
+            | _ -> ())
+        events;
+      let qualify pid name =
+        match Hashtbl.find_opt process_names pid with
+        | Some pname when String.length pname > 7 && String.sub pname 0 7 = "device "
+          ->
+            pname ^ ":" ^ name
+        | _ -> name
+      in
       (* Track names from thread_name metadata. *)
       let track_names : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
       (* Distinct tracks per engine name (to average across cores). *)
@@ -40,6 +68,7 @@ let of_json doc =
                   Jsonw.string_opt )
             with
             | Some pid, Some tid, Some name when pid > 0 && name <> "events" ->
+                let name = qualify pid name in
                 Hashtbl.replace track_names (pid, tid) name;
                 let set =
                   match Hashtbl.find_opt tracks_of name with

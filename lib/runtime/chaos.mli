@@ -30,6 +30,10 @@
     once. Actions:
 
     - [kill core=C] — permanent core death;
+    - [kill device=D] — permanent {e whole-device} death (pod runs
+      only; a single-device run notes and skips it);
+    - [link src=D dst=E for=K] — take the directed pod link D->E down
+      for K launches (pod runs only);
     - [quarantine core=C for=K] — {e transient} quarantine: the core
       is retired now and revived K launches later;
     - [storm rate=R \[kinds=..\] \[scope=all|cube|vec\] \[factor=F\]
@@ -47,7 +51,9 @@ exception Host_crash of string
 
 type action =
   | Kill of { core : int }
+  | Kill_device of { device : int }
   | Quarantine of { core : int; for_launches : int }
+  | Link_down of { src : int; dst : int; for_launches : int }
   | Storm of {
       rate : float;
       kinds : Ascend.Fault.kind list;
@@ -101,7 +107,17 @@ val before_launch :
     windows first, then fire events whose launch index or simulated
     time has arrived. Mutates the device's fault model and health
     monitor; notes each application on the device trace. Called by
-    [Resilient.batched_scan] before every group launch. *)
+    [Resilient.batched_scan] before every group launch. Pod-scale
+    actions (kill device, link) are noted and skipped — arm the
+    scenario through {!before_launch_pod} to make them bite. *)
+
+val before_launch_pod : t -> Pod.t -> launch_index:int -> elapsed_s:float -> unit
+(** {!before_launch} against a pod: device-level actions apply to the
+    pod's primary device, [kill device=D] kills pod device [D] (cores
+    marked dead, shards re-placed by the distributed scan's failover
+    rule) and [link src dst for] takes the directed link down until its
+    window expires. Called by [Pod_runner.batched_scan] before every
+    group launch. *)
 
 val fired : t -> (int * string) list
 (** [(launch_index, description)] log of applied events, oldest

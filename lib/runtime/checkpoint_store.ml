@@ -196,12 +196,15 @@ let load ~path =
   | exception Sys_error msg -> Error msg
   | s -> (
       let pos = ref 0 in
+      (* The version check gets its own failure path: a valid-magic
+         file written by a newer build must be refused with a message
+         naming the versions, not misreported as corruption. *)
       let header =
         let* m = read_str s pos (String.length magic) in
         if m <> magic then None
         else
           let* v = read_u16 s pos in
-          if v <> version then None
+          if v <> version then Some (Error v)
           else
             let* rows = read_u32 s pos in
             let* len = read_u32 s pos in
@@ -211,14 +214,26 @@ let load ~path =
             let* crc = read_u32 s pos in
             if crc <> crc32 (Bytes.of_string (String.sub s 0 body_end)) then
               None
-            else Some (rows, len, meta)
+            else Some (Ok (rows, len, meta))
       in
       match header with
       | None ->
           Error
             (Printf.sprintf "%s: not a checkpoint store (bad or torn header)"
                path)
-      | Some (rows, len, meta) ->
+      | Some (Error v) when v > version ->
+          Error
+            (Printf.sprintf
+               "%s: checkpoint store format version %d is newer than this \
+                build supports (up to %d); refusing to guess at its layout"
+               path v version)
+      | Some (Error v) ->
+          Error
+            (Printf.sprintf
+               "%s: unsupported checkpoint store format version %d (this \
+                build reads version %d)"
+               path v version)
+      | Some (Ok (rows, len, meta)) ->
           let groups = ref [] in
           let torn = ref false in
           let stop = ref false in

@@ -56,7 +56,12 @@ type loaded = {
 val load : path:string -> (loaded, string) result
 (** Parse a snapshot. [Error] on a missing file, bad magic, or an
     unsupported version — a torn {e tail} is not an error (see
-    {!type:loaded}[.l_torn]). *)
+    {!type:loaded}[.l_torn]). A file with valid magic but a format
+    version this build does not write is refused with an error naming
+    both versions (a newer-build store must never be misparsed). *)
+
+val version : int
+(** The store format version this build reads and writes. *)
 
 val reopen : path:string -> (t * loaded, string) result
 (** {!load}, then return a store handle that continues committing to

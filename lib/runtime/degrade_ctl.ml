@@ -5,24 +5,32 @@ let state_to_string = function
   | Open -> "open"
   | Half_open -> "half_open"
 
-type level = Normal | Shrink_groups | Switch_schedule | Shed_rows
+type level =
+  | Normal
+  | Shrink_groups
+  | Switch_schedule
+  | Shrink_exchange
+  | Shed_rows
 
 let level_to_string = function
   | Normal -> "normal"
   | Shrink_groups -> "shrink_groups"
   | Switch_schedule -> "switch_schedule"
+  | Shrink_exchange -> "shrink_exchange"
   | Shed_rows -> "shed_rows"
 
 let level_rank = function
   | Normal -> 0
   | Shrink_groups -> 1
   | Switch_schedule -> 2
-  | Shed_rows -> 3
+  | Shrink_exchange -> 3
+  | Shed_rows -> 4
 
 let level_of_rank = function
   | 0 -> Normal
   | 1 -> Shrink_groups
   | 2 -> Switch_schedule
+  | 3 -> Shrink_exchange
   | _ -> Shed_rows
 
 type config = {
@@ -179,7 +187,7 @@ let failure_rate t =
   if t.filled = 0 then 0.0 else float_of_int t.failures /. float_of_int t.filled
 
 let escalate t =
-  t.lvl <- level_of_rank (min 3 (level_rank t.lvl + 1))
+  t.lvl <- level_of_rank (min (level_rank Shed_rows) (level_rank t.lvl + 1))
 
 let open_breaker t reason =
   t.st <- Open;
@@ -256,9 +264,11 @@ let granularity t ~base =
   match t.lvl with
   | Normal -> base
   | Shrink_groups -> max 1 (base / 2)
-  | Switch_schedule | Shed_rows -> max 1 (base / 4)
+  | Switch_schedule | Shrink_exchange | Shed_rows -> max 1 (base / 4)
 
 let switch_schedule t = level_rank t.lvl >= level_rank Switch_schedule
+
+let shrink_exchange t = level_rank t.lvl >= level_rank Shrink_exchange
 
 let shed t ~group_attempts =
   t.lvl = Shed_rows && group_attempts >= t.cfg.shed_attempts

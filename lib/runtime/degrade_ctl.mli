@@ -29,6 +29,9 @@
       failure replays fewer rows;
     + [Switch_schedule] — also switch the batched schedule to the
       alternate kernel (a failing cube path is routed around);
+    + [Shrink_exchange] — pod-level brownout: also shrink the
+      distributed scan's exchange group (fewer shard slots, fewer link
+      hops) before any work is given up;
     + [Shed_rows] — also give up on groups that keep failing past
       [shed_attempts] total attempts, shedding their rows so the rest
       of the batch completes.
@@ -47,7 +50,12 @@ type state = Closed | Open | Half_open
 
 val state_to_string : state -> string
 
-type level = Normal | Shrink_groups | Switch_schedule | Shed_rows
+type level =
+  | Normal
+  | Shrink_groups
+  | Switch_schedule
+  | Shrink_exchange
+  | Shed_rows
 
 val level_to_string : level -> string
 val level_rank : level -> int
@@ -123,6 +131,10 @@ val granularity : t -> base:int -> int
 
 val switch_schedule : t -> bool
 (** Whether the ladder has reached [Switch_schedule]. *)
+
+val shrink_exchange : t -> bool
+(** Whether the ladder has reached [Shrink_exchange] (the pod runner
+    halves the exchange group while this holds). *)
 
 val shed : t -> group_attempts:int -> bool
 (** Whether a group that has burned [group_attempts] attempts should

@@ -19,6 +19,7 @@ type config = {
   p : float option;
   theta : float option;
   seed : int option;
+  devices : int option;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     p = None;
     theta = None;
     seed = None;
+    devices = None;
   }
 
 type input =
@@ -112,7 +114,11 @@ let validate e cfg input =
         Error (Printf.sprintf "%s does not support exclusive scans" e.name)
       else if e.caps.batched && (cfg.batch = None || cfg.len = None) then
         Error (Printf.sprintf "%s requires batch and len" e.name)
-      else Ok ()
+      else
+        match cfg.devices with
+        | Some v when v < 1 ->
+            Error (Printf.sprintf "devices: device count must be >= 1 (got %d)" v)
+        | _ -> Ok ()
 
 (* The one source of truth for the README operator table: the CLI's
    --list-ops prints exactly this, and CI diffs it against the README
@@ -276,4 +282,24 @@ let () =
         simple (fun cfg device x ->
             let batch = Option.get cfg.batch and len = Option.get cfg.len in
             Batched_scan.run_ul1 ?s:cfg.s device ~batch ~len x);
+    };
+  register
+    {
+      name = "dist_scan";
+      aliases = [ "dscan"; "pod_scan" ];
+      kind = `Scan;
+      caps = caps ();
+      monoid = sum;
+      describe = "Distributed pod scan: local scans + link prefix exchange";
+      (* The caller's device becomes the pod's primary, so its armed
+         trace, faults and deadline apply to the shards it executes. *)
+      run =
+        simple (fun cfg device x ->
+            let devices = Option.value ~default:2 cfg.devices in
+            let pod =
+              Pod.create_with ~topology:Pod.Ring ~primary:device
+                ~devices ()
+            in
+            let r = Dist_scan.run ?s:cfg.s pod x in
+            (r.Dist_scan.y, r.Dist_scan.stats));
     }

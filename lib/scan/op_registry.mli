@@ -32,6 +32,9 @@ type config = {
   p : float option;  (** Nucleus mass (top-p). *)
   theta : float option;  (** Uniform draw for sampling. *)
   seed : int option;
+  devices : int option;
+      (** Pod size for distributed entries (must be [>= 1] when set;
+          others ignore it). *)
 }
 
 val default_config : config

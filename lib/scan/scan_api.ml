@@ -18,8 +18,10 @@ let get name =
 
 let all_algos = Op_registry.unary_scans ()
 
-let run ?s ?(exclusive = false) ~algo device x =
-  let cfg = { Op_registry.default_config with Op_registry.s; exclusive } in
+let run ?s ?(exclusive = false) ?devices ~algo device x =
+  let cfg =
+    { Op_registry.default_config with Op_registry.s; exclusive; devices }
+  in
   match Op_registry.run algo cfg device (Op_registry.Tensor x) with
   | Ok (out, stats) -> (
       match out.Op_registry.y with

@@ -25,14 +25,17 @@ val all_algos : algo list
 val run :
   ?s:int ->
   ?exclusive:bool ->
+  ?devices:int ->
   algo:algo ->
   Ascend.Device.t ->
   Ascend.Global_tensor.t ->
   Ascend.Global_tensor.t * Ascend.Stats.t
-(** Dispatch through the registry. Capability violations (exclusive on
-    a non-supporting kernel, unsupported dtype) and operator-side
-    parameter errors surface as [Invalid_argument]; use
-    {!Op_registry.run} directly for the [result]-typed error path. *)
+(** Dispatch through the registry. [devices] feeds the pod size of
+    pod-backed entries ([dist_scan]) and is ignored by single-device
+    kernels. Capability violations (exclusive on a non-supporting
+    kernel, unsupported dtype) and operator-side parameter errors
+    surface as [Invalid_argument]; use {!Op_registry.run} directly for
+    the [result]-typed error path. *)
 
 val check_against_reference :
   ?round:(float -> float) ->

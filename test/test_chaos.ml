@@ -199,7 +199,12 @@ let test_ladder_escalates_to_shedding () =
   check_bool "level 2" true (Degrade_ctl.level ctl = Degrade_ctl.Switch_schedule);
   check_bool "schedule switched" true (Degrade_ctl.switch_schedule ctl);
   trip ();
-  check_bool "level 3" true (Degrade_ctl.level ctl = Degrade_ctl.Shed_rows);
+  check_bool "level 3" true (Degrade_ctl.level ctl = Degrade_ctl.Shrink_exchange);
+  check_bool "exchange shrunk" true (Degrade_ctl.shrink_exchange ctl);
+  check_bool "not yet shedding" true
+    (not (Degrade_ctl.shed ctl ~group_attempts:7));
+  trip ();
+  check_bool "level 4" true (Degrade_ctl.level ctl = Degrade_ctl.Shed_rows);
   check_bool "sheds past budget" true
     (Degrade_ctl.shed ctl ~group_attempts:7);
   check_bool "keeps young groups" true
