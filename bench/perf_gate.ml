@@ -1,0 +1,112 @@
+(* Perf-regression gate: compare a fresh BENCH_8 smoke run against the
+   committed baseline JSON and fail (exit 1) when the host-normalised
+   MCScan ns_per_run regressed by more than the threshold.
+
+   Usage: perf_gate BASELINE.json CURRENT.json [--threshold-pct N]
+
+   Both files are BENCH_8.json documents from bench/bench_domains.ml
+   (the current one typically produced with --smoke). Machine speed is
+   factored out by dividing each ns_per_run by its file's
+   calibration_ns — the fixed pure-OCaml loop both runs timed on their
+   own host — so a slower CI machine does not register as a
+   regression and a faster one does not mask a real slowdown.
+
+   The parser is a minimal field scanner (this repo adds no JSON
+   dependency): it finds the first occurrence of a quoted key and
+   reads the number after the colon, which is exactly the shape
+   bench_domains.ml emits. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+(* Index just past the first occurrence of ["key"] at or after [from]. *)
+let find_key json ~from key =
+  let pat = "\"" ^ key ^ "\"" in
+  let plen = String.length pat in
+  let jlen = String.length json in
+  let rec go i =
+    if i + plen > jlen then None
+    else if String.sub json i plen = pat then Some (i + plen)
+    else go (i + 1)
+  in
+  go from
+
+(* The number following ["key":] at or after [from]. *)
+let number_after ?(from = 0) json ~path key =
+  match find_key json ~from key with
+  | None -> fail "%s: field \"%s\" not found" path key
+  | Some i ->
+      let n = String.length json in
+      let i = ref i in
+      while
+        !i < n && (json.[!i] = ':' || json.[!i] = ' ' || json.[!i] = '\n')
+      do
+        incr i
+      done;
+      let j = ref !i in
+      while
+        !j < n
+        && (match json.[!j] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      if !j = !i then fail "%s: field \"%s\" has no numeric value" path key;
+      float_of_string (String.sub json !i (!j - !i))
+
+(* ns_per_run of the domains=1 row: the first row bench_domains emits. *)
+let mcscan_d1 json ~path =
+  match find_key json ~from:0 "mcscan" with
+  | None -> fail "%s: field \"mcscan\" not found" path
+  | Some i -> number_after ~from:i json ~path "ns_per_run"
+
+let () =
+  let threshold = ref 25.0 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold-pct" :: v :: rest ->
+        threshold := float_of_string v;
+        parse rest
+    | x :: rest ->
+        files := x :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let threshold_pct = !threshold in
+  let baseline_path, current_path =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        fail "usage: perf_gate BASELINE.json CURRENT.json [--threshold-pct N]"
+  in
+  let baseline = read_file baseline_path in
+  let current = read_file current_path in
+  let norm json path =
+    let cal = number_after json ~path "calibration_ns" in
+    if cal <= 0.0 then fail "%s: calibration_ns must be positive" path;
+    let ns = mcscan_d1 json ~path in
+    (ns, cal, ns /. cal)
+  in
+  let base_ns, base_cal, base_norm = norm baseline baseline_path in
+  let cur_ns, cur_cal, cur_norm = norm current current_path in
+  let change_pct = (cur_norm /. base_norm -. 1.0) *. 100.0 in
+  Printf.printf
+    "perf gate: mcscan d=1\n\
+    \  baseline  %12.0f ns/run  (calibration %8.0f ns, normalised %8.3f)\n\
+    \  current   %12.0f ns/run  (calibration %8.0f ns, normalised %8.3f)\n\
+    \  change    %+.1f%%  (threshold +%.0f%%)\n%!"
+    base_ns base_cal base_norm cur_ns cur_cal cur_norm change_pct threshold_pct;
+  if change_pct > threshold_pct then
+    fail
+      "perf gate FAILED: normalised mcscan ns_per_run regressed %.1f%% (> \
+       %.0f%% threshold)"
+      change_pct threshold_pct;
+  print_endline "perf gate OK"

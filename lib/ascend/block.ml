@@ -17,6 +17,7 @@ type t = {
   touched_tbl : (int, int) Hashtbl.t;
   ops_tbl : (string, int) Hashtbl.t;
   allocators : (Mem_kind.t * int ref) list;
+  mutable scratch : Local_tensor.t list;  (* for recycling at [finish] *)
   tb : Trace.Block_builder.b option;
 }
 
@@ -65,6 +66,7 @@ let make_on ~core ~device ~idx ~num_blocks =
     touched_tbl = Hashtbl.create 8;
     ops_tbl = Hashtbl.create 16;
     allocators = List.map (fun k -> (k, ref 0)) kinds;
+    scratch = [];
     tb =
       Option.map
         (fun tr -> Trace.block_builder tr ~idx ~core)
@@ -117,6 +119,42 @@ let charge ?(op = "charge") ?(bytes = 0) t engine cycles =
     raise (Health.Core_dead { core = t.core; cycle = t.kill_at })
   end
 
+(* Tile-batched charging: repeat the charge sequence [entries] exactly
+   [count] times, as [count] iterations of per-charge [charge] calls
+   would (same engine accumulator, same float-addition order, zero
+   payload bytes). With a trace armed or a finite kill threshold the
+   slow per-charge path runs so span granularity and kill semantics
+   are untouched; otherwise the dispatch (engine index, trace match,
+   kill check) is paid once per tile instead of once per row. *)
+let charge_rows t engine ~count entries =
+  if count > 0 && Array.length entries > 0 then
+    if Option.is_some t.tb || Float.is_finite t.kill_at then
+      for _ = 1 to count do
+        Array.iter (fun (op, c) -> charge ~op t engine c) entries
+      done
+    else begin
+      let i = Engine.index ~vec_per_core:t.vec_per_core engine in
+      let n = Array.length entries in
+      if t.in_section then
+        for _ = 1 to count do
+          for j = 0 to n - 1 do
+            let _, c = Array.unsafe_get entries j in
+            t.busy_total.(i) <- t.busy_total.(i) +. c;
+            t.charged <- t.charged +. c;
+            t.sec_busy.(i) <- t.sec_busy.(i) +. c
+          done
+        done
+      else
+        for _ = 1 to count do
+          for j = 0 to n - 1 do
+            let _, c = Array.unsafe_get entries j in
+            t.busy_total.(i) <- t.busy_total.(i) +. c;
+            t.charged <- t.charged +. c;
+            t.time_cycles <- t.time_cycles +. c
+          done
+        done
+    end
+
 let note_fault t =
   (match t.tb with
   | Some tb ->
@@ -127,6 +165,11 @@ let note_fault t =
 let count_op t name =
   Hashtbl.replace t.ops_tbl name
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.ops_tbl name))
+
+let count_op_n t name k =
+  if k > 0 then
+    Hashtbl.replace t.ops_tbl name
+      (k + Option.value ~default:0 (Hashtbl.find_opt t.ops_tbl name))
 
 let note_gm_traffic t ~read ~write =
   t.gm_read <- t.gm_read + read;
@@ -175,12 +218,19 @@ let alloc t kind dtype length =
          "Block.alloc: %s overflow (%d B requested, %d of %d B in use)"
          (Mem_kind.to_string kind) bytes !off cap);
   off := !off + bytes;
-  Local_tensor.make ~kind ~dtype ~length
+  let lt = Local_tensor.make ~kind ~dtype ~length in
+  t.scratch <- lt :: t.scratch;
+  lt
 
 let reset_mem t kind = allocator t kind := 0
 let elapsed_cycles t = t.time_cycles
 
 let finish t =
+  (* Local scratchpad tensors never outlive their block (mirroring the
+     hardware); recycle their storage through the Host_buffer pool so
+     steady-state launches allocate nothing. *)
+  List.iter Local_tensor.retire t.scratch;
+  t.scratch <- [];
   {
     cycles = t.time_cycles;
     busy = Array.copy t.busy_total;

@@ -86,9 +86,24 @@ val note_fault : t -> unit
     quarantine scoring); called by the MTE fault hook. Raises
     {!Health.Core_dead} when the core trips its quarantine budget. *)
 
+val charge_rows : t -> Engine.t -> count:int -> (string * float) array -> unit
+(** [charge_rows t e ~count entries] charges the sequence [entries]
+    (op name, cycles) to engine [e] exactly [count] times, with the
+    same accumulator-addition order — and therefore bit-identical
+    {!result} cycles — as [count] rounds of individual {!charge}
+    calls. When a trace is armed or the core has a finite kill
+    threshold it degrades to exactly those per-charge calls, so span
+    granularity and the kill point are unchanged; otherwise the
+    engine/trace/kill dispatch is paid once per batch instead of once
+    per row. Used by tile-batched engine ops ({!Vec.scan_rows}). *)
+
 val count_op : t -> string -> unit
 (** Record one issued instruction of the named op (the per-kernel
     instruction mix reported in {!Stats.t.op_counts}). *)
+
+val count_op_n : t -> string -> int -> unit
+(** [count_op_n t name k] records [k] issued instructions at once
+    (no-op when [k <= 0]). *)
 
 val note_gm_traffic : t -> read:int -> write:int -> unit
 val note_touched : t -> Global_tensor.t -> unit

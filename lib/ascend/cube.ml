@@ -14,96 +14,155 @@ let check_shape what lt elems =
 (* Functional evaluation. The structure tags of the constant scan
    matrices admit O(m*n) evaluation; the general path is the O(m*k*n)
    triple loop. All paths accumulate in double and round to the
-   accumulator data type on store, matching fp32/int32 accumulators. *)
+   accumulator data type on store, matching fp32/int32 accumulators.
+
+   The loops run over the raw Bigarray storage
+   ({!Host_buffer.data}): operand shapes were validated by [mmad], so
+   bounds checks are dropped and the accumulator-dtype rounding is
+   hoisted out of the loop — as a direct {!Dtype.round_f32} call on
+   the hot fp32-accumulator path, as a {!Dtype.rounder} closure
+   otherwise. The accumulation order (raw double adds, one rounding on
+   store) is that of the historical scalar get/set loops. *)
+
+module BA1 = Bigarray.Array1
+
+let raw lt = Host_buffer.data (Local_tensor.buffer lt)
+let acc_rounder lt = Dtype.rounder (Local_tensor.dtype lt)
+
+(* F32 rounding through a one-element float32 Bigarray: the store/load
+   pair compiles to inline single-precision conversion instructions,
+   where the [Int32.bits_of_float] route costs two C calls per element
+   (and a cross-module [Dtype.round_f32] call would additionally box
+   under classic-mode/-opaque compilation). The scratch cell is
+   allocated per kernel call — blocks evaluate concurrently under
+   domain-parallel launches, so a shared cell would race. *)
+type f32cell = (float, Bigarray.float32_elt, Bigarray.c_layout) BA1.t
+
+let f32scratch () : f32cell = BA1.create Bigarray.float32 Bigarray.c_layout 1
+
+let[@inline] round_f32 (tmp : f32cell) f =
+  (* NaN payloads pass through untouched, as [Dtype.round_f32] (the
+     [acc_rounder] arms) does — the cell roundtrip would quiet them. *)
+  if Float.is_nan f then f
+  else begin
+    BA1.unsafe_set tmp 0 f;
+    BA1.unsafe_get tmp 0
+  end
 
 let eval_general a b c ~m ~k ~n ~accumulate =
-  let ab = Local_tensor.buffer a
-  and bb = Local_tensor.buffer b
-  and cb = Local_tensor.buffer c in
-  let dt = Host_buffer.dtype cb in
+  let ab = raw a and bb = raw b and cb = raw c in
+  let round = acc_rounder c in
   for i = 0 to m - 1 do
     for j = 0 to n - 1 do
-      let acc = ref (if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0) in
+      let acc = ref (if accumulate then BA1.unsafe_get cb ((i * n) + j) else 0.0) in
       for t = 0 to k - 1 do
         acc :=
           !acc
-          +. (Host_buffer.get ab ((i * k) + t) *. Host_buffer.get bb ((t * n) + j))
+          +. (BA1.unsafe_get ab ((i * k) + t) *. BA1.unsafe_get bb ((t * n) + j))
       done;
-      Host_buffer.set cb ((i * n) + j) (Dtype.round dt !acc)
+      BA1.unsafe_set cb ((i * n) + j) (round !acc)
     done
   done
 
 (* C[i,j] (+)= sum_{t <= j} A[i,t]  — B = U (upper-triangular ones).
-   Requires k = n; row-wise running sums. *)
+   Requires k = n; row-wise running sums. This is McScan's tile-local
+   scan and the simulator's hottest cube path, so the fp32-accumulator
+   case gets its own loop with the rounding call inlined. *)
 let eval_b_upper_ones a c ~m ~k ~n ~accumulate =
-  let ab = Local_tensor.buffer a and cb = Local_tensor.buffer c in
-  let dt = Host_buffer.dtype cb in
-  for i = 0 to m - 1 do
-    let run = ref 0.0 in
-    for j = 0 to n - 1 do
-      if j < k then run := !run +. Host_buffer.get ab ((i * k) + j);
-      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
-      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !run))
-    done
-  done
+  let ab = raw a and cb = raw c in
+  (match Local_tensor.dtype c with
+  | Dtype.F32 when k = n && not accumulate ->
+      (* McScan's exact shape: every element of the row contributes and
+         the output overwrites — no per-element branches left. *)
+      let tmp = f32scratch () in
+      for i = 0 to m - 1 do
+        let run = ref 0.0 in
+        let arow = i * k and crow = i * n in
+        for j = 0 to n - 1 do
+          run := !run +. BA1.unsafe_get ab (arow + j);
+          BA1.unsafe_set cb (crow + j) (round_f32 tmp !run)
+        done
+      done
+  | Dtype.F32 ->
+      let tmp = f32scratch () in
+      for i = 0 to m - 1 do
+        let run = ref 0.0 in
+        let arow = i * k and crow = i * n in
+        for j = 0 to n - 1 do
+          if j < k then run := !run +. BA1.unsafe_get ab (arow + j);
+          let base = if accumulate then BA1.unsafe_get cb (crow + j) else 0.0 in
+          BA1.unsafe_set cb (crow + j) (round_f32 tmp (base +. !run))
+        done
+      done
+  | _ ->
+      let round = acc_rounder c in
+      for i = 0 to m - 1 do
+        let run = ref 0.0 in
+        let arow = i * k and crow = i * n in
+        for j = 0 to n - 1 do
+          if j < k then run := !run +. BA1.unsafe_get ab (arow + j);
+          let base = if accumulate then BA1.unsafe_get cb (crow + j) else 0.0 in
+          BA1.unsafe_set cb (crow + j) (round (base +. !run))
+        done
+      done)
 
 (* C[i,j] (+)= sum_{t >= j} A[i,t]  — B = L (lower-triangular ones). *)
 let eval_b_lower_ones a c ~m ~k ~n ~accumulate =
-  let ab = Local_tensor.buffer a and cb = Local_tensor.buffer c in
-  let dt = Host_buffer.dtype cb in
+  let ab = raw a and cb = raw c in
+  let round = acc_rounder c in
   for i = 0 to m - 1 do
     (* suffix sums of row i of A *)
     let run = ref 0.0 in
     let suffix = Array.make n 0.0 in
     for j = n - 1 downto 0 do
-      if j < k then run := !run +. Host_buffer.get ab ((i * k) + j);
+      if j < k then run := !run +. BA1.unsafe_get ab ((i * k) + j);
       suffix.(j) <- !run
     done;
     for j = 0 to n - 1 do
-      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
-      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. suffix.(j)))
+      let base = if accumulate then BA1.unsafe_get cb ((i * n) + j) else 0.0 in
+      BA1.unsafe_set cb ((i * n) + j) (round (base +. suffix.(j)))
     done
   done
 
 (* C[i,j] (+)= sum_t A[i,t]  — B = all-ones. *)
 let eval_b_all_ones a c ~m ~k ~n ~accumulate =
-  let ab = Local_tensor.buffer a and cb = Local_tensor.buffer c in
-  let dt = Host_buffer.dtype cb in
+  let ab = raw a and cb = raw c in
+  let round = acc_rounder c in
   for i = 0 to m - 1 do
     let sum = ref 0.0 in
     for t = 0 to k - 1 do
-      sum := !sum +. Host_buffer.get ab ((i * k) + t)
+      sum := !sum +. BA1.unsafe_get ab ((i * k) + t)
     done;
     for j = 0 to n - 1 do
-      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
-      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !sum))
+      let base = if accumulate then BA1.unsafe_get cb ((i * n) + j) else 0.0 in
+      BA1.unsafe_set cb ((i * n) + j) (round (base +. !sum))
     done
   done
 
 (* C[i,j] (+)= sum_{t < i} B[t,j]  — A = strict lower-triangular ones:
    column-wise exclusive prefix sums of B. *)
 let eval_a_strict_lower_ones b c ~m ~k ~n ~accumulate =
-  let bb = Local_tensor.buffer b and cb = Local_tensor.buffer c in
-  let dt = Host_buffer.dtype cb in
+  let bb = raw b and cb = raw c in
+  let round = acc_rounder c in
   for j = 0 to n - 1 do
     let run = ref 0.0 in
     for i = 0 to m - 1 do
-      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
-      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !run));
-      if i < k then run := !run +. Host_buffer.get bb ((i * n) + j)
+      let base = if accumulate then BA1.unsafe_get cb ((i * n) + j) else 0.0 in
+      BA1.unsafe_set cb ((i * n) + j) (round (base +. !run));
+      if i < k then run := !run +. BA1.unsafe_get bb ((i * n) + j)
     done
   done
 
 (* C[i,j] (+)= sum_{t <= i} B[t,j]  — A = lower-triangular ones. *)
 let eval_a_lower_ones b c ~m ~k ~n ~accumulate =
-  let bb = Local_tensor.buffer b and cb = Local_tensor.buffer c in
-  let dt = Host_buffer.dtype cb in
+  let bb = raw b and cb = raw c in
+  let round = acc_rounder c in
   for j = 0 to n - 1 do
     let run = ref 0.0 in
     for i = 0 to m - 1 do
-      if i < k then run := !run +. Host_buffer.get bb ((i * n) + j);
-      let base = if accumulate then Host_buffer.get cb ((i * n) + j) else 0.0 in
-      Host_buffer.set cb ((i * n) + j) (Dtype.round dt (base +. !run))
+      if i < k then run := !run +. BA1.unsafe_get bb ((i * n) + j);
+      let base = if accumulate then BA1.unsafe_get cb ((i * n) + j) else 0.0 in
+      BA1.unsafe_set cb ((i * n) + j) (round (base +. !run))
     done
   done
 

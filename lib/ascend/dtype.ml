@@ -25,7 +25,7 @@ let max_value = function
   | U16 -> 65535.0
   | I32 -> 2147483647.0
 
-let round_f32 v =
+let[@inline] round_f32 v =
   if Float.is_nan v then v else Int32.float_of_bits (Int32.bits_of_float v)
 
 (* Two's-complement wrap-around of a truncated float, for a field of
@@ -39,7 +39,7 @@ let wrap_unsigned bits v =
   let m = 1 lsl bits in
   float_of_int (((int_of_float v) mod m + m) mod m)
 
-let round dt v =
+let[@inline] round dt v =
   match dt with
   | F16 -> Fp16.round v
   | F32 -> round_f32 v

@@ -24,6 +24,11 @@ val round : t -> float -> float
     buffer of type [dt]: fp16/fp32 rounding for float types, truncation
     toward zero followed by wrap-around for integer types. *)
 
+val round_f32 : float -> float
+(** The [F32] arm of {!round} directly (one binary32 roundtrip, NaN
+    passed through); exposed so bulk kernels can specialise their
+    inner loops without the dtype dispatch. *)
+
 val is_integer : t -> bool
 
 val min_value : t -> float

@@ -24,44 +24,47 @@ let is_finite h = bits_exponent h <> 31
    does not arise from fp16-representable operands; this matches how the
    hardware converts as well (fp32 accumulators quantized to fp16). *)
 
-let of_float f =
+(* The encode side of the codec is the hottest write-path scalar (every
+   fp16 store rounds through it), so the normal range uses the
+   carry-propagating bias trick instead of the historical
+   extract/compare/reassemble sequence: adding [0xFFF + odd] below the
+   13 dropped mantissa bits implements round-to-nearest-even in one
+   add, and a mantissa carry overflows into the exponent field — at the
+   top of the range correctly producing the infinity encoding. The
+   subnormal band keeps the exact integer-shift rounding (OCaml has no
+   float32 arithmetic, so the denormal-magic float-add variant of the
+   trick would double-round); it is off the hot path. The exhaustive
+   65536-pattern roundtrip and the encode-equivalence suite in
+   [test_fp16.ml] lock both paths to the historical rounding. *)
+let[@inline] of_float f =
   let b = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF in
   let sign = (b lsr 16) land 0x8000 in
-  let e = (b lsr 23) land 0xFF in
-  let m = b land 0x7FFFFF in
-  if e = 0xFF then
-    if m = 0 then sign lor 0x7C00 (* infinity *)
-    else sign lor 0x7E00 (* NaN: canonicalize *)
-  else
-    (* Unbiased exponent of the float32 value. *)
-    let exp = e - 127 in
-    if exp > 15 then sign lor 0x7C00 (* overflow to infinity *)
-    else if exp >= -14 then begin
-      (* Normal range of binary16: round 23-bit mantissa to 10 bits,
-         round-to-nearest-even on the 13 dropped bits. *)
-      let e16 = exp + 15 in
-      let base = (e16 lsl 10) lor (m lsr 13) in
-      let rest = m land 0x1FFF in
-      let half = 0x1000 in
-      if rest > half || (rest = half && base land 1 = 1) then
-        (* Carry out of the mantissa propagates into the exponent and,
-           at the top of the range, correctly yields infinity. *)
-        sign lor (base + 1)
-      else sign lor base
-    end
-    else if exp >= -25 then begin
-      (* Subnormal range: the implicit leading 1 joins the mantissa and
-         the whole significand is shifted right. *)
-      let sig32 = m lor 0x800000 in
-      let shift = -exp - 14 + 13 in
-      let base = sig32 lsr shift in
-      let rest = sig32 land ((1 lsl shift) - 1) in
-      let half = 1 lsl (shift - 1) in
-      if rest > half || (rest = half && base land 1 = 1) then
-        sign lor (base + 1)
-      else sign lor base
-    end
-    else sign (* underflow to (signed) zero *)
+  let a = b land 0x7FFFFFFF in
+  if a >= 0x47800000 then
+    (* >= 65536.0f after f32 rounding: infinity, or NaN (canonicalized
+       to the quiet pattern, as the hardware converts). *)
+    if a > 0x7F800000 then sign lor 0x7E00 else sign lor 0x7C00
+  else if a >= 0x38800000 then
+    (* Normal binary16 range [2^-14, 65536): rebias the exponent and
+       round-to-nearest-even the 13 dropped bits in a single add.
+       Finite f32 values in [65520, 65536) carry all the way into the
+       exponent and yield 0x7C00 = infinity, matching RNE. *)
+    let odd = (a lsr 13) land 1 in
+    let a = a + 0xFFF + odd - (112 lsl 23) in
+    sign lor (a lsr 13)
+  else if a >= 0x33000000 then
+    (* Subnormal range [2^-25, 2^-14): the implicit leading 1 joins the
+       mantissa and the whole significand is shifted right, with exact
+       integer round-to-nearest-even on the dropped bits. *)
+    let m = a land 0x7FFFFF lor 0x800000 in
+    let shift = 126 - (a lsr 23) in
+    (* = -exp - 14 + 13 for exp = e - 127 in [-25, -15] *)
+    let base = m lsr shift in
+    let rest = m land ((1 lsl shift) - 1) in
+    let half = 1 lsl (shift - 1) in
+    if rest > half || (rest = half && base land 1 = 1) then sign lor (base + 1)
+    else sign lor base
+  else sign (* below 2^-25: underflow to (signed) zero *)
 
 (* [to_float] is the simulator's hottest scalar: every fp16 store
    rounds through [of_float]/[to_float], so a 1M-element kernel decodes
@@ -85,9 +88,9 @@ let to_float_table = Array.init 65536 decode
 
 (* Masking to 16 bits matches the historical field extractions, which
    only ever read bits 0-15. *)
-let to_float h = Array.unsafe_get to_float_table (h land 0xFFFF)
+let[@inline] to_float h = Array.unsafe_get to_float_table (h land 0xFFFF)
 
-let round f = to_float (of_float f)
+let[@inline] round f = to_float (of_float f)
 let add a b = round (a +. b)
 let sub a b = round (a -. b)
 let mul a b = round (a *. b)

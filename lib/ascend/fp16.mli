@@ -35,6 +35,14 @@ val of_float : float -> t
 val to_float : t -> float
 (** Exact widening conversion. *)
 
+val to_float_table : float array
+(** The 65536-entry decode table backing {!to_float} (index = bit
+    pattern). Exposed so hot in-module rounding loops ({!Host_buffer})
+    can decode with a plain array read: the classic (non-flambda)
+    native backend boxes floats at non-inlined call boundaries, and
+    dev-profile [-opaque] compilation disables cross-module inlining,
+    so per-element cross-module {!round} calls would allocate. *)
+
 val round : float -> float
 (** [round f] is [to_float (of_float f)]: the nearest representable
     binary16 value of [f]. *)

@@ -25,6 +25,7 @@ let buffer t =
         (Printf.sprintf
            "Global_tensor.buffer: %S is cost-only (no backing storage)" t.name)
 
+let retire t = Option.iter Host_buffer.retire t.data
 let get t i = Host_buffer.get (buffer t) i
 let set t i v = Host_buffer.set (buffer t) i v
 
@@ -32,7 +33,9 @@ let load t a =
   let buf = buffer t in
   if Array.length a > t.length then
     invalid_arg "Global_tensor.load: array longer than tensor";
-  Array.iteri (fun i v -> Host_buffer.set buf i v) a
+  Host_buffer.load_array buf a
+
+let fill t v = Host_buffer.fill (buffer t) v
 
 let to_array t = Host_buffer.to_array (buffer t)
 

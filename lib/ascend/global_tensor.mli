@@ -35,5 +35,15 @@ val set : t -> int -> float -> unit
 val load : t -> float array -> unit
 (** Host-side bulk initialisation from index 0. *)
 
+val fill : t -> float -> unit
+(** Host-side fill of the whole tensor with one (rounded) value. *)
+
+val retire : t -> unit
+(** Recycle the backing storage through the {!Host_buffer} pool (no-op
+    on cost-only tensors). For kernel-internal intermediates that never
+    escape their kernel — e.g. McScan's tile-local-scan and block-sum
+    tensors — so repeated launches reuse instead of reallocating. The
+    tensor must not be used afterwards. *)
+
 val to_array : t -> float array
 val pp : Format.formatter -> t -> unit

@@ -1,53 +1,469 @@
-type t = { dtype : Dtype.t; data : float array }
+(* Flat Bigarray storage: one float64 payload word per element, with
+   the declared dtype enforced on every write. Bigarray data lives
+   outside the OCaml heap, so the GC never scans simulator tensors
+   (which matters under domain parallelism) and same-dtype [blit] is a
+   plain memmove. The scalar [get]/[set] API is kept as a compatibility
+   shim; hot paths go through the bulk kernels below, which validate
+   ranges once and run dtype-specialised unsafe loops — the per-element
+   closure indirection and bounds checks of the historical
+   [float array] representation are gone. *)
+
+module BA1 = Bigarray.Array1
+
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) BA1.t
+type t = { dtype : Dtype.t; data : ba; mutable retired : bool }
+
+(* Float rounding, local to this module. The classic (non-flambda)
+   native backend boxes every float crossing a non-inlined call
+   boundary, and the dev profile compiles with -opaque, which disables
+   cross-module inlining altogether — a bulk kernel calling
+   [Fp16.round] per element would allocate 4 words per element and
+   keep the GC busy. The fp16 encode trick is therefore replicated
+   here as an [@inline] local (pinned bit-for-bit to [Fp16.of_float]
+   by the exhaustive suites in test_fp16.ml / test_bulk.ml); the
+   decode table is shared with [Fp16]. *)
+
+let f16_decode_table = Fp16.to_float_table
+
+let[@inline] f16_encode f =
+  let b = Int32.to_int (Int32.bits_of_float f) land 0xFFFFFFFF in
+  let sign = (b lsr 16) land 0x8000 in
+  let a = b land 0x7FFFFFFF in
+  if a >= 0x47800000 then
+    if a > 0x7F800000 then sign lor 0x7E00 else sign lor 0x7C00
+  else if a >= 0x38800000 then
+    let odd = (a lsr 13) land 1 in
+    let a = a + 0xFFF + odd - (112 lsl 23) in
+    sign lor (a lsr 13)
+  else if a >= 0x33000000 then
+    let m = a land 0x7FFFFF lor 0x800000 in
+    let shift = 126 - (a lsr 23) in
+    let base = m lsr shift in
+    let rest = m land ((1 lsl shift) - 1) in
+    let half = 1 lsl (shift - 1) in
+    if rest > half || (rest = half && base land 1 = 1) then sign lor (base + 1)
+    else sign lor base
+  else sign
+
+let[@inline] round_f16 f = Array.unsafe_get f16_decode_table (f16_encode f)
+let[@inline] round_f32 f =
+  (* NaN payloads pass through untouched, exactly as [Dtype.round_f32]:
+     the f32 bit roundtrip would truncate them, which the equivalence
+     suite in test_bulk.ml observes bit for bit. *)
+  if Float.is_nan f then f else Int32.float_of_bits (Int32.bits_of_float f)
+
+(* Storage pool. Simulated scratchpads are allocated per block per
+   launch — without reuse, a 20-block McScan launch maps, faults in and
+   unmaps ~10 MB of 128 KB Bigarrays per run, and the GC's custom-block
+   accounting paces dozens of major slices per run to reclaim them.
+   Retired payloads are kept on a size-keyed free list (capped; excess
+   falls back to the GC) and handed back out by [create], zero-filled,
+   so steady-state launches allocate no storage at all. The pool is
+   shared across domains (blocks allocate and finish concurrently under
+   domain-parallel launches), hence the mutex. *)
+let pool : (int, ba list ref) Hashtbl.t = Hashtbl.create 16
+let pool_mutex = Mutex.create ()
+let pool_bytes = ref 0
+let pool_cap_bytes = 64 * 1024 * 1024
+
+let pool_take n =
+  Mutex.lock pool_mutex;
+  let r =
+    match Hashtbl.find_opt pool n with
+    | Some ({ contents = ba :: rest } as cell) ->
+        cell := rest;
+        pool_bytes := !pool_bytes - (n * 8);
+        Some ba
+    | _ -> None
+  in
+  Mutex.unlock pool_mutex;
+  r
+
+let pool_put (data : ba) =
+  let n = BA1.dim data in
+  let bytes = n * 8 in
+  if n > 0 then begin
+    Mutex.lock pool_mutex;
+    if !pool_bytes + bytes <= pool_cap_bytes then begin
+      (match Hashtbl.find_opt pool n with
+      | Some cell -> cell := data :: !cell
+      | None -> Hashtbl.add pool n (ref [ data ]));
+      pool_bytes := !pool_bytes + bytes
+    end;
+    Mutex.unlock pool_mutex
+  end
 
 let create dtype n =
   if n < 0 then invalid_arg "Host_buffer.create: negative length";
-  { dtype; data = Array.make n 0.0 }
+  let data =
+    match pool_take n with
+    | Some data -> data
+    | None -> BA1.create Bigarray.float64 Bigarray.c_layout n
+  in
+  BA1.fill data 0.0;
+  (* Array1.create does not zero; pooled payloads hold stale data *)
+  { dtype; data; retired = false }
+
+let retire t =
+  if not t.retired then begin
+    t.retired <- true;
+    pool_put t.data
+  end
 
 let dtype t = t.dtype
-let length t = Array.length t.data
+let data t = t.data
+let length t = BA1.dim t.data
 let size_bytes t = length t * Dtype.size_bytes t.dtype
-let get t i = t.data.(i)
-let set t i v = t.data.(i) <- Dtype.round t.dtype v
-let set_cast t i ~from v = t.data.(i) <- Dtype.cast ~from ~into:t.dtype v
+
+(* Bounds-checked Array1 access raises the same
+   [Invalid_argument "index out of bounds"] the historical array
+   representation did. *)
+let get t i = BA1.get t.data i
+let set t i v = BA1.set t.data i (Dtype.round t.dtype v)
+let set_cast t i ~from v = BA1.set t.data i (Dtype.cast ~from ~into:t.dtype v)
+
+(* Unsafe accessors for validated inner loops (Cube's structured
+   matmul evaluators). [unsafe_set] still rounds through the dtype. *)
+let[@inline] unsafe_get t i = BA1.unsafe_get t.data i
+let[@inline] unsafe_set t i v = BA1.unsafe_set t.data i (Dtype.round t.dtype v)
+
+let check_range name t off len =
+  if len < 0 || off < 0 || off + len > length t then
+    invalid_arg (Printf.sprintf "Host_buffer.%s: range out of bounds" name)
 
 let fill t v =
   let v = Dtype.round t.dtype v in
-  Array.fill t.data 0 (Array.length t.data) v
+  BA1.fill t.data v
+
+let fill_range t ~off ~len v =
+  check_range "fill_range" t off len;
+  if len > 0 then BA1.fill (BA1.sub t.data off len) (Dtype.round t.dtype v)
 
 (* Bulk element conversion with the dtype dispatch hoisted out of the
    loop; ranges must already be validated. Shared by the converting
-   [blit] path and [of_array]. *)
-let convert_into f ~src ~src_off ~dst ~dst_off ~len =
-  for i = 0 to len - 1 do
-    Array.unsafe_set dst (dst_off + i) (f (Array.unsafe_get src (src_off + i)))
-  done
+   [blit] path and [of_array]. The F16/F32 arms call the codec directly
+   so the rounding inlines instead of re-dispatching per element. *)
+let convert_into ~from ~(dst : t) ~(src : ba) ~src_off ~dst_off ~len =
+  let d = dst.data in
+  match from, dst.dtype with
+  | (Dtype.F16 | Dtype.F32), Dtype.F16 | Dtype.I8, Dtype.F16 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f16 (BA1.unsafe_get src (src_off + i)))
+      done
+  | (Dtype.F16 | Dtype.F32), Dtype.F32 | Dtype.I8, Dtype.F32 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f32 (BA1.unsafe_get src (src_off + i)))
+      done
+  | _, _ ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (Dtype.cast ~from ~into:dst.dtype (BA1.unsafe_get src (src_off + i)))
+      done
 
 let blit ~src ~src_off ~dst ~dst_off ~len =
-  if len < 0 || src_off < 0 || dst_off < 0
-     || src_off + len > length src || dst_off + len > length dst
+  if
+    len < 0 || src_off < 0 || dst_off < 0
+    || src_off + len > length src
+    || dst_off + len > length dst
   then invalid_arg "Host_buffer.blit: range out of bounds";
-  if Dtype.equal src.dtype dst.dtype then
-    (* Stored values are already canonical for the dtype: move them
-       wholesale, no per-element rounding. *)
-    Array.blit src.data src_off dst.data dst_off len
-  else
-    convert_into
-      (Dtype.caster ~from:src.dtype ~into:dst.dtype)
-      ~src:src.data ~src_off ~dst:dst.data ~dst_off ~len
+  if len > 0 then
+    if Dtype.equal src.dtype dst.dtype then
+      (* Stored values are already canonical for the dtype: move them
+         wholesale (memmove; overlap-safe), no per-element rounding. *)
+      BA1.blit (BA1.sub src.data src_off len) (BA1.sub dst.data dst_off len)
+    else
+      convert_into ~from:src.dtype ~dst ~src:src.data ~src_off ~dst_off ~len
 
-let of_array dtype a =
+let of_array dt a =
   let n = Array.length a in
-  let t = create dtype n in
-  (* Same dispatch-hoisted path as [blit]'s converting branch, instead
-     of the historical [set] per element (bounds check + dtype match
-     per value). *)
-  convert_into (Dtype.rounder dtype) ~src:a ~src_off:0 ~dst:t.data ~dst_off:0
-    ~len:n;
+  let t = create dt n in
+  let d = t.data in
+  (match dt with
+  | Dtype.F16 ->
+      for i = 0 to n - 1 do
+        BA1.unsafe_set d i (round_f16 (Array.unsafe_get a i))
+      done
+  | Dtype.F32 ->
+      for i = 0 to n - 1 do
+        BA1.unsafe_set d i (round_f32 (Array.unsafe_get a i))
+      done
+  | dt ->
+      for i = 0 to n - 1 do
+        BA1.unsafe_set d i (Dtype.round dt (Array.unsafe_get a i))
+      done);
   t
 
-let to_array t = Array.copy t.data
-let copy t = { dtype = t.dtype; data = Array.copy t.data }
+let load_array t a =
+  let n = Array.length a in
+  check_range "load_array" t 0 n;
+  let d = t.data in
+  match t.dtype with
+  | Dtype.F16 ->
+      for i = 0 to n - 1 do
+        BA1.unsafe_set d i (round_f16 (Array.unsafe_get a i))
+      done
+  | Dtype.F32 ->
+      for i = 0 to n - 1 do
+        BA1.unsafe_set d i (round_f32 (Array.unsafe_get a i))
+      done
+  | dt ->
+      for i = 0 to n - 1 do
+        BA1.unsafe_set d i (Dtype.round dt (Array.unsafe_get a i))
+      done
+
+let to_array t = Array.init (length t) (fun i -> BA1.unsafe_get t.data i)
+
+let copy t =
+  let n = length t in
+  let data = BA1.create Bigarray.float64 Bigarray.c_layout n in
+  BA1.blit t.data data;
+  { dtype = t.dtype; data; retired = false }
+
+(* ------------------------------------------------------------------ *)
+(* Bulk kernels. Each validates its ranges once, hoists the dtype and
+   operator dispatch out of the loop, and preserves the exact operand
+   order and rounding of the scalar shim it replaces (NaN payloads and
+   float non-associativity make the order observable bit for bit). *)
+
+type binop = Add | Sub | Mul | Max | Min
+type scalar_op = Adds | Muls | Maxs | Mins
+
+(* dst.(i) <- round (src0.(i) op src1.(i)); src0 is the left operand,
+   as in [Vec.binop]'s historical [fun_of_binop] closures. *)
+let map2_binop op ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len =
+  check_range "map2_binop" src0 src0_off len;
+  check_range "map2_binop" src1 src1_off len;
+  check_range "map2_binop" dst dst_off len;
+  let a = src0.data and b = src1.data and d = dst.data in
+  let finish_generic dt f =
+    for i = 0 to len - 1 do
+      BA1.unsafe_set d (dst_off + i)
+        (Dtype.round dt
+           (f (BA1.unsafe_get a (src0_off + i)) (BA1.unsafe_get b (src1_off + i))))
+    done
+  in
+  match op, dst.dtype with
+  | Add, Dtype.F16 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f16
+             (BA1.unsafe_get a (src0_off + i) +. BA1.unsafe_get b (src1_off + i)))
+      done
+  | Add, Dtype.F32 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f32
+             (BA1.unsafe_get a (src0_off + i) +. BA1.unsafe_get b (src1_off + i)))
+      done
+  | Max, Dtype.F16 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f16
+             (Float.max
+                (BA1.unsafe_get a (src0_off + i))
+                (BA1.unsafe_get b (src1_off + i))))
+      done
+  | Max, Dtype.F32 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f32
+             (Float.max
+                (BA1.unsafe_get a (src0_off + i))
+                (BA1.unsafe_get b (src1_off + i))))
+      done
+  | Add, dt -> finish_generic dt ( +. )
+  | Sub, dt -> finish_generic dt ( -. )
+  | Mul, dt -> finish_generic dt ( *. )
+  | Max, dt -> finish_generic dt Float.max
+  | Min, dt -> finish_generic dt Float.min
+
+(* dst.(i) <- round (src.(i) op scalar), with the operand order of the
+   historical [Vec] closures: [adds]/[muls] put the element first,
+   [maxs]/[mins] partially applied the scalar first. *)
+let map1_scalar op ~src ~src_off ~dst ~dst_off ~scalar ~len =
+  check_range "map1_scalar" src src_off len;
+  check_range "map1_scalar" dst dst_off len;
+  let s = src.data and d = dst.data in
+  let finish_generic dt f =
+    for i = 0 to len - 1 do
+      BA1.unsafe_set d (dst_off + i)
+        (Dtype.round dt (f (BA1.unsafe_get s (src_off + i))))
+    done
+  in
+  match op, dst.dtype with
+  | Adds, Dtype.F16 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f16 (BA1.unsafe_get s (src_off + i) +. scalar))
+      done
+  | Adds, Dtype.F32 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f32 (BA1.unsafe_get s (src_off + i) +. scalar))
+      done
+  | Maxs, Dtype.F16 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f16 (Float.max scalar (BA1.unsafe_get s (src_off + i))))
+      done
+  | Maxs, Dtype.F32 ->
+      for i = 0 to len - 1 do
+        BA1.unsafe_set d (dst_off + i)
+          (round_f32 (Float.max scalar (BA1.unsafe_get s (src_off + i))))
+      done
+  | Adds, dt -> finish_generic dt (fun v -> v +. scalar)
+  | Muls, dt -> finish_generic dt (fun v -> v *. scalar)
+  | Maxs, dt -> finish_generic dt (Float.max scalar)
+  | Mins, dt -> finish_generic dt (Float.min scalar)
+
+(* Closure fall-backs for the cold element-wise paths (compare, bit
+   ops, exp, ...): still one range validation and no per-element
+   bounds checks, but the element function stays a closure. *)
+let map1_f f ~src ~src_off ~dst ~dst_off ~len =
+  check_range "map1_f" src src_off len;
+  check_range "map1_f" dst dst_off len;
+  let s = src.data and d = dst.data in
+  let dt = dst.dtype in
+  for i = 0 to len - 1 do
+    BA1.unsafe_set d (dst_off + i)
+      (Dtype.round dt (f (BA1.unsafe_get s (src_off + i))))
+  done
+
+let map2_f f ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len =
+  check_range "map2_f" src0 src0_off len;
+  check_range "map2_f" src1 src1_off len;
+  check_range "map2_f" dst dst_off len;
+  let a = src0.data and b = src1.data and d = dst.data in
+  let dt = dst.dtype in
+  for i = 0 to len - 1 do
+    BA1.unsafe_set d (dst_off + i)
+      (Dtype.round dt
+         (f (BA1.unsafe_get a (src0_off + i)) (BA1.unsafe_get b (src1_off + i))))
+  done
+
+let select_range ~mask ~mask_off ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off
+    ~len =
+  check_range "select_range" mask mask_off len;
+  check_range "select_range" src0 src0_off len;
+  check_range "select_range" src1 src1_off len;
+  check_range "select_range" dst dst_off len;
+  let m = mask.data and a = src0.data and b = src1.data and d = dst.data in
+  let dt = dst.dtype in
+  for i = 0 to len - 1 do
+    let v =
+      if BA1.unsafe_get m (mask_off + i) <> 0.0 then
+        BA1.unsafe_get a (src0_off + i)
+      else BA1.unsafe_get b (src1_off + i)
+    in
+    BA1.unsafe_set d (dst_off + i) (Dtype.round dt v)
+  done
+
+let arange_range t ~off ~start ~len =
+  check_range "arange_range" t off len;
+  let d = t.data in
+  let dt = t.dtype in
+  for i = 0 to len - 1 do
+    BA1.unsafe_set d (off + i) (Dtype.round dt (start +. float_of_int i))
+  done
+
+(* Raw double-accumulator reductions, forward order, no final rounding
+   (the caller rounds, matching the historical [Vec] reductions). *)
+let reduce_add t ~off ~len =
+  check_range "reduce_add" t off len;
+  let d = t.data in
+  let acc = ref 0.0 in
+  for i = off to off + len - 1 do
+    acc := !acc +. BA1.unsafe_get d i
+  done;
+  !acc
+
+let reduce_max t ~off ~len =
+  check_range "reduce_max" t off len;
+  let d = t.data in
+  let acc = ref neg_infinity in
+  for i = off to off + len - 1 do
+    acc := Float.max !acc (BA1.unsafe_get d i)
+  done;
+  !acc
+
+(* Linear inclusive scan rounding through [dst]'s dtype at every step:
+   acc <- round (acc + src.(i)), the accumulation order of the
+   historical [Vec.cumsum] loop. *)
+let scan_accum ~src ~dst ~len =
+  check_range "scan_accum" src 0 len;
+  check_range "scan_accum" dst 0 len;
+  let s = src.data and d = dst.data in
+  let acc = ref 0.0 in
+  (match dst.dtype with
+  | Dtype.F16 ->
+      for i = 0 to len - 1 do
+        acc := round_f16 (!acc +. BA1.unsafe_get s i);
+        BA1.unsafe_set d i !acc
+      done
+  | Dtype.F32 ->
+      for i = 0 to len - 1 do
+        acc := round_f32 (!acc +. BA1.unsafe_get s i);
+        BA1.unsafe_set d i !acc
+      done
+  | dt ->
+      for i = 0 to len - 1 do
+        acc := Dtype.round dt (!acc +. BA1.unsafe_get s i);
+        BA1.unsafe_set d i !acc
+      done);
+  !acc
+
+(* In-place segment-carry propagation: for each row of [seg] elements,
+   combine every element with the running carry in the exact
+   [map1_scalar] operand order (Add/Mul put the element left, Max/Min
+   the carry left) and pick up the row's last stored value as the next
+   carry. [seg = len] is one scalar-op sweep; [Scan_core.propagate_rows]
+   is the [seg = s] case. Returns the final carry. *)
+let scan_segment op t ~off ~len ~seg ~init =
+  if seg <= 0 then invalid_arg "Host_buffer.scan_segment: seg must be positive";
+  check_range "scan_segment" t off len;
+  let d = t.data in
+  let dt = t.dtype in
+  let carry = ref init in
+  let pos = ref 0 in
+  while !pos < len do
+    let row_len = min seg (len - !pos) in
+    let base = off + !pos in
+    let c = !carry in
+    (match op, dt with
+    | Add, Dtype.F16 ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (round_f16 (BA1.unsafe_get d j +. c))
+        done
+    | Add, Dtype.F32 ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (round_f32 (BA1.unsafe_get d j +. c))
+        done
+    | Add, dt ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (Dtype.round dt (BA1.unsafe_get d j +. c))
+        done
+    | Max, dt ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (Dtype.round dt (Float.max c (BA1.unsafe_get d j)))
+        done
+    | Min, dt ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (Dtype.round dt (Float.min c (BA1.unsafe_get d j)))
+        done
+    | Mul, dt ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (Dtype.round dt (BA1.unsafe_get d j *. c))
+        done
+    | Sub, dt ->
+        for j = base to base + row_len - 1 do
+          BA1.unsafe_set d j (Dtype.round dt (BA1.unsafe_get d j -. c))
+        done);
+    carry := BA1.unsafe_get d (base + row_len - 1);
+    pos := !pos + row_len
+  done;
+  !carry
 
 let pp fmt t =
   let n = length t in
@@ -55,7 +471,7 @@ let pp fmt t =
   Format.fprintf fmt "@[<h>%a[%d] = [" Dtype.pp t.dtype n;
   for i = 0 to shown - 1 do
     if i > 0 then Format.pp_print_string fmt "; ";
-    Format.fprintf fmt "%g" t.data.(i)
+    Format.fprintf fmt "%g" (BA1.get t.data i)
   done;
   if shown < n then Format.pp_print_string fmt "; ...";
   Format.pp_print_string fmt "]@]"

@@ -1,14 +1,46 @@
 (** Typed host-side storage backing every simulated memory.
 
-    A buffer stores elements as OCaml [float]s but enforces the declared
-    {!Dtype.t} on every write: fp16 values are rounded through the
-    binary16 codec, integers are truncated and wrapped. Reads return the
-    stored (already canonical) value. *)
+    A buffer stores elements as float64 words in a flat
+    [Bigarray.Array1] (off the OCaml heap, so the GC never scans tensor
+    payloads and domain-parallel launches share them safely) but
+    enforces the declared {!Dtype.t} on every write: fp16 values are
+    rounded through the binary16 codec, integers are truncated and
+    wrapped. Reads return the stored (already canonical) value.
+
+    The scalar {!get}/{!set} API is the compatibility shim; the bulk
+    kernels below validate their ranges once and run dtype-specialised
+    unsafe inner loops. Every bulk kernel reproduces the operand order
+    and rounding of an equivalent scalar [get]/[set] loop bit for bit
+    (NaN payloads and float non-associativity make the order
+    observable); [test_bulk.ml] holds the QCheck equivalence suite. *)
 
 type t
 
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The flat storage representation. *)
+
+val data : t -> ba
+(** The backing Bigarray — the escape hatch for engine evaluation
+    loops that validate their ranges up front and round explicitly
+    (see {!Cube}). Every element written must be canonical for
+    {!dtype} (pass it through {!Dtype.round} or a hoisted
+    {!Dtype.rounder}); the scalar/bulk APIs above maintain that
+    invariant automatically. *)
+
 val create : Dtype.t -> int -> t
-(** [create dt n] is a zero-initialised buffer of [n] elements. *)
+(** [create dt n] is a zero-initialised buffer of [n] elements. The
+    storage may be recycled from the retired-buffer pool (see
+    {!retire}); contents are zeroed either way. *)
+
+val retire : t -> unit
+(** Return the buffer's storage to the internal free pool for reuse by
+    a later {!create} of the same length. Idempotent. The caller
+    asserts the buffer is dead: reading or writing it after [retire]
+    may observe or corrupt an unrelated buffer that inherited the
+    storage. Used by {!Block.finish} to recycle a finished block's
+    scratchpad tensors — simulated local memories never outlive their
+    block, mirroring the hardware. The pool is domain-safe and
+    size-capped (excess storage falls back to the GC). *)
 
 val dtype : t -> Dtype.t
 val length : t -> int
@@ -27,19 +59,95 @@ val set_cast : t -> int -> from:Dtype.t -> float -> unit
     {!Dtype.cast}); used by casting data copies such as the L0C(fp32) to
     GM(fp16) path. *)
 
+val unsafe_get : t -> int -> float
+(** Unchecked read for loops that validated their range up front. *)
+
+val unsafe_set : t -> int -> float -> unit
+(** Unchecked {!set} (still rounds through the dtype). *)
+
 val fill : t -> float -> unit
+
+val fill_range : t -> off:int -> len:int -> float -> unit
+(** Fill a sub-range with one rounded value (bulk [Vec.dup]). *)
 
 val blit : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
 (** Copy applying the destination's rounding. Same-dtype copies move
-    the (already canonical) values wholesale via [Array.blit];
-    converting copies pay the dtype dispatch once, not per element. *)
+    the (already canonical) values wholesale via a Bigarray blit
+    (memmove, overlap-safe); converting copies pay the dtype dispatch
+    once, not per element. *)
 
 val of_array : Dtype.t -> float array -> t
 (** Allocate and fill, rounding every element through the dtype codec
     with the dispatch hoisted out of the loop. *)
 
+val load_array : t -> float array -> unit
+(** Store [a] into the buffer's prefix, rounding each element; raises
+    [Invalid_argument] when [a] is longer than the buffer. *)
+
 val to_array : t -> float array
 val copy : t -> t
+
+(** {2 Bulk kernels}
+
+    Dtype-specialised loops over validated ranges. All raise
+    [Invalid_argument] on out-of-range spans. *)
+
+type binop = Add | Sub | Mul | Max | Min
+
+type scalar_op = Adds | Muls | Maxs | Mins
+
+val map2_binop :
+  binop ->
+  src0:t -> src0_off:int -> src1:t -> src1_off:int ->
+  dst:t -> dst_off:int -> len:int -> unit
+(** [dst.(i) <- round (src0.(i) op src1.(i))]; [src0] is the left
+    operand. *)
+
+val map1_scalar :
+  scalar_op ->
+  src:t -> src_off:int -> dst:t -> dst_off:int -> scalar:float ->
+  len:int -> unit
+(** [dst.(i) <- round (src.(i) op scalar)] in the historical [Vec]
+    operand order: [Adds]/[Muls] put the element left, [Maxs]/[Mins]
+    the scalar left. *)
+
+val map1_f :
+  (float -> float) ->
+  src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** Closure fall-back for the cold element-wise paths; still a single
+    range validation and a bounds-check-free loop. *)
+
+val map2_f :
+  (float -> float -> float) ->
+  src0:t -> src0_off:int -> src1:t -> src1_off:int ->
+  dst:t -> dst_off:int -> len:int -> unit
+
+val select_range :
+  mask:t -> mask_off:int -> src0:t -> src0_off:int -> src1:t ->
+  src1_off:int -> dst:t -> dst_off:int -> len:int -> unit
+(** [dst.(i) <- if mask.(i) <> 0 then src0.(i) else src1.(i)]. *)
+
+val arange_range : t -> off:int -> start:float -> len:int -> unit
+(** [t.(off+i) <- round (start + i)]. *)
+
+val reduce_add : t -> off:int -> len:int -> float
+(** Forward-order raw double accumulation, no final rounding (the
+    caller rounds, as the engine ops always did). *)
+
+val reduce_max : t -> off:int -> len:int -> float
+(** [Float.max] fold from [neg_infinity], accumulator left. *)
+
+val scan_accum : src:t -> dst:t -> len:int -> float
+(** Linear inclusive scan: [acc <- round_dst (acc + src.(i));
+    dst.(i) <- acc]; returns the final accumulator ([Vec.cumsum]'s
+    historical loop). *)
+
+val scan_segment : binop -> t -> off:int -> len:int -> seg:int -> init:float -> float
+(** In-place segment-carry propagation: combine each row of [seg]
+    elements with the running carry (exact {!map1_scalar} operand
+    order), the carry re-read from the row's last stored value.
+    Returns the final carry. [seg = 1] degenerates to an element-wise
+    carry chain; raises [Invalid_argument] when [seg <= 0]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Debug printer showing dtype, length and the first few elements. *)

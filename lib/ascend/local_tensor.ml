@@ -23,6 +23,7 @@ let buffer t = t.buf
 let structure t = t.structure
 let set_structure t s = t.structure <- s
 let touch t = t.structure <- General
+let retire t = Host_buffer.retire t.buf
 let get t i = Host_buffer.get t.buf i
 
 let set t i v =

@@ -37,6 +37,11 @@ val set_structure : t -> structure -> unit
 val touch : t -> unit
 (** Record an engine write: resets the structure tag to [General]. *)
 
+val retire : t -> unit
+(** Recycle the backing storage ({!Host_buffer.retire}). Called by
+    {!Block.finish} on every tensor the block allocated; the tensor
+    must not be used afterwards. *)
+
 val get : t -> int -> float
 val set : t -> int -> float -> unit
 

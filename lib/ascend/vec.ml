@@ -39,34 +39,32 @@ let charge_scalar ctx ~vec ~op =
 
 let esize lt = Dtype.size_bytes (Local_tensor.dtype lt)
 
-(* Generic element-wise loop writing through the dtype-rounding setter. *)
+(* Element-wise loops now route through the Host_buffer bulk kernels:
+   one range validation, then a bounds-check-free dtype-specialised
+   inner loop over the flat Bigarray storage. *)
 let map1 ctx f ~src ~src_off ~dst ~dst_off ~len =
   if Block.functional ctx then begin
-    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
-    for i = 0 to len - 1 do
-      Host_buffer.set db (dst_off + i) (f (Host_buffer.get sb (src_off + i)))
-    done
+    Host_buffer.map1_f f
+      ~src:(Local_tensor.buffer src) ~src_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
   end
 
 let map2 ctx f ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len =
   if Block.functional ctx then begin
-    let a = Local_tensor.buffer src0
-    and b = Local_tensor.buffer src1
-    and db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
-    for i = 0 to len - 1 do
-      Host_buffer.set db (dst_off + i)
-        (f (Host_buffer.get a (src0_off + i)) (Host_buffer.get b (src1_off + i)))
-    done
+    Host_buffer.map2_f f
+      ~src0:(Local_tensor.buffer src0) ~src0_off
+      ~src1:(Local_tensor.buffer src1) ~src1_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
   end
 
-let fun_of_binop = function
-  | Add -> ( +. )
-  | Sub -> ( -. )
-  | Mul -> ( *. )
-  | Max -> Float.max
-  | Min -> Float.min
+let hb_binop = function
+  | Add -> Host_buffer.Add
+  | Sub -> Host_buffer.Sub
+  | Mul -> Host_buffer.Mul
+  | Max -> Host_buffer.Max
+  | Min -> Host_buffer.Min
 
 let binop ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
     ?(dst_off = 0) ~len () =
@@ -83,31 +81,55 @@ let binop ctx ?(vec = 0) op ~src0 ?(src0_off = 0) ~src1 ?(src1_off = 0) ~dst
   in
   tick ctx name;
   charge_op ctx ~vec ~op:name ~instrs:1 ~len ~esize:(esize dst);
-  map2 ctx (fun_of_binop op) ~src0 ~src0_off ~src1 ~src1_off ~dst ~dst_off ~len
+  if Block.functional ctx then begin
+    Local_tensor.touch dst;
+    Host_buffer.map2_binop (hb_binop op)
+      ~src0:(Local_tensor.buffer src0) ~src0_off
+      ~src1:(Local_tensor.buffer src1) ~src1_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
+  end
 
 let add ctx ?(vec = 0) ~src0 ~src1 ~dst ~len () =
   binop ctx ~vec Add ~src0 ~src1 ~dst ~len ()
 
-let scalar_map name f ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
+(* Shared tick / UB-residency / bounds / cost prologue of the
+   tensor-scalar ops; the data path varies per caller. *)
+let scalar_prologue name ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
   tick ctx name;
   require_ub name src;
   require_ub name dst;
   check_range ctx name src src_off len;
   check_range ctx name dst dst_off len;
-  charge_op ctx ~vec ~op:name ~instrs:1 ~len ~esize:(esize dst);
+  charge_op ctx ~vec ~op:name ~instrs:1 ~len ~esize:(esize dst)
+
+let scalar_map name f ctx ~vec ~src ~src_off ~dst ~dst_off ~len =
+  scalar_prologue name ctx ~vec ~src ~src_off ~dst ~dst_off ~len;
   map1 ctx f ~src ~src_off ~dst ~dst_off ~len
 
+let scalar_map_spec name op ctx ~vec ~src ~src_off ~dst ~dst_off ~scalar ~len =
+  scalar_prologue name ctx ~vec ~src ~src_off ~dst ~dst_off ~len;
+  if Block.functional ctx then begin
+    Local_tensor.touch dst;
+    Host_buffer.map1_scalar op
+      ~src:(Local_tensor.buffer src) ~src_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~scalar ~len
+  end
+
 let adds ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
-  scalar_map "adds" (fun v -> v +. scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+  scalar_map_spec "adds" Host_buffer.Adds ctx ~vec ~src ~src_off ~dst ~dst_off
+    ~scalar ~len
 
 let muls ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
-  scalar_map "muls" (fun v -> v *. scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+  scalar_map_spec "muls" Host_buffer.Muls ctx ~vec ~src ~src_off ~dst ~dst_off
+    ~scalar ~len
 
 let maxs ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
-  scalar_map "maxs" (Float.max scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+  scalar_map_spec "maxs" Host_buffer.Maxs ctx ~vec ~src ~src_off ~dst ~dst_off
+    ~scalar ~len
 
 let mins ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
-  scalar_map "mins" (Float.min scalar) ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+  scalar_map_spec "mins" Host_buffer.Mins ctx ~vec ~src ~src_off ~dst ~dst_off
+    ~scalar ~len
 
 let exp ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   scalar_map "exp" Stdlib.exp ctx ~vec ~src ~src_off ~dst ~dst_off ~len
@@ -154,19 +176,12 @@ let select ctx ?(vec = 0) ?(mask_off = 0) ~mask ?(src0_off = 0) ~src0
   tick ctx "vselect";
   charge_op ctx ~vec ~op:"vselect" ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
-    let m = Local_tensor.buffer mask
-    and a = Local_tensor.buffer src0
-    and b = Local_tensor.buffer src1
-    and db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
-    for i = 0 to len - 1 do
-      let v =
-        if Host_buffer.get m (mask_off + i) <> 0.0 then
-          Host_buffer.get a (src0_off + i)
-        else Host_buffer.get b (src1_off + i)
-      in
-      Host_buffer.set db (dst_off + i) v
-    done
+    Host_buffer.select_range
+      ~mask:(Local_tensor.buffer mask) ~mask_off
+      ~src0:(Local_tensor.buffer src0) ~src0_off
+      ~src1:(Local_tensor.buffer src1) ~src1_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
   end
 
 (* Bit-wise ops view each element as the unsigned field of its dtype. *)
@@ -248,11 +263,8 @@ let arange ctx ?(vec = 0) ~dst ?(dst_off = 0) ~start ~len () =
   tick ctx "arange";
   charge_op ctx ~vec ~op:"arange" ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
-    let db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
-    for i = 0 to len - 1 do
-      Host_buffer.set db (dst_off + i) (start +. float_of_int i)
-    done
+    Host_buffer.arange_range (Local_tensor.buffer dst) ~off:dst_off ~start ~len
   end
 
 let cast ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
@@ -263,13 +275,11 @@ let cast ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   tick ctx "vcast";
   charge_op ctx ~vec ~op:"vcast" ~instrs:1 ~len ~esize:(max (esize src) (esize dst));
   if Block.functional ctx then begin
-    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
-    let from = Local_tensor.dtype src in
     Local_tensor.touch dst;
-    for i = 0 to len - 1 do
-      Host_buffer.set_cast db (dst_off + i) ~from
-        (Host_buffer.get sb (src_off + i))
-    done
+    (* Host_buffer.blit applies {!Dtype.cast} from the source dtype,
+       exactly what the per-element set_cast loop did. *)
+    Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
   end
 
 let dup ctx ?(vec = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
@@ -278,15 +288,19 @@ let dup ctx ?(vec = 0) ~dst ?(dst_off = 0) ~scalar ~len () =
   tick ctx "duplicate";
   charge_op ctx ~vec ~op:"duplicate" ~instrs:1 ~len ~esize:(esize dst);
   if Block.functional ctx then begin
-    let db = Local_tensor.buffer dst in
     Local_tensor.touch dst;
-    for i = 0 to len - 1 do
-      Host_buffer.set db (dst_off + i) scalar
-    done
+    Host_buffer.fill_range (Local_tensor.buffer dst) ~off:dst_off ~len scalar
   end
 
 let copy ctx ?(vec = 0) ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
-  scalar_map "copy" Fun.id ctx ~vec ~src ~src_off ~dst ~dst_off ~len
+  scalar_prologue "copy" ctx ~vec ~src ~src_off ~dst ~dst_off ~len;
+  if Block.functional ctx then begin
+    Local_tensor.touch dst;
+    (* Same dtype degenerates to a memmove; converting copies share the
+       cast path with [cast] (identical to the old rounding stores). *)
+    Host_buffer.blit ~src:(Local_tensor.buffer src) ~src_off
+      ~dst:(Local_tensor.buffer dst) ~dst_off ~len
+  end
 
 let reduce_sum ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   require_ub "reduce_sum" src;
@@ -294,14 +308,9 @@ let reduce_sum ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   tick ctx "reduce_sum";
   charge_op ctx ~vec ~op:"reduce_sum" ~instrs:1 ~len ~esize:(esize src);
   charge_scalar ctx ~vec ~op:"reduce_sum";
-  if Block.functional ctx then begin
-    let sb = Local_tensor.buffer src in
-    let acc = ref 0.0 in
-    for i = 0 to len - 1 do
-      acc := !acc +. Host_buffer.get sb (src_off + i)
-    done;
-    Dtype.round Dtype.F32 !acc
-  end
+  if Block.functional ctx then
+    Dtype.round Dtype.F32
+      (Host_buffer.reduce_add (Local_tensor.buffer src) ~off:src_off ~len)
   else 0.0
 
 let reduce_max ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
@@ -311,14 +320,8 @@ let reduce_max ctx ?(vec = 0) ~src ?(src_off = 0) ~len () =
   tick ctx "reduce_max";
   charge_op ctx ~vec ~op:"reduce_max" ~instrs:1 ~len ~esize:(esize src);
   charge_scalar ctx ~vec ~op:"reduce_max";
-  if Block.functional ctx then begin
-    let sb = Local_tensor.buffer src in
-    let acc = ref neg_infinity in
-    for i = 0 to len - 1 do
-      acc := Float.max !acc (Host_buffer.get sb (src_off + i))
-    done;
-    !acc
-  end
+  if Block.functional ctx then
+    Host_buffer.reduce_max (Local_tensor.buffer src) ~off:src_off ~len
   else 0.0
 
 let cumsum ctx ?(vec = 0) ~src ~dst ~rows ~cols () =
@@ -339,14 +342,10 @@ let cumsum ctx ?(vec = 0) ~src ~dst ~rows ~cols () =
   Block.charge ~op:"cumsum_api" ctx (Engine.Vec vec)
     (float_of_int (instrs - 1) *. cm.Cost_model.vec_issue_cycles);
   if Block.functional ctx then begin
-    let sb = Local_tensor.buffer src and db = Local_tensor.buffer dst in
-    let dt = Local_tensor.dtype dst in
     Local_tensor.touch dst;
-    let acc = ref 0.0 in
-    for i = 0 to len - 1 do
-      acc := Dtype.round dt (!acc +. Host_buffer.get sb i);
-      Host_buffer.set db i !acc
-    done
+    ignore
+      (Host_buffer.scan_accum ~src:(Local_tensor.buffer src)
+         ~dst:(Local_tensor.buffer dst) ~len)
   end
 
 let sort_region ctx ?(vec = 0) ?(descending = false) ~src ~dst ~len () =
@@ -437,3 +436,56 @@ let set ctx ?(vec = 0) lt i v =
   tick ctx "scalar_set";
   charge_scalar ctx ~vec ~op:"scalar_set";
   if Block.functional ctx then Local_tensor.set lt i v
+
+(* Tile-batched row-carry propagation: semantically, for each row of
+   [s] elements (last row possibly short),
+
+     <scalar-op> buf[row] (op carry); carry <- scalar get of last elt
+
+   i.e. exactly the adds/maxs + Vec.get loop scan kernels ran per UB
+   tile, but issued as one op: costs are charged through
+   Block.charge_rows in the same per-row (vector op, scalar_get)
+   order, instruction counts through count_op_n, and the data pass is
+   a single in-place Host_buffer.scan_segment sweep. *)
+let scan_rows ctx ?(vec = 0) ~op ~buf ~len ~s ~init () =
+  require_ub "scan_rows" buf;
+  check_range ctx "scan_rows" buf 0 len;
+  if s <= 0 then invalid_arg "Vec.scan_rows: s must be positive";
+  if len = 0 then init
+  else begin
+    let name, hop =
+      match op with
+      | Add -> "adds", Host_buffer.Add
+      | Mul -> "muls", Host_buffer.Mul
+      | Max -> "maxs", Host_buffer.Max
+      | Min -> "mins", Host_buffer.Min
+      | Sub -> invalid_arg "Vec.scan_rows: Sub has no tensor-scalar form"
+    in
+    let cm = Block.cost ctx in
+    let esz = esize buf in
+    let full = len / s in
+    let rem = len - (full * s) in
+    let nrows = full + (if rem > 0 then 1 else 0) in
+    Block.count_op_n ctx name nrows;
+    Block.count_op_n ctx "scalar_get" nrows;
+    let c_scalar = cm.Cost_model.scalar_access_cycles in
+    Block.charge_rows ctx (Engine.Vec vec) ~count:full
+      [|
+        (name, Cost_model.vec_op_cycles cm ~bytes:(s * esz));
+        ("scalar_get", c_scalar);
+      |];
+    if rem > 0 then begin
+      Block.charge ~op:name ctx (Engine.Vec vec)
+        (Cost_model.vec_op_cycles cm ~bytes:(rem * esz));
+      Block.charge ~op:"scalar_get" ctx (Engine.Vec vec) c_scalar
+    end;
+    if Block.functional ctx then begin
+      Local_tensor.touch buf;
+      Host_buffer.scan_segment hop (Local_tensor.buffer buf) ~off:0 ~len
+        ~seg:s ~init
+    end
+    else
+      (* Cost-only devices return 0.0 from scalar reads; the carry after
+         at least one row is therefore 0.0, matching the scalar path. *)
+      0.0
+  end

@@ -158,6 +158,21 @@ val cumsum :
     vector instructions per row (log-step intra-row passes plus
     inter-row propagation). *)
 
+val scan_rows :
+  Block.t -> ?vec:int -> op:binop -> buf:Local_tensor.t -> len:int ->
+  s:int -> init:float -> unit -> float
+(** Tile-batched row-carry propagation over a UB tile of [len] elements
+    viewed as rows of [s] (last row possibly short): combine each row
+    element-wise with the running carry via [op]'s tensor-scalar form
+    ([Add] -> [adds], [Max] -> [maxs], ...), then re-read the carry from
+    the row's last element; returns the final carry (the [init] when
+    [len = 0]). Bit-identical — in output data, charged cycles, trace
+    spans and instruction counts — to the per-row [adds]/[maxs] +
+    {!get} loop scan kernels historically issued, but dispatched as a
+    single op with one batched cost charge and one in-place data sweep.
+    Raises [Invalid_argument] for [Sub] (no tensor-scalar form) or
+    [s <= 0]. *)
+
 val sort_region :
   Block.t -> ?vec:int -> ?descending:bool -> src:Local_tensor.t ->
   dst:Local_tensor.t -> len:int -> unit -> unit

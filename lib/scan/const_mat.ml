@@ -17,15 +17,39 @@ let structure_of = function
   | Ones -> Local_tensor.All_ones
   | Ident -> Local_tensor.Identity
 
+(* Bulk structured fill: zero the tile, then write each row's span of
+   ones — the stored values match the historical per-element loop
+   exactly (0.0 and 1.0 are exact in every dtype). [zeroed] skips the
+   zeroing pass when the caller knows the tensor is already
+   all-zero (a fresh {!Block.alloc}). *)
+let fill_into ~zeroed lt ~s which =
+  Local_tensor.touch lt;
+  let buf = Local_tensor.buffer lt in
+  if not zeroed then Host_buffer.fill_range buf ~off:0 ~len:(s * s) 0.0;
+  (match which with
+  | Upper ->
+      for i = 0 to s - 1 do
+        Host_buffer.fill_range buf ~off:((i * s) + i) ~len:(s - i) 1.0
+      done
+  | Lower ->
+      for i = 0 to s - 1 do
+        Host_buffer.fill_range buf ~off:(i * s) ~len:(i + 1) 1.0
+      done
+  | Strict_lower ->
+      for i = 1 to s - 1 do
+        Host_buffer.fill_range buf ~off:(i * s) ~len:i 1.0
+      done
+  | Ones -> Host_buffer.fill_range buf ~off:0 ~len:(s * s) 1.0
+  | Ident ->
+      for i = 0 to s - 1 do
+        Host_buffer.set buf ((i * s) + i) 1.0
+      done);
+  Local_tensor.set_structure lt (structure_of which)
+
 let fill lt ~s which =
   if Local_tensor.length lt < s * s then
     invalid_arg "Const_mat.fill: tensor shorter than s*s";
-  for i = 0 to s - 1 do
-    for j = 0 to s - 1 do
-      Local_tensor.set lt ((i * s) + j) (expected ~s which ~i ~j)
-    done
-  done;
-  Local_tensor.set_structure lt (structure_of which)
+  fill_into ~zeroed:false lt ~s which
 
 let load ctx ~engine ~kind ~dtype ~s which =
   if s <= 0 then invalid_arg "Const_mat.load: s must be positive";
@@ -36,6 +60,6 @@ let load ctx ~engine ~kind ~dtype ~s which =
   Block.charge ~op:"datacopy_const" ~bytes ctx engine
     (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes);
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
-  if Block.functional ctx then fill lt ~s which
+  if Block.functional ctx then fill_into ~zeroed:true lt ~s which
   else Local_tensor.set_structure lt (structure_of which);
   lt

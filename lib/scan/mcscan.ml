@@ -2,6 +2,12 @@ open Ascend
 
 let ub_tile_elems = 16384
 
+(* UB staging tiles never hold more than one vector core's sub-block
+   ([half] elements), so cap the allocation accordingly. The copy
+   granularity — and with it every charge — is unchanged: a sub-block
+   range fits in one tile either way. *)
+let ub_elems ~half = max 1 (min ub_tile_elems half)
+
 (* Phase I: cube computes tile-local scans into [loc]; vector cores
    re-read the input and write per-vector-sub-block sums into [r]. *)
 let phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt ctx =
@@ -22,8 +28,9 @@ let phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt ctx =
         (module Scan_op.Sum)
         ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b ~dtype:in_dt ~s
     in
+    let ub_n = ub_elems ~half in
     let ubs =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) in_dt ub_tile_elems)
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) in_dt ub_n)
     in
     let stage =
       List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v)
@@ -43,7 +50,7 @@ let phase1 ~x ~loc ~r ~s ~chunk ~half ~n ~in_dt ctx =
             let vlo, vhi = Scan_core.sub_block ~lo ~hi ~half v in
             if vhi > vlo then begin
               let acc = ref (Scan_op.Sum.identity in_dt) in
-              Scan_core.foreach_ub_tile ~ub_tile:ub_tile_elems ~vlo ~vhi
+              Scan_core.foreach_ub_tile ~ub_tile:ub_n ~vlo ~vhi
                 (fun ~off ~len ->
                   Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
                     ~src_off:off ~dst:ub ~len ();
@@ -71,13 +78,14 @@ let phase2 ~loc ~y ~r ~s ~chunk ~half ~n ~out_dt ~exclusive ctx =
       List.init vpc (fun v ->
           Block.alloc ctx (Mem_kind.Ub v) (Global_tensor.dtype r) rlen)
     in
+    let ub_n = ub_elems ~half in
     let ubs =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) out_dt ub_tile_elems)
+      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) out_dt ub_n)
     in
     let zeros =
       List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) out_dt 16)
     in
-    let max_vtiles = Kernel_util.ceil_div half ub_tile_elems in
+    let max_vtiles = Kernel_util.ceil_div half ub_n in
     (* Both vector cores of the AI core run inside one pipelined
        section so their engines overlap. *)
     Block.pipelined ctx ~iters:(max 1 max_vtiles) (fun () ->
@@ -94,7 +102,7 @@ let phase2 ~loc ~y ~r ~s ~chunk ~half ~n ~out_dt ~exclusive ctx =
             in
             let partial = ref base in
             let ub = List.nth ubs v in
-            Scan_core.foreach_ub_tile ~ub_tile:ub_tile_elems ~vlo ~vhi
+            Scan_core.foreach_ub_tile ~ub_tile:ub_n ~vlo ~vhi
               (fun ~off ~len ->
                 Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:loc
                   ~src_off:off ~dst:ub ~len ();
@@ -170,4 +178,8 @@ let run ?(s = 128) ?blocks ?(exclusive = false) device x =
         phase2 ~loc ~y ~r ~s ~chunk ~half ~n ~out_dt ~exclusive;
       ]
   in
+  (* [loc] and [r] are kernel-internal intermediates; recycle their
+     storage so back-to-back launches reuse it. *)
+  Global_tensor.retire loc;
+  Global_tensor.retire r;
   (y, stats)

@@ -34,15 +34,12 @@ let block_partition ~n ~blocks ~vpc ~chunk_align ~half_align =
 (* Partial propagation (Algorithm 1, lines 11-13, generic in the
    operator). *)
 
+(* One tile-batched op replaces the historical per-row vec_scalar +
+   Vec.get loop; Vec.scan_rows reproduces its charges, instruction
+   counts and data bit for bit. *)
 let propagate_rows (module Op : Scan_op.S) ctx ~vec ~ub ~len ~s ~partial =
-  let nrows = Kernel_util.ceil_div len s in
-  for r = 0 to nrows - 1 do
-    let row_off = r * s in
-    let row_len = min s (len - row_off) in
-    Op.vec_scalar ctx ~vec ~src:ub ~src_off:row_off ~dst:ub ~dst_off:row_off
-      ~scalar:!partial ~len:row_len ();
-    partial := Vec.get ctx ~vec ub (row_off + row_len - 1)
-  done
+  partial :=
+    Vec.scan_rows ctx ~vec ~op:Op.vec_binop ~buf:ub ~len ~s ~init:!partial ()
 
 let finish_tile (module Op : Scan_op.S) ctx ?(vec = 0) ?src ~ub ~dst ~off ~len
     ~s ~partial () =
@@ -138,9 +135,9 @@ let vec_phase2 (module Op : Scan_op.S) ~x ~y ~r ~chunk ~half ~n ~dt ctx =
                     ~src_off:off ~dst:ub ~len ();
                   Kernel_util.hillis_steele_tile ctx ~vec:v ~op:Op.vec_binop
                     ~buf:ub ~tmp ~len;
-                  Op.vec_scalar ctx ~vec:v ~src:ub ~dst:ub ~scalar:!partial
-                    ~len ();
-                  partial := Vec.get ctx ~vec:v ub (len - 1);
+                  partial :=
+                    Vec.scan_rows ctx ~vec:v ~op:Op.vec_binop ~buf:ub ~len
+                      ~s:len ~init:!partial ();
                   Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub
                     ~dst:y ~dst_off:off ~len ())
             end)
@@ -169,10 +166,7 @@ let run_vec_blocks (module Op : Scan_op.S) ?blocks ~kernel_name ~suffix device
   let y = Device.alloc device dt n ~name:(name ^ suffix) in
   let r = Device.alloc device dt (blocks * vpc) ~name:(name ^ suffix ^ "_r") in
   (* The identity must pre-fill r so empty sub-blocks are neutral. *)
-  if Device.functional device then
-    for k = 0 to (blocks * vpc) - 1 do
-      Global_tensor.set r k (Op.identity dt)
-    done;
+  if Device.functional device then Global_tensor.fill r (Op.identity dt);
   let stats =
     Launch.run_phases ~name:kernel_name device ~blocks
       [

@@ -60,6 +60,12 @@ let bytes_of r =
       Int64.bits_of_float (Global_tensor.get r.Pod_runner.py i))
 
 let () =
+  (* A fork-based harness cannot coexist with spawned domains (the
+     runtime forbids [Unix.fork] once other domains exist, and the
+     reference run below would lazily spawn the pool under
+     ASCEND_SIM_DOMAINS > 1). Pin this process to sequential launches;
+     host-domain parallelism is exercised by the regular suite. *)
+  Unix.putenv "ASCEND_SIM_DOMAINS" "1";
   Printf.printf "pod harness: fork, SIGKILL mid-batch, resume\n%!";
   let store_path = Filename.temp_file "pod_harness_" ".ckpt" in
   (* Reference: the same storyline (device kill included, crash

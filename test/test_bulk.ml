@@ -1,0 +1,357 @@
+(* QCheck equivalence suite for the bulk Host_buffer kernels: every
+   dtype-specialised loop must reproduce the scalar get/set shim it
+   replaced bit for bit — same operand order, same rounding, same NaN
+   canonicalization — across all dtypes, every operator, and unaligned
+   offsets/lengths. Comparisons are on [Int64.bits_of_float] so NaN
+   payload differences and -0.0 vs 0.0 are observable. *)
+
+open Ascend
+
+let all_dtypes = Dtype.[ F16; F32; I8; I16; U16; I32 ]
+
+let same_float a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* Whole-buffer bitwise comparison: catches both wrong results in the
+   target range and stray writes outside it. *)
+let same_buffer a b =
+  Host_buffer.length a = Host_buffer.length b
+  && (let ok = ref true in
+      for i = 0 to Host_buffer.length a - 1 do
+        if not (same_float (Host_buffer.get a i) (Host_buffer.get b i)) then
+          ok := false
+      done;
+      !ok)
+
+(* Value generator biased towards the observable corners: NaNs with
+   distinct payloads (quieting and canonicalization differ per dtype),
+   infinities, signed zeros, fp16/fp32 overflow and subnormal
+   boundaries, integer wrap points. *)
+let interesting =
+  [| 0.0; -0.0; 1.0; -1.0; 0.5; -0.5; 2049.0; 65504.0; 65519.0; 65520.0;
+     -65520.0; 1e-8; 0x1p-24; 0x1p-25; 0x1p-14; infinity; neg_infinity;
+     Float.nan; -.Float.nan;
+     Int64.float_of_bits 0x7FF0000000000001L;
+     Int64.float_of_bits 0xFFF8000000001234L;
+     3.4e38; -3.4e38; 1e300; 126.5; 127.0; 128.0; -128.5; -129.0; 255.0;
+     256.0; 32767.5; -32769.0; 65535.0; 65536.0; 2.147483648e9 |]
+
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, float);
+        (4, oneofl (Array.to_list interesting));
+        (2, map float_of_int (int_range (-2000) 2000));
+        (1, map (fun f -> f *. 0x1p-30) float);
+      ])
+
+type case = {
+  dt : Dtype.t;  (* destination dtype *)
+  dt2 : Dtype.t;  (* source dtype *)
+  len : int;
+  o0 : int;  (* src0 offset *)
+  o1 : int;  (* src1 / mask offset *)
+  o2 : int;  (* src2 offset *)
+  od : int;  (* dst offset *)
+  a0 : float array;  (* length o0 + len *)
+  a1 : float array;  (* length o1 + len *)
+  a2 : float array;  (* length o2 + len *)
+  d0 : float array;  (* initial dst contents, length od + len + 2 *)
+  scalar : float;
+  seg : int;
+  bop : Host_buffer.binop;
+  sop : Host_buffer.scalar_op;
+}
+
+let gen_case =
+  let open QCheck.Gen in
+  let* dt = oneofl all_dtypes in
+  let* dt2 = oneofl all_dtypes in
+  let* len = int_range 1 48 in
+  let* o0 = int_range 0 5 in
+  let* o1 = int_range 0 5 in
+  let* o2 = int_range 0 5 in
+  let* od = int_range 0 5 in
+  let* a0 = array_size (return (o0 + len)) gen_value in
+  let* a1 = array_size (return (o1 + len)) gen_value in
+  let* a2 = array_size (return (o2 + len)) gen_value in
+  let* d0 = array_size (return (od + len + 2)) gen_value in
+  let* scalar = gen_value in
+  let* seg = int_range 1 (len + 3) in
+  let* bop = oneofl Host_buffer.[ Add; Sub; Mul; Max; Min ] in
+  let* sop = oneofl Host_buffer.[ Adds; Muls; Maxs; Mins ] in
+  return { dt; dt2; len; o0; o1; o2; od; a0; a1; a2; d0; scalar; seg; bop; sop }
+
+let print_case c =
+  let arr a =
+    "[|"
+    ^ String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%h") a))
+    ^ "|]"
+  in
+  Printf.sprintf
+    "dt=%s dt2=%s len=%d o0=%d o1=%d o2=%d od=%d seg=%d scalar=%h\n\
+     a0=%s\na1=%s\na2=%s\nd0=%s"
+    (Dtype.to_string c.dt) (Dtype.to_string c.dt2) c.len c.o0 c.o1 c.o2 c.od
+    c.seg c.scalar (arr c.a0) (arr c.a1) (arr c.a2) (arr c.d0)
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+let fun_of_binop : Host_buffer.binop -> float -> float -> float = function
+  | Host_buffer.Add -> ( +. )
+  | Host_buffer.Sub -> ( -. )
+  | Host_buffer.Mul -> ( *. )
+  | Host_buffer.Max -> Float.max
+  | Host_buffer.Min -> Float.min
+
+(* The historical Vec operand order: adds/muls put the element left,
+   maxs/mins partially applied the scalar first. *)
+let fun_of_scalar_op scalar : Host_buffer.scalar_op -> float -> float = function
+  | Host_buffer.Adds -> fun v -> v +. scalar
+  | Host_buffer.Muls -> fun v -> v *. scalar
+  | Host_buffer.Maxs -> Float.max scalar
+  | Host_buffer.Mins -> Float.min scalar
+
+let test ~name prop = QCheck.Test.make ~name ~count:400 arb_case prop
+
+let prop_map2_binop =
+  test ~name:"map2_binop = scalar shim" (fun c ->
+      let src0 = Host_buffer.of_array c.dt2 c.a0 in
+      let src1 = Host_buffer.of_array c.dt2 c.a1 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.map2_binop c.bop ~src0 ~src0_off:c.o0 ~src1 ~src1_off:c.o1
+        ~dst:bulk ~dst_off:c.od ~len:c.len;
+      let f = fun_of_binop c.bop in
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i)
+          (f
+             (Host_buffer.get src0 (c.o0 + i))
+             (Host_buffer.get src1 (c.o1 + i)))
+      done;
+      same_buffer bulk shim)
+
+let prop_map1_scalar =
+  test ~name:"map1_scalar = scalar shim" (fun c ->
+      let src = Host_buffer.of_array c.dt2 c.a0 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.map1_scalar c.sop ~src ~src_off:c.o0 ~dst:bulk ~dst_off:c.od
+        ~scalar:c.scalar ~len:c.len;
+      let f = fun_of_scalar_op c.scalar c.sop in
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i) (f (Host_buffer.get src (c.o0 + i)))
+      done;
+      same_buffer bulk shim)
+
+let prop_map1_f =
+  test ~name:"map1_f = scalar shim" (fun c ->
+      let f v = (v *. 0.5) +. c.scalar in
+      let src = Host_buffer.of_array c.dt2 c.a0 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.map1_f f ~src ~src_off:c.o0 ~dst:bulk ~dst_off:c.od
+        ~len:c.len;
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i) (f (Host_buffer.get src (c.o0 + i)))
+      done;
+      same_buffer bulk shim)
+
+let prop_map2_f =
+  test ~name:"map2_f = scalar shim" (fun c ->
+      let f a b = ((a -. b) *. 0.5) +. c.scalar in
+      let src0 = Host_buffer.of_array c.dt2 c.a0 in
+      let src1 = Host_buffer.of_array c.dt2 c.a1 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.map2_f f ~src0 ~src0_off:c.o0 ~src1 ~src1_off:c.o1 ~dst:bulk
+        ~dst_off:c.od ~len:c.len;
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i)
+          (f
+             (Host_buffer.get src0 (c.o0 + i))
+             (Host_buffer.get src1 (c.o1 + i)))
+      done;
+      same_buffer bulk shim)
+
+let prop_select_range =
+  test ~name:"select_range = scalar shim" (fun c ->
+      let mask = Host_buffer.of_array c.dt2 c.a1 in
+      let src0 = Host_buffer.of_array c.dt2 c.a0 in
+      let src1 = Host_buffer.of_array c.dt2 c.a2 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.select_range ~mask ~mask_off:c.o1 ~src0 ~src0_off:c.o0 ~src1
+        ~src1_off:c.o2 ~dst:bulk ~dst_off:c.od ~len:c.len;
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i)
+          (if Host_buffer.get mask (c.o1 + i) <> 0.0 then
+             Host_buffer.get src0 (c.o0 + i)
+           else Host_buffer.get src1 (c.o2 + i))
+      done;
+      same_buffer bulk shim)
+
+let prop_fill_range =
+  test ~name:"fill_range = scalar shim" (fun c ->
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.fill_range bulk ~off:c.od ~len:c.len c.scalar;
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i) c.scalar
+      done;
+      same_buffer bulk shim)
+
+let prop_arange_range =
+  test ~name:"arange_range = scalar shim" (fun c ->
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.arange_range bulk ~off:c.od ~start:c.scalar ~len:c.len;
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i) (c.scalar +. float_of_int i)
+      done;
+      same_buffer bulk shim)
+
+let prop_blit =
+  test ~name:"blit (same-dtype and converting) = scalar shim" (fun c ->
+      let src = Host_buffer.of_array c.dt2 c.a0 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      Host_buffer.blit ~src ~src_off:c.o0 ~dst:bulk ~dst_off:c.od ~len:c.len;
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (c.od + i) (Host_buffer.get src (c.o0 + i))
+      done;
+      same_buffer bulk shim)
+
+let prop_blit_overlap =
+  test ~name:"overlapping same-buffer blit is memmove" (fun c ->
+      (* d0 has length od + len + 2; shift by up to 2 in either
+         direction so source and destination ranges overlap. *)
+      let shift = (c.seg mod 5) - 2 in
+      let src_off = max 0 (min 2 (2 + shift)) in
+      let dst_off = max 0 (min 2 (2 - shift)) in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let snapshot = Host_buffer.to_array bulk in
+      Host_buffer.blit ~src:bulk ~src_off ~dst:bulk ~dst_off ~len:c.len;
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim (dst_off + i) snapshot.(src_off + i)
+      done;
+      same_buffer bulk shim)
+
+let prop_reduce_add =
+  test ~name:"reduce_add = forward double fold" (fun c ->
+      let b = Host_buffer.of_array c.dt2 c.a0 in
+      let acc = ref 0.0 in
+      for i = 0 to c.len - 1 do
+        acc := !acc +. Host_buffer.get b (c.o0 + i)
+      done;
+      same_float (Host_buffer.reduce_add b ~off:c.o0 ~len:c.len) !acc)
+
+let prop_reduce_max =
+  test ~name:"reduce_max = Float.max fold from -inf" (fun c ->
+      let b = Host_buffer.of_array c.dt2 c.a0 in
+      let acc = ref neg_infinity in
+      for i = 0 to c.len - 1 do
+        acc := Float.max !acc (Host_buffer.get b (c.o0 + i))
+      done;
+      same_float (Host_buffer.reduce_max b ~off:c.o0 ~len:c.len) !acc)
+
+let prop_scan_accum =
+  test ~name:"scan_accum = scalar cumsum shim" (fun c ->
+      let src = Host_buffer.of_array c.dt2 c.a0 in
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      let got = Host_buffer.scan_accum ~src ~dst:bulk ~len:c.len in
+      let acc = ref 0.0 in
+      for i = 0 to c.len - 1 do
+        Host_buffer.set shim i (!acc +. Host_buffer.get src i);
+        acc := Host_buffer.get shim i
+      done;
+      same_float got !acc && same_buffer bulk shim)
+
+let prop_scan_segment =
+  test ~name:"scan_segment = scalar carry shim" (fun c ->
+      let bulk = Host_buffer.of_array c.dt c.d0 in
+      let shim = Host_buffer.of_array c.dt c.d0 in
+      let got =
+        Host_buffer.scan_segment c.bop bulk ~off:c.od ~len:c.len ~seg:c.seg
+          ~init:c.scalar
+      in
+      (* Combine with the carry in the map1_scalar operand order:
+         Add/Sub/Mul put the element left, Max/Min the carry left. *)
+      let combine carry v =
+        match c.bop with
+        | Host_buffer.Add -> v +. carry
+        | Host_buffer.Sub -> v -. carry
+        | Host_buffer.Mul -> v *. carry
+        | Host_buffer.Max -> Float.max carry v
+        | Host_buffer.Min -> Float.min carry v
+      in
+      let carry = ref c.scalar in
+      let pos = ref 0 in
+      while !pos < c.len do
+        let row_len = min c.seg (c.len - !pos) in
+        let base = c.od + !pos in
+        let cr = !carry in
+        for j = base to base + row_len - 1 do
+          Host_buffer.set shim j (combine cr (Host_buffer.get shim j))
+        done;
+        carry := Host_buffer.get shim (base + row_len - 1);
+        pos := !pos + row_len
+      done;
+      same_float got !carry && same_buffer bulk shim)
+
+let prop_of_array_roundtrip =
+  test ~name:"of_array/to_array roundtrip = per-element round" (fun c ->
+      let b = Host_buffer.of_array c.dt c.d0 in
+      let back = Host_buffer.to_array b in
+      Array.length back = Array.length c.d0
+      && (let ok = ref true in
+          Array.iteri
+            (fun i v ->
+              if not (same_float back.(i) (Dtype.round c.dt v)) then ok := false)
+            c.d0;
+          !ok))
+
+(* The storage invariant behind every bulk fast path: an fp16 buffer
+   element is exactly [Fp16.round] of what was stored, bit for bit —
+   pinning Host_buffer's internal encoder to the public codec. *)
+let prop_f16_set_is_fp16_round =
+  QCheck.Test.make ~name:"F16 set/get = Fp16.round" ~count:2000
+    (QCheck.make ~print:(Printf.sprintf "%h") gen_value)
+    (fun v ->
+      let b = Host_buffer.create Dtype.F16 1 in
+      Host_buffer.set b 0 v;
+      same_float (Host_buffer.get b 0) (Fp16.round v))
+
+let prop_f32_set_is_round_f32 =
+  QCheck.Test.make ~name:"F32 set/get = Dtype.round_f32" ~count:2000
+    (QCheck.make ~print:(Printf.sprintf "%h") gen_value)
+    (fun v ->
+      let b = Host_buffer.create Dtype.F32 1 in
+      Host_buffer.set b 0 v;
+      same_float (Host_buffer.get b 0) (Dtype.round_f32 v))
+
+let () =
+  Alcotest.run "bulk"
+    [
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_map2_binop;
+            prop_map1_scalar;
+            prop_map1_f;
+            prop_map2_f;
+            prop_select_range;
+            prop_fill_range;
+            prop_arange_range;
+            prop_blit;
+            prop_blit_overlap;
+            prop_reduce_add;
+            prop_reduce_max;
+            prop_scan_accum;
+            prop_scan_segment;
+            prop_of_array_roundtrip;
+            prop_f16_set_is_fp16_round;
+            prop_f32_set_is_round_f32;
+          ] );
+    ]

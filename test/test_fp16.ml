@@ -157,6 +157,108 @@ let test_table_matches_reference_exhaustive () =
       Alcotest.failf "0x%04X: table %h <> reference %h" bits v r
   done
 
+(* An independent binary16 encoder, used as the oracle for the bias-add
+   bit trick in [Fp16.of_float]: round the double to float32 through
+   [Int32.bits_of_float] (the same first step), then classify and round
+   with [frexp]/[ldexp] float arithmetic instead of bit manipulation.
+   Every scaling is by a power of two and the scaled significand has at
+   most 24 significant bits, so each intermediate is exact in a double
+   and the round-to-nearest-even comparison is exact too. *)
+let reference_of_float f =
+  let g = Int32.float_of_bits (Int32.bits_of_float f) in
+  let sign = if Float.sign_bit g then 0x8000 else 0 in
+  if Float.is_nan g then sign lor 0x7E00
+  else
+    let a = Float.abs g in
+    if a >= 65520.0 then sign lor 0x7C00
+    else if a = 0.0 then sign
+    else
+      let rne scaled =
+        let fl = Float.floor scaled in
+        let rest = scaled -. fl in
+        let k = int_of_float fl in
+        if rest > 0.5 || (rest = 0.5 && k land 1 = 1) then k + 1 else k
+      in
+      let e = snd (Float.frexp a) in
+      if e - 1 >= -14 then begin
+        (* Normal half range: scale so the integer part is the 11-bit
+           significand, round, and re-normalise a mantissa carry. *)
+        let q = rne (Float.ldexp a (11 - e)) in
+        let q, e = if q = 2048 then (1024, e + 1) else (q, e) in
+        sign lor (((e - 1 + 15) lsl 10) lor (q land 0x3FF))
+      end
+      else begin
+        (* Subnormal half range: quantum is 2^-24; a carry to 1024
+           lands exactly on the smallest normal encoding 0x0400. *)
+        let q = rne (Float.ldexp a 24) in
+        sign lor q
+      end
+
+let check_encode ctx v =
+  let got = Fp16.of_float v and want = reference_of_float v in
+  if got <> want then
+    Alcotest.failf "%s: of_float %h = 0x%04X, reference 0x%04X" ctx v got want
+
+(* All 65536 half payloads, re-encoded from their decoded double: the
+   bit trick and the arithmetic reference must agree on every one
+   (including the NaN payloads, which both canonicalize). *)
+let test_encode_matches_reference_payloads () =
+  for bits = 0 to 0xFFFF do
+    check_encode (Printf.sprintf "payload 0x%04X" bits) (Fp16.to_float bits)
+  done
+
+(* Every rounding decision in the finite range: for each adjacent pair
+   of positive finite half values, the exact midpoint (the RNE tie) and
+   the doubles just below and above it, with both signs. Covers the
+   subnormal band, the subnormal/normal seam, every normal ulp and the
+   overflow boundary at 65520. *)
+let test_encode_matches_reference_midpoints () =
+  for h = 0 to 0x7BFF do
+    let lo = Fp16.to_float h in
+    let hi = if h = 0x7BFF then 65536.0 else Fp16.to_float (h + 1) in
+    let mid = (lo +. hi) /. 2.0 in
+    List.iter
+      (fun v ->
+        check_encode (Printf.sprintf "between 0x%04X and 0x%04X" h (h + 1)) v;
+        check_encode "negated" (-.v))
+      [ lo; mid; Float.pred mid; Float.succ mid ]
+  done
+
+(* The f32 single-rounding step: a structured sweep over the float32
+   encoding space (every exponent, mantissa patterns around the 13
+   dropped bits) plus denormal/inf/NaN edges, driven through
+   [Int32.float_of_bits] so subnormal doubles, huge doubles and payload
+   NaNs all appear. *)
+let test_encode_matches_reference_f32_sweep () =
+  let mantissas =
+    [ 0x0; 0x1; 0xFFE; 0xFFF; 0x1000; 0x1001; 0x1FFF; 0x2000; 0x2001;
+      0x3FFF; 0x7FF000; 0x7FFFFF ]
+  in
+  for e = 0 to 255 do
+    List.iter
+      (fun m ->
+        List.iter
+          (fun s ->
+            let bits = Int32.of_int ((s lsl 31) lor (e lsl 23) lor m) in
+            check_encode
+              (Printf.sprintf "f32 bits 0x%08lX" bits)
+              (Int32.float_of_bits bits))
+          [ 0; 1 ])
+      mantissas
+  done;
+  List.iter (check_encode "edge")
+    [ infinity; neg_infinity; Float.nan; -.Float.nan; 0.0; -0.0;
+      65519.999999; 65520.0; 65520.000001; -65520.0; 65504.0; 65536.0;
+      0x1p-24; 0x1p-25; 0x1p-26; -0x1p-25; 0x1.8p-25; 0x1p-14; 0x1p-15;
+      0x1.ffcp-15; 4.940656458412465e-324; Float.max_float;
+      Int64.float_of_bits 0x7FF0000000000001L;
+      Int64.float_of_bits 0xFFF8000000001234L ]
+
+let prop_encode_matches_reference =
+  QCheck.Test.make ~name:"of_float matches arithmetic reference" ~count:5000
+    QCheck.float
+    (fun v -> Fp16.of_float v = reference_of_float v)
+
 let test_nan_handling () =
   check_int "nan canonical" Fp16.nan (Fp16.of_float Float.nan);
   check_bool "is_nan" true (Fp16.is_nan (Fp16.of_float Float.nan));
@@ -224,6 +326,12 @@ let () =
             test_rounding_boundaries;
           Alcotest.test_case "decode table exhaustive" `Quick
             test_table_matches_reference_exhaustive;
+          Alcotest.test_case "encode vs reference, all payloads" `Quick
+            test_encode_matches_reference_payloads;
+          Alcotest.test_case "encode vs reference, all midpoints" `Quick
+            test_encode_matches_reference_midpoints;
+          Alcotest.test_case "encode vs reference, f32 sweep" `Quick
+            test_encode_matches_reference_f32_sweep;
           Alcotest.test_case "arithmetic" `Quick test_arith;
           Alcotest.test_case "compare" `Quick test_compare_value;
         ] );
@@ -231,6 +339,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_roundtrip;
+            prop_encode_matches_reference;
             prop_round_idempotent;
             prop_round_monotone;
             prop_round_error_bound;
