@@ -1,0 +1,166 @@
+(* Pipeline-schedule benchmark (BENCH_9): SIMULATED cycles of the scan
+   kernels under the three copy schedules the event-timeline engine
+   model supports — Serial (synchronous copies, full barrier between
+   tiles), Double (async loads, 2-stage) and Triple (async loads and
+   stores, 3-stage) — at 64K / 256K / 1M elements.
+
+   Unlike the wall-clock benches (BENCH_5..8) this measures the model
+   itself: cycles are deterministic, so there is no sampling, no
+   calibration, and the numbers are bit-reproducible on any host. The
+   run doubles as the perf gate for the tentpole claim: the 3-stage
+   MCScan must beat the serial schedule by >= [min_gain_pct] simulated
+   compute cycles at every size, else exit 1.
+
+   Usage: bench_pipeline.exe [BENCH_9.json] [--min-gain-pct 20] *)
+
+open Ascend
+
+let sizes = [ 65536; 262144; 1048576 ]
+let schedules = Scan.Scan_core.[ Serial; Double; Triple ]
+
+(* Sum of per-phase critical-path compute time, in core cycles: the
+   engine-model quantity the schedules change. [Stats.seconds] also
+   carries launch overhead and the bandwidth cap, so it is reported
+   separately ([seconds]) but not gated on. *)
+let compute_cycles (st : Stats.t) clock_hz =
+  List.fold_left
+    (fun acc (p : Stats.phase) -> acc +. (p.Stats.compute_seconds *. clock_hz))
+    0.0 st.Stats.phases
+
+type row = {
+  kernel : string;
+  dtype : string;
+  n : int;
+  sched : Scan.Scan_core.schedule;
+  cycles : float;
+  seconds : float;
+}
+
+let data_f16 n = Array.init n (fun i -> if i mod 37 = 0 then 1.0 else 0.0)
+
+let data_f32 n =
+  Array.init n (fun i ->
+      if i mod 37 = 0 then 2.0 else if i mod 5 = 0 then -0.5 else 0.25)
+
+let kernels =
+  [
+    ("mcscan", "f16", Dtype.F16, data_f16,
+     fun dev x -> snd (Scan.Mcscan.run dev x));
+    ("scan_u", "f16", Dtype.F16, data_f16,
+     fun dev x -> snd (Scan.Scan_u.run dev x));
+    ("vec_only", "f32", Dtype.F32, data_f32,
+     fun dev x -> snd (Scan.Scan_vec_only.run dev x));
+  ]
+
+let run_rows () =
+  List.concat_map
+    (fun (kernel, dtype, dt, data, run) ->
+      List.concat_map
+        (fun n ->
+          let a = data n in
+          List.map
+            (fun sched ->
+              Scan.Scan_core.with_schedule sched (fun () ->
+                  let dev = Device.create () in
+                  let clock_hz = (Device.cost dev).Cost_model.clock_hz in
+                  let x = Device.of_array dev dt ~name:"bx" a in
+                  let st = run dev x in
+                  {
+                    kernel;
+                    dtype;
+                    n;
+                    sched;
+                    cycles = compute_cycles st clock_hz;
+                    seconds = st.Stats.seconds;
+                  }))
+            schedules)
+        sizes)
+    kernels
+
+let find rows ~kernel ~n ~sched =
+  List.find
+    (fun r -> r.kernel = kernel && r.n = n && r.sched = sched)
+    rows
+
+let json_of_rows rows ~min_gain_pct ~gate_ok =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "{\n";
+  pr "  \"bench\": \"pipeline_schedules\",\n";
+  pr "  \"metric\": \"simulated compute cycles (deterministic)\",\n";
+  pr "  \"min_gain_pct\": %g,\n" min_gain_pct;
+  pr "  \"gate_ok\": %b,\n" gate_ok;
+  pr "  \"rows\": [\n";
+  let n_rows = List.length rows in
+  List.iteri
+    (fun i r ->
+      pr
+        "    {\"kernel\": \"%s\", \"dtype\": \"%s\", \"n\": %d, \
+         \"schedule\": \"%s\", \"cycles\": %.0f, \"seconds\": %.9e}%s\n"
+        r.kernel r.dtype r.n
+        (Scan.Scan_core.schedule_name r.sched)
+        r.cycles r.seconds
+        (if i = n_rows - 1 then "" else ","))
+    rows;
+  pr "  ],\n";
+  pr "  \"gains_pct\": [\n";
+  let gains =
+    List.concat_map
+      (fun (kernel, _, _, _, _) ->
+        List.map
+          (fun n ->
+            let s = (find rows ~kernel ~n ~sched:Scan.Scan_core.Serial).cycles
+            and t = (find rows ~kernel ~n ~sched:Scan.Scan_core.Triple).cycles
+            in
+            (kernel, n, 100.0 *. (1.0 -. (t /. s))))
+          sizes)
+      kernels
+  in
+  let n_gains = List.length gains in
+  List.iteri
+    (fun i (kernel, n, g) ->
+      pr "    {\"kernel\": \"%s\", \"n\": %d, \"triple_vs_serial\": %.2f}%s\n"
+        kernel n g
+        (if i = n_gains - 1 then "" else ","))
+    gains;
+  pr "  ]\n}\n";
+  Buffer.contents b
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let path =
+    match List.filter (fun a -> String.length a > 0 && a.[0] <> '-') (List.tl args) with
+    | p :: _ -> p
+    | [] -> "BENCH_9.json"
+  in
+  let min_gain_pct =
+    let rec find = function
+      | "--min-gain-pct" :: v :: _ -> float_of_string v
+      | _ :: tl -> find tl
+      | [] -> 20.0
+    in
+    find args
+  in
+  let rows = run_rows () in
+  (* Gate: 3-stage MCScan beats serial by >= min_gain_pct at every size. *)
+  let gate_ok =
+    List.for_all
+      (fun n ->
+        let s = (find rows ~kernel:"mcscan" ~n ~sched:Scan.Scan_core.Serial).cycles in
+        let t = (find rows ~kernel:"mcscan" ~n ~sched:Scan.Scan_core.Triple).cycles in
+        let gain = 100.0 *. (1.0 -. (t /. s)) in
+        Printf.printf "mcscan n=%d: serial %.0f -> triple %.0f cycles (%.1f%% gain)\n"
+          n s t gain;
+        gain >= min_gain_pct)
+      sizes
+  in
+  let oc = open_out path in
+  output_string oc (json_of_rows rows ~min_gain_pct ~gate_ok);
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  if not gate_ok then begin
+    Printf.eprintf
+      "bench_pipeline: GATE FAILED — pipelined mcscan gains < %g%% over serial\n"
+      min_gain_pct;
+    exit 1
+  end

@@ -1,3 +1,21 @@
+(* Event-timeline execution model. Every engine is a queue with its own
+   clock ([avail]); every sub-core program is a lane with a cursor
+   ([lanes]). A synchronous charge issues at
+   [max lane-cursor engine-clock] and advances both; an asynchronous
+   charge (DataCopy on an MTE queue) advances only the engine clock and
+   joins the lane again at its [wait_group]. The block's elapsed cycles
+   are the makespan over all cursors and clocks. All state is
+   block-local, so the schedule — and therefore Stats and traces — is
+   bit-identical across host domain counts and pod placements. *)
+
+type section = No_section | Section_serial | Section_overlap
+
+(* One committed async-copy group on an engine queue: everything issued
+   since the previous [commit_group]. [g_end] is the completion time
+   (max end of the member copies); [g_dsts] the local destination
+   tensors, tracked (under a sanitizer) until the group is waited. *)
+type group = { g_end : float; g_dsts : Local_tensor.t list }
+
 type t = {
   device : Device.t;
   idx : int;
@@ -8,10 +26,17 @@ type t = {
   clock0 : float;  (* [core]'s cumulative busy cycles at block start *)
   mutable charged : float;  (* busy cycles charged by this block so far *)
   vec_per_core : int;
-  mutable time_cycles : float;
   busy_total : float array;
-  sec_busy : float array;
-  mutable in_section : bool;
+  (* --- event timeline --- *)
+  lanes : float array;  (* program cursor per lane (Engine.lane) *)
+  avail : float array;  (* per-engine queue clock (end of last issue) *)
+  pend_count : int array;  (* async ops issued since last commit, per engine *)
+  pend_end : float array;  (* max end among them *)
+  pend_dsts : Local_tensor.t list array;  (* their local dsts (sanitizer only) *)
+  groups : group Queue.t array;  (* committed, un-waited groups per engine *)
+  mutable section : section;  (* legacy [pipelined] lowering *)
+  mutable sec_t0 : float;  (* program point at section start *)
+  (* --- accounting --- *)
   mutable gm_read : int;
   mutable gm_write : int;
   touched_tbl : (int, int) Hashtbl.t;
@@ -57,10 +82,15 @@ let make_on ~core ~device ~idx ~num_blocks =
     clock0 = Health.cycles_done health core;
     charged = 0.0;
     vec_per_core;
-    time_cycles = 0.0;
     busy_total = Array.make n 0.0;
-    sec_busy = Array.make n 0.0;
-    in_section = false;
+    lanes = Array.make (Engine.lane_count ~vec_per_core) 0.0;
+    avail = Array.make n 0.0;
+    pend_count = Array.make n 0;
+    pend_end = Array.make n 0.0;
+    pend_dsts = Array.make n [];
+    groups = Array.init n (fun _ -> Queue.create ());
+    section = No_section;
+    sec_t0 = 0.0;
     gm_read = 0;
     gm_write = 0;
     touched_tbl = Hashtbl.create 8;
@@ -92,19 +122,19 @@ let assume_disjoint_writes t gt ~reason =
   | Some san ->
       Sanitizer.exempt_tensor san ~tensor_id:(Global_tensor.id gt) ~reason
 
-let charge ?(op = "charge") ?(bytes = 0) t engine cycles =
-  let i = Engine.index ~vec_per_core:t.vec_per_core engine in
-  (match t.tb with
-  | Some tb ->
-      (* The span starts where the previous one on this engine track
-         ended: the accumulated busy total before this charge. *)
-      Trace.Block_builder.span tb ~track:i ~engine:(Engine.to_string engine)
-        ~queue:(Engine.queue engine) ~op ~start:t.busy_total.(i) ~cycles ~bytes
-  | None -> ());
+let eindex t e = Engine.index ~vec_per_core:t.vec_per_core e
+let elane t e = Engine.lane ~vec_per_core:t.vec_per_core e
+
+let engine_clock t engine = t.avail.(eindex t engine)
+let lane_clock t engine = t.lanes.(elane t engine)
+
+(* Busy accounting and the kill check, shared by every charge path.
+   [busy_total] and [charged] see the same values in the same
+   per-accumulator addition order as before the event model, so
+   Stats.engine_busy and the Health kill clock stay bit-identical. *)
+let bump_busy t i cycles =
   t.busy_total.(i) <- t.busy_total.(i) +. cycles;
   t.charged <- t.charged +. cycles;
-  if t.in_section then t.sec_busy.(i) <- t.sec_busy.(i) +. cycles
-  else t.time_cycles <- t.time_cycles +. cycles;
   if t.clock0 +. t.charged >= t.kill_at then begin
     (* Sync the health clock to the kill point so the death record
        carries the seeded cycle, then let note_cycles mark it dead. *)
@@ -118,6 +148,123 @@ let charge ?(op = "charge") ?(bytes = 0) t engine cycles =
     | None -> ());
     raise (Health.Core_dead { core = t.core; cycle = t.kill_at })
   end
+
+(* Issue time of the next op on engine [i] from the program's point of
+   view: the lane cursor outside sections, the section entry point
+   inside an overlap section (where every engine queues from the
+   section start — the legacy [pipelined] lowering). *)
+let issue_start t i l =
+  match t.section with
+  | Section_overlap -> Float.max t.sec_t0 t.avail.(i)
+  | No_section | Section_serial -> Float.max t.lanes.(l) t.avail.(i)
+
+let emit_span t ~op ~bytes engine i ~start ~cycles =
+  match t.tb with
+  | Some tb ->
+      Trace.Block_builder.span tb ~track:i ~engine:(Engine.to_string engine)
+        ~queue:(Engine.queue engine) ~op ~start ~cycles ~bytes
+  | None -> ignore i
+
+let charge ?(op = "charge") ?(bytes = 0) t engine cycles =
+  let i = eindex t engine in
+  let l = elane t engine in
+  let start = issue_start t i l in
+  let stop = start +. cycles in
+  emit_span t ~op ~bytes engine i ~start ~cycles;
+  t.avail.(i) <- stop;
+  (match t.section with
+  | Section_overlap -> ()
+  | No_section | Section_serial -> t.lanes.(l) <- stop);
+  bump_busy t i cycles
+
+let charge_async ?(op = "charge") ?(bytes = 0) ?dst t engine cycles =
+  let i = eindex t engine in
+  let l = elane t engine in
+  let start = issue_start t i l in
+  let stop = start +. cycles in
+  emit_span t ~op ~bytes engine i ~start ~cycles;
+  t.avail.(i) <- stop;
+  t.pend_count.(i) <- t.pend_count.(i) + 1;
+  if stop > t.pend_end.(i) then t.pend_end.(i) <- stop;
+  (match dst with
+  | Some lt when Option.is_some (sanitizer t) ->
+      t.pend_dsts.(i) <- lt :: t.pend_dsts.(i)
+  | _ -> ());
+  bump_busy t i cycles
+
+let commit_group t engine =
+  let i = eindex t engine in
+  if t.pend_count.(i) > 0 then begin
+    Queue.push { g_end = t.pend_end.(i); g_dsts = t.pend_dsts.(i) } t.groups.(i);
+    t.pend_count.(i) <- 0;
+    t.pend_end.(i) <- 0.0;
+    t.pend_dsts.(i) <- []
+  end
+
+let wait_group t engine ~outstanding =
+  if outstanding < 0 then
+    invalid_arg "Block.wait_group: outstanding must be >= 0";
+  let i = eindex t engine in
+  let l = elane t engine in
+  while Queue.length t.groups.(i) > outstanding do
+    let g = Queue.pop t.groups.(i) in
+    if g.g_end > t.lanes.(l) then t.lanes.(l) <- g.g_end
+  done
+
+let fence t engine =
+  (* Pipe barrier on one queue: the lane waits for everything issued on
+     the engine, committed or not. *)
+  let i = eindex t engine in
+  let l = elane t engine in
+  if t.avail.(i) > t.lanes.(l) then t.lanes.(l) <- t.avail.(i);
+  Queue.clear t.groups.(i);
+  t.pend_count.(i) <- 0;
+  t.pend_end.(i) <- 0.0;
+  t.pend_dsts.(i) <- []
+
+let await_engine t ~lane_of ~on =
+  (* Cross-lane dependency: [lane_of]'s program waits until everything
+     issued so far on engine [on] (typically another lane's MTE) has
+     completed. Does not retire [on]'s groups — they still belong to
+     the producing lane's wait discipline. *)
+  let l = elane t lane_of in
+  let i = eindex t on in
+  if t.avail.(i) > t.lanes.(l) then t.lanes.(l) <- t.avail.(i)
+
+let wait_all t =
+  (* Full intra-block barrier: every lane joins at the global maximum
+     and all async state retires. Engine clocks are left in place —
+     subsequent issues start at the joined cursor anyway. *)
+  let m = ref 0.0 in
+  Array.iter (fun c -> if c > !m then m := c) t.lanes;
+  Array.iter (fun c -> if c > !m then m := c) t.avail;
+  Array.fill t.lanes 0 (Array.length t.lanes) !m;
+  Array.iter Queue.clear t.groups;
+  Array.fill t.pend_count 0 (Array.length t.pend_count) 0;
+  Array.fill t.pend_end 0 (Array.length t.pend_end) 0.0;
+  Array.fill t.pend_dsts 0 (Array.length t.pend_dsts) []
+
+let async_in_flight t lt =
+  let memq l = List.exists (fun x -> x == lt) l in
+  let hit = ref false in
+  Array.iter (fun dsts -> if memq dsts then hit := true) t.pend_dsts;
+  Array.iter
+    (fun q -> Queue.iter (fun g -> if memq g.g_dsts then hit := true) q)
+    t.groups;
+  !hit
+
+let check_async_use t ~op lt =
+  match sanitizer t with
+  | None -> ()
+  | Some san ->
+      if async_in_flight t lt then
+        Sanitizer.record_async_hazard san ~block:t.idx ~op
+          ~tensor:(Mem_kind.to_string (Local_tensor.kind lt))
+          ~message:
+            (Printf.sprintf
+               "%s touches a tile with an asynchronous DataCopy still in \
+                flight (no wait_group between the async copy and this use)"
+               op)
 
 (* Tile-batched charging: repeat the charge sequence [entries] exactly
    [count] times, as [count] iterations of per-charge [charge] calls
@@ -133,26 +280,22 @@ let charge_rows t engine ~count entries =
         Array.iter (fun (op, c) -> charge ~op t engine c) entries
       done
     else begin
-      let i = Engine.index ~vec_per_core:t.vec_per_core engine in
+      let i = eindex t engine in
+      let l = elane t engine in
       let n = Array.length entries in
-      if t.in_section then
-        for _ = 1 to count do
-          for j = 0 to n - 1 do
-            let _, c = Array.unsafe_get entries j in
-            t.busy_total.(i) <- t.busy_total.(i) +. c;
-            t.charged <- t.charged +. c;
-            t.sec_busy.(i) <- t.sec_busy.(i) +. c
-          done
+      let clock = ref (issue_start t i l) in
+      for _ = 1 to count do
+        for j = 0 to n - 1 do
+          let _, c = Array.unsafe_get entries j in
+          t.busy_total.(i) <- t.busy_total.(i) +. c;
+          t.charged <- t.charged +. c;
+          clock := !clock +. c
         done
-      else
-        for _ = 1 to count do
-          for j = 0 to n - 1 do
-            let _, c = Array.unsafe_get entries j in
-            t.busy_total.(i) <- t.busy_total.(i) +. c;
-            t.charged <- t.charged +. c;
-            t.time_cycles <- t.time_cycles +. c
-          done
-        done
+      done;
+      t.avail.(i) <- !clock;
+      match t.section with
+      | Section_overlap -> ()
+      | No_section | Section_serial -> t.lanes.(l) <- !clock
     end
 
 let note_fault t =
@@ -180,25 +323,53 @@ let note_touched t gt =
   if not (Hashtbl.mem t.touched_tbl id) then
     Hashtbl.add t.touched_tbl id (Global_tensor.size_bytes gt)
 
+let elapsed_cycles t =
+  (* Makespan: queued async work is covered by the engine clocks. *)
+  let m = ref 0.0 in
+  Array.iter (fun c -> if c > !m then m := c) t.lanes;
+  Array.iter (fun c -> if c > !m then m := c) t.avail;
+  !m
+
+(* Legacy analytic-pipeline sections, lowered onto the event model.
+   [iters = 1] runs the body with plain event semantics (ops chain on
+   their lane — the documented "no pipelining" meaning, which the old
+   closed-form code only approximated). [iters > 1] queues every charge
+   on its engine from the section entry point and joins all lanes at
+   the section's makespan: the overlap the old formula estimated as
+   [max_e busy + fill/iters], now computed from the actual issue
+   timeline (the fill term is subsumed by real issue gaps). *)
 let pipelined t ~iters f =
-  if t.in_section then invalid_arg "Block.pipelined: sections do not nest";
+  if t.section <> No_section then
+    invalid_arg "Block.pipelined: sections do not nest";
   if iters < 1 then invalid_arg "Block.pipelined: iters must be >= 1";
-  Array.fill t.sec_busy 0 (Array.length t.sec_busy) 0.0;
-  t.in_section <- true;
-  let finish () =
-    t.in_section <- false;
-    let sum = Array.fold_left ( +. ) 0.0 t.sec_busy in
-    let max_busy = Array.fold_left Float.max 0.0 t.sec_busy in
-    t.time_cycles <-
-      t.time_cycles +. max_busy +. ((sum -. max_busy) /. float_of_int iters)
-  in
-  match f () with
-  | v ->
-      finish ();
-      v
-  | exception e ->
-      finish ();
-      raise e
+  if iters = 1 then begin
+    t.section <- Section_serial;
+    match f () with
+    | v ->
+        t.section <- No_section;
+        v
+    | exception e ->
+        t.section <- No_section;
+        raise e
+  end
+  else begin
+    let t0 = ref 0.0 in
+    Array.iter (fun c -> if c > !t0 then t0 := c) t.lanes;
+    t.sec_t0 <- !t0;
+    t.section <- Section_overlap;
+    let close () =
+      t.section <- No_section;
+      let m = elapsed_cycles t in
+      Array.fill t.lanes 0 (Array.length t.lanes) m
+    in
+    match f () with
+    | v ->
+        close ();
+        v
+    | exception e ->
+        close ();
+        raise e
+  end
 
 let allocator t kind =
   match List.find_opt (fun (k, _) -> Mem_kind.equal k kind) t.allocators with
@@ -223,7 +394,6 @@ let alloc t kind dtype length =
   lt
 
 let reset_mem t kind = allocator t kind := 0
-let elapsed_cycles t = t.time_cycles
 
 let finish t =
   (* Local scratchpad tensors never outlive their block (mirroring the
@@ -231,15 +401,13 @@ let finish t =
      steady-state launches allocate nothing. *)
   List.iter Local_tensor.retire t.scratch;
   t.scratch <- [];
+  let cycles = elapsed_cycles t in
   {
-    cycles = t.time_cycles;
+    cycles;
     busy = Array.copy t.busy_total;
     gm_read_bytes = t.gm_read;
     gm_write_bytes = t.gm_write;
     touched = Hashtbl.fold (fun id b acc -> (id, b) :: acc) t.touched_tbl [];
     op_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ops_tbl [];
-    trace =
-      Option.map
-        (fun tb -> Trace.Block_builder.finish tb ~cycles:t.time_cycles)
-        t.tb;
+    trace = Option.map (fun tb -> Trace.Block_builder.finish tb ~cycles) t.tb;
   }

@@ -6,24 +6,40 @@
     context and issue engine operations ({!Mte}, {!Vec}, {!Cube},
     {!Scalar_unit}) against it.
 
-    {2 Timing semantics}
+    {2 Timing semantics (event timeline)}
 
-    Outside a {!pipelined} section, operations execute serially: the
-    block's elapsed cycles are the sum of all op costs. Inside
-    [pipelined ~iters f], op costs accumulate per engine and the section
-    contributes
+    Time is modelled as an event timeline over the block's engines and
+    program lanes:
 
-    {[ max_e busy(e) + (sum_e busy(e) - max_e busy(e)) / iters ]}
+    - every engine [e] is an in-order queue with its own clock
+      [avail(e)] — the completion time of the last op issued on it;
+    - every sub-core runs one instruction stream, a {e lane}
+      ({!Engine.lane}): the cube core and scalar unit share lane 0,
+      vector core [i] owns lane [1 + i]. Each lane has a program cursor.
 
-    cycles: the steady-state throughput of a software pipeline over
-    [iters] iterations (the AscendC queue/double-buffering abstraction),
-    plus an average-iteration fill term. With [iters = 1] this reduces
-    to the serial sum. *)
+    A {e synchronous} charge on engine [e] issues at
+    [max (cursor (lane e)) (avail e)], and advances both to its end: the
+    program waits for the op. An {e asynchronous} charge (AscendC
+    [DataCopy] on an MTE queue, {!Mte.copy_in_async} /
+    {!Mte.copy_out_async}) advances only [avail(e)] — the program runs
+    ahead and re-joins the copy at a {!wait_group}. Async copies issued
+    since the last {!commit_group} form a group; [wait_group ~outstanding:n]
+    blocks the lane until at most [n] committed groups remain in flight
+    (AscendC's [cp.async]-style commit/wait discipline). Because lanes
+    advance independently, cube and vector work of one block overlap
+    with no annotation at all; double buffering within a lane is
+    expressed with async copies and wait groups.
+
+    The block's elapsed cycles are the makespan — the maximum over all
+    lane cursors and engine clocks. All state is block-local and the
+    schedule is replayed identically regardless of host parallelism, so
+    {!Stats} and traces are bit-identical across [--domains] settings
+    and pod placements. *)
 
 type t
 
 type result = {
-  cycles : float;  (** Elapsed cycles of this block. *)
+  cycles : float;  (** Elapsed cycles of this block (timeline makespan). *)
   busy : float array;  (** Per-engine busy cycles (index per {!Engine.index}). *)
   gm_read_bytes : int;
   gm_write_bytes : int;
@@ -72,14 +88,76 @@ val assume_disjoint_writes : t -> Global_tensor.t -> reason:string -> unit
     analysis would otherwise flag. No-op without a sanitizer. *)
 
 val charge : ?op:string -> ?bytes:int -> t -> Engine.t -> float -> unit
-(** Charge [cycles] to an engine; called by the engine-op modules.
-    When the device has a trace armed, the charge is also recorded as
-    a span labelled [op] (default ["charge"]) carrying [bytes] of
-    transfer payload (default 0) — this is the single choke point all
-    trace spans flow through. Raises {!Health.Core_dead} at the charge
-    that carries the block's core past its seeded kill threshold (the
-    partial work stays accounted; {!Launch} replays the block on a
-    surviving core). *)
+(** Synchronously charge [cycles] to an engine; called by the engine-op
+    modules. The op issues at [max lane-cursor engine-clock] and
+    advances both (see timing semantics above). When the device has a
+    trace armed, the charge is also recorded as a span labelled [op]
+    (default ["charge"]) carrying [bytes] of transfer payload (default
+    0) — this is the single choke point all trace spans flow through.
+    Raises {!Health.Core_dead} at the charge that carries the block's
+    core past its seeded kill threshold (the partial work stays
+    accounted; {!Launch} replays the block on a surviving core). *)
+
+val charge_async :
+  ?op:string ->
+  ?bytes:int ->
+  ?dst:Local_tensor.t ->
+  t ->
+  Engine.t ->
+  float ->
+  unit
+(** {!charge}, but asynchronous: the engine clock advances while the
+    lane cursor does not — the program runs ahead of the op, which is
+    retired by a later {!wait_group} (or {!fence}/{!wait_all}). [dst]
+    registers the local tensor the op writes so the sanitizer can flag
+    uses before the matching wait ({!check_async_use}). Busy-cycle
+    accounting and the kill check are identical to {!charge}. *)
+
+val commit_group : t -> Engine.t -> unit
+(** Close the current group of async charges on an engine: everything
+    issued by {!charge_async} since the previous [commit_group] becomes
+    one in-flight group, retired as a unit by {!wait_group}. A commit
+    with nothing pending is a no-op. *)
+
+val wait_group : t -> Engine.t -> outstanding:int -> unit
+(** Block the engine's lane until at most [outstanding] committed
+    groups remain in flight on that engine, retiring the oldest groups
+    (FIFO) and advancing the lane cursor to their completion times.
+    [~outstanding:0] drains the queue. Raises [Invalid_argument] on a
+    negative [outstanding]. *)
+
+val fence : t -> Engine.t -> unit
+(** Single-queue pipe barrier: the engine's lane waits for everything
+    issued on the engine so far — committed, pending, or synchronous —
+    and all of the engine's async state retires. *)
+
+val wait_all : t -> unit
+(** Full intra-block barrier: every lane joins at the timeline makespan
+    and all async state on all engines retires. The serial-schedule
+    ablation inserts this between tile iterations. *)
+
+val await_engine : t -> lane_of:Engine.t -> on:Engine.t -> unit
+(** Cross-lane dependency: [lane_of]'s lane waits until everything
+    issued so far on engine [on] — typically another lane's MTE — has
+    completed. Unlike {!wait_group} this retires nothing; [on]'s groups
+    still belong to the issuing lane's wait discipline. *)
+
+val engine_clock : t -> Engine.t -> float
+(** [avail(e)]: completion time of the last op issued on the engine. *)
+
+val lane_clock : t -> Engine.t -> float
+(** Program cursor of the engine's lane. *)
+
+val async_in_flight : t -> Local_tensor.t -> bool
+(** Whether the tensor is the destination of an async copy that has not
+    been retired by a wait. Tracked only while a sanitizer is armed;
+    always [false] otherwise. *)
+
+val check_async_use : t -> op:string -> Local_tensor.t -> unit
+(** Record an {!Sanitizer.Async_hazard} diagnostic if [lt] is still
+    {!async_in_flight} — the caller is about to consume a tile whose
+    async copy has no intervening {!wait_group}. No-op without a
+    sanitizer. Called by the engine-op modules on every local operand. *)
 
 val note_fault : t -> unit
 (** Attribute one injected fault to the block's core ({!Health}
@@ -109,7 +187,20 @@ val note_gm_traffic : t -> read:int -> write:int -> unit
 val note_touched : t -> Global_tensor.t -> unit
 
 val pipelined : t -> iters:int -> (unit -> 'a) -> 'a
-(** Run a software-pipelined section (see timing semantics above).
+(** {b Deprecated} compatibility wrapper for the pre-event-model
+    analytic pipeline sections; new kernels should issue async copies
+    with {!Mte.copy_in_async}/{!Mte.copy_out_async} and wait groups
+    instead. [pipelined ~iters f] lowers onto the event timeline:
+
+    - [iters = 1] runs [f] with plain event semantics — ops chain on
+      their lane, which is the documented "no pipelining" behaviour
+      (the historical closed-form code only approximated it);
+    - [iters > 1] treats the section as one fully-overlapped software
+      pipeline: every charge inside queues on its engine from the
+      section entry point, and at section exit all lanes join at the
+      section makespan (the event-model refinement of the old
+      [max_e busy + fill/iters] estimate).
+
     Sections do not nest; raises [Invalid_argument] on nesting or on
     [iters < 1]. *)
 

@@ -185,6 +185,9 @@ let mmad ctx ~a ~b ~c ~m ~k ~n ~accumulate =
              "Cube.mmad: unsupported dtype combination %s x %s -> %s"
              (Dtype.to_string da) (Dtype.to_string db) (Dtype.to_string dc))
   in
+  Block.check_async_use ctx ~op:"Cube.mmad" a;
+  Block.check_async_use ctx ~op:"Cube.mmad" b;
+  Block.check_async_use ctx ~op:"Cube.mmad" c;
   Block.count_op ctx "mmad";
   Block.charge ~op:"mmad" ctx Engine.Cube
     (Cost_model.mmad_cycles (Block.cost ctx) ~m ~k ~n ~int8);

@@ -30,6 +30,19 @@ let index ~vec_per_core = function
       check_vec ~vec_per_core i;
       6 + (3 * i)
 
+(* Program lanes: each sub-core executes one instruction stream that
+   issues onto its engines. The cube core and the scalar unit share the
+   AI core's stream (lane 0); each vector core runs its own (lane
+   1 + i). Lanes advance independently, which is what lets cube and
+   vector work of one block overlap in the event-timeline model. *)
+let lane_count ~vec_per_core = 1 + vec_per_core
+
+let lane ~vec_per_core = function
+  | Cube_mte_in | Cube | Cube_mte_out | Scalar -> 0
+  | Vec_mte_in i | Vec i | Vec_mte_out i ->
+      check_vec ~vec_per_core i;
+      1 + i
+
 let is_mte = function
   | Cube_mte_in | Cube_mte_out | Vec_mte_in _ | Vec_mte_out _ -> true
   | Cube | Scalar | Vec _ -> false

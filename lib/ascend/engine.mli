@@ -22,6 +22,17 @@ val index : vec_per_core:int -> t -> int
 (** Dense index in [\[0, count - 1\]]; raises [Invalid_argument] for a
     vector-core index outside [\[0, vec_per_core - 1\]]. *)
 
+val lane_count : vec_per_core:int -> int
+(** Number of program lanes (instruction streams) on one AI core:
+    [1 + vec_per_core]. *)
+
+val lane : vec_per_core:int -> t -> int
+(** The program lane an engine's instructions are issued from: the
+    cube core and scalar unit share lane 0 (the AI core's stream);
+    vector core [i]'s engines live on lane [1 + i]. Lanes advance
+    independently in the {!Block} event timeline, so engines on
+    different lanes overlap without any pipelining annotation. *)
+
 val is_mte : t -> bool
 
 val queue : t -> string

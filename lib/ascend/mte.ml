@@ -43,18 +43,27 @@ let draw_fault ctx ~engine ~op ~tensor ~dst_off ~len ~dst_dtype =
 let faulted_cycles act cycles =
   match act with Fault.Stall m -> cycles *. m | _ -> cycles
 
-let copy_in ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+(* The functional payload of every copy executes eagerly at issue time
+   (host blits), in program order — only the *timing* of an async copy
+   floats until its wait_group. That keeps output buffers byte-identical
+   between sync and async schedules; the sanitizer's async-hazard check
+   is what models the race a real device would expose. *)
+let copy_in_impl ~async ctx ~engine ~src ~src_off ~dst ~dst_off ~len =
   Block.count_op ctx "datacopy_in";
   check ctx "copy_in" ~tensor:(Global_tensor.name src) ~len ~src_off ~dst_off
     ~src_len:(Global_tensor.length src) ~dst_len:(Local_tensor.length dst);
+  Block.check_async_use ctx ~op:"Mte.copy_in" dst;
   san_access ctx src ~write:false ~off:src_off ~len ~op:"datacopy_in";
   let bytes = gm_bytes src len in
   let act =
     draw_fault ctx ~engine ~op:"datacopy_in" ~tensor:(Global_tensor.name src)
       ~dst_off ~len ~dst_dtype:(Local_tensor.dtype dst)
   in
-  Block.charge ~op:"datacopy_in" ~bytes ctx engine
-    (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
+  let cycles =
+    faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes)
+  in
+  if async then Block.charge_async ~op:"datacopy_in" ~bytes ~dst ctx engine cycles
+  else Block.charge ~op:"datacopy_in" ~bytes ctx engine cycles;
   Block.note_gm_traffic ctx ~read:bytes ~write:0;
   Block.note_touched ctx src;
   if Block.functional ctx then begin
@@ -75,9 +84,16 @@ let copy_in ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
     | _ -> ()
   end
 
+let copy_in ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  copy_in_impl ~async:false ctx ~engine ~src ~src_off ~dst ~dst_off ~len
+
+let copy_in_async ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  copy_in_impl ~async:true ctx ~engine ~src ~src_off ~dst ~dst_off ~len
+
 let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     ~dst_stride ~burst ~count =
   Block.count_op ctx "datacopy_in";
+  Block.check_async_use ctx ~op:"Mte.copy_in_strided" dst;
   if burst < 0 || count < 0 then
     invalid_arg "Mte.copy_in_strided: negative burst or count";
   let len = burst * count in
@@ -128,18 +144,24 @@ let copy_in_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     | _ -> ()
   end
 
-let copy_out ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+let copy_out_impl ~async ctx ~engine ~src ~src_off ~dst ~dst_off ~len =
   Block.count_op ctx "datacopy_out";
   check ctx "copy_out" ~tensor:(Global_tensor.name dst) ~len ~src_off ~dst_off
     ~src_len:(Local_tensor.length src) ~dst_len:(Global_tensor.length dst);
+  Block.check_async_use ctx ~op:"Mte.copy_out" src;
   san_access ctx dst ~write:true ~off:dst_off ~len ~op:"datacopy_out";
   let bytes = gm_bytes dst len in
   let act =
     draw_fault ctx ~engine ~op:"datacopy_out" ~tensor:(Global_tensor.name dst)
       ~dst_off ~len ~dst_dtype:(Global_tensor.dtype dst)
   in
-  Block.charge ~op:"datacopy_out" ~bytes ctx engine
-    (faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes));
+  let cycles =
+    faulted_cycles act (Cost_model.mte_copy_cycles (Block.cost ctx) ~bytes)
+  in
+  (* The destination is GM, so there is no local tile to track: an
+     outbound group is only ever waited to pace the store queue. *)
+  if async then Block.charge_async ~op:"datacopy_out" ~bytes ctx engine cycles
+  else Block.charge ~op:"datacopy_out" ~bytes ctx engine cycles;
   Block.note_gm_traffic ctx ~read:0 ~write:bytes;
   Block.note_touched ctx dst;
   if Block.functional ctx then begin
@@ -159,9 +181,16 @@ let copy_out ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
     | _ -> ()
   end
 
+let copy_out ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  copy_out_impl ~async:false ctx ~engine ~src ~src_off ~dst ~dst_off ~len
+
+let copy_out_async ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
+  copy_out_impl ~async:true ctx ~engine ~src ~src_off ~dst ~dst_off ~len
+
 let copy_out_strided ctx ~engine ~src ~src_off ~src_stride ~dst ~dst_off
     ~dst_stride ~burst ~count =
   Block.count_op ctx "datacopy_out";
+  Block.check_async_use ctx ~op:"Mte.copy_out_strided" src;
   if burst < 0 || count < 0 then
     invalid_arg "Mte.copy_out_strided: negative burst or count";
   let len = burst * count in
@@ -216,6 +245,8 @@ let copy_local ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   Block.count_op ctx "datacopy_local";
   check ctx "copy_local" ~tensor:"(local)" ~len ~src_off ~dst_off
     ~src_len:(Local_tensor.length src) ~dst_len:(Local_tensor.length dst);
+  Block.check_async_use ctx ~op:"Mte.copy_local" src;
+  Block.check_async_use ctx ~op:"Mte.copy_local" dst;
   let bytes = max (local_bytes src len) (local_bytes dst len) in
   Block.charge ~op:"datacopy_local" ~bytes ctx engine
     (Cost_model.local_copy_cycles (Block.cost ctx) ~bytes);
@@ -231,3 +262,8 @@ let copy_local ctx ~engine ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
       ~dst:(Local_tensor.buffer dst) ~dst_off ~len;
     if whole then Local_tensor.set_structure dst src_structure
   end
+
+(* AscendC commit/wait-group discipline over the async copies above;
+   thin delegations so kernels only ever import [Mte]. *)
+let commit_group ctx ~engine = Block.commit_group ctx engine
+let wait_group ctx ~engine ~outstanding = Block.wait_group ctx engine ~outstanding

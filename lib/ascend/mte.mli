@@ -8,7 +8,23 @@
 
     When source and destination data types differ, the copy applies the
     hardware cast (e.g. the L0C fp32 -> GM fp16 quantizing output path,
-    or int32 -> int16 narrowing). Traffic is counted on the GM side. *)
+    or int32 -> int16 narrowing). Traffic is counted on the GM side.
+
+    {2 Asynchronous copies}
+
+    The [_async] variants model AscendC's asynchronous [DataCopy]: the
+    copy queues on its MTE engine while the issuing program lane runs
+    ahead (see {!Block} timing semantics). Copies issued since the last
+    {!commit_group} form one group; {!wait_group} [~outstanding:n]
+    blocks the lane until at most [n] committed groups remain in flight
+    on the engine — the commit/wait idiom double-buffered pipelines are
+    written in. Consuming an async-copied tile before its wait is
+    flagged by the sanitizer as an {!Sanitizer.Async_hazard}.
+
+    Simulation note: the functional payload still lands eagerly at
+    issue, in program order, so outputs are byte-identical between
+    sync and async schedules — only timing (and the hazard check)
+    differ. *)
 
 val copy_in :
   Block.t ->
@@ -21,6 +37,20 @@ val copy_in :
   unit ->
   unit
 (** Copy [len] elements GM -> local. *)
+
+val copy_in_async :
+  Block.t ->
+  engine:Engine.t ->
+  src:Global_tensor.t ->
+  ?src_off:int ->
+  dst:Local_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** {!copy_in}, queued asynchronously: the lane runs ahead and [dst]
+    must not be consumed before a {!wait_group} retires the copy's
+    group. *)
 
 val copy_in_strided :
   Block.t ->
@@ -49,6 +79,20 @@ val copy_out :
   unit
 (** Copy [len] elements local -> GM. *)
 
+val copy_out_async :
+  Block.t ->
+  engine:Engine.t ->
+  src:Local_tensor.t ->
+  ?src_off:int ->
+  dst:Global_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** {!copy_out}, queued asynchronously. Waiting an outbound group
+    paces the store queue: it makes re-use of [src]'s buffer safe
+    (the WAR dependency of a ping-pong output tile). *)
+
 val copy_out_strided :
   Block.t ->
   engine:Engine.t ->
@@ -75,3 +119,12 @@ val copy_local :
 (** On-chip copy (UB <-> UB, L1 <-> L0x, L0C -> L1...). Copying a whole
     structured tensor onto a whole destination preserves the structure
     tag. *)
+
+val commit_group : Block.t -> engine:Engine.t -> unit
+(** Close the current group of async copies on an MTE engine (AscendC
+    commit). A commit with nothing pending is a no-op. *)
+
+val wait_group : Block.t -> engine:Engine.t -> outstanding:int -> unit
+(** Block the engine's lane until at most [outstanding] committed
+    groups remain in flight on that engine; [~outstanding:0] drains
+    it. Raises [Invalid_argument] on a negative [outstanding]. *)

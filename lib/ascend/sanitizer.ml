@@ -3,12 +3,14 @@ type kind =
   | Queue_violation
   | Write_write_hazard
   | Read_write_hazard
+  | Async_hazard
 
 let kind_to_string = function
   | Out_of_bounds -> "out_of_bounds"
   | Queue_violation -> "queue_violation"
   | Write_write_hazard -> "write_write_hazard"
   | Read_write_hazard -> "read_write_hazard"
+  | Async_hazard -> "async_copy_hazard"
 
 type diag = {
   kind : kind;
@@ -133,6 +135,10 @@ let record_queue_violation t ~block ~queue ~message =
   add_diag t
     { kind = Queue_violation; phase = t.phase; block; op = "queue";
       tensor = queue; message }
+
+let record_async_hazard t ~block ~op ~tensor ~message =
+  add_diag t
+    { kind = Async_hazard; phase = t.phase; block; op; tensor; message }
 
 let diagnostics t = List.rev t.diags
 let count t = t.n_diags

@@ -12,7 +12,13 @@
       [SyncAll]. The simulator executes blocks sequentially, so such
       kernels appear to work here but race on real hardware;
     - {!Queue_violation}: an AscendC queue was enqueued with no free
-      buffer or dequeued while empty (see {!Queue}).
+      buffer or dequeued while empty (see {!Queue});
+    - {!Async_hazard}: an engine op consumed a local tile that is still
+      the destination of an in-flight asynchronous [DataCopy] — the
+      kernel issued {!Mte.copy_in_async} but used the tile before the
+      matching [wait_group]. In the simulator the data happens to be
+      there (host blits are eager); on hardware the read races the
+      copy.
 
     Hazard tracking coalesces each block's accesses per tensor into a
     bounding span, which is exact for tiled kernels. Kernels that
@@ -24,6 +30,7 @@ type kind =
   | Queue_violation
   | Write_write_hazard
   | Read_write_hazard
+  | Async_hazard
 
 val kind_to_string : kind -> string
 
@@ -66,6 +73,11 @@ val record_oob : t -> block:int -> op:string -> tensor:string -> message:string 
 
 val record_queue_violation :
   t -> block:int -> queue:string -> message:string -> unit
+
+val record_async_hazard :
+  t -> block:int -> op:string -> tensor:string -> message:string -> unit
+(** Called by {!Block.check_async_use} when an engine op consumes a
+    tile with an un-waited asynchronous copy in flight. *)
 
 val diagnostics : t -> diag list
 (** All diagnostics, oldest first (capped at 256). *)

@@ -168,10 +168,14 @@ let note t kind ~name =
   t.notes <- t.notes + 1;
   t.items <- Note (kind, name) :: t.items
 
-(* Invariants: spans on one (block, engine-track) are laid end to end by
-   {!Block.charge} — each starts exactly at the accumulated busy total
-   where the previous one ended — so any gap or overlap means recording
-   and accounting have diverged. *)
+(* Invariants: spans on one (block, engine-track) carry real event-
+   timeline issue times from {!Block.charge}/[charge_async]. An engine
+   is an in-order queue, so per track the spans are monotone and never
+   overlap — each starts at or after the previous one's end (gaps are
+   stalls where the lane waited on another engine). Tracks of the same
+   block DO overlap each other; that is the pipelining the model
+   exists to express. An overlap within one track means recording and
+   queue accounting have diverged. *)
 let check t =
   let eps = 1e-9 in
   let bad = ref None in

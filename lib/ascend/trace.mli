@@ -52,7 +52,7 @@ type span = {
   sp_engine : string;  (** {!Engine.to_string} name, e.g. ["vec0.mte_in"]. *)
   sp_queue : string;  (** Issue queue ({!Engine.queue}): MTE2/MTE3/M/V/S. *)
   sp_op : string;  (** Instruction name, e.g. ["mmad"], ["datacopy_in"]. *)
-  sp_start : float;  (** Block-local engine-track position, cycles. *)
+  sp_start : float;  (** Block-local event-timeline issue time, cycles. *)
   sp_end : float;
   sp_bytes : int;  (** Transfer payload (0 for non-MTE ops). *)
 }
@@ -151,9 +151,11 @@ val note : t -> kind -> name:string -> unit
 
 val check : t -> (unit, string) result
 (** Recorder invariants: zero dropped spans, non-negative span
-    durations, and per-(block, engine-track) monotone cycle positions
-    (each span starts exactly where the previous one on its track
-    ended). [Error] carries the first violation. *)
+    durations, and per-(block, engine-track) non-overlap — each span
+    starts at or after the previous one on its track ended (engines
+    are in-order queues; gaps are stalls), and no span outruns the
+    block's makespan. Tracks of one block are allowed — expected — to
+    overlap each other. [Error] carries the first violation. *)
 
 (** {2 Assembly} *)
 

@@ -22,7 +22,10 @@ let check_range ctx what lt off len =
           ~message:msg
     | None -> ());
     invalid_arg msg
-  end
+  end;
+  (* Every vector-op operand funnels through here, so this one hook
+     covers the whole Vec surface for the async-copy hazard check. *)
+  Block.check_async_use ctx ~op:("Vec." ^ what) lt
 
 (* Charge [instrs] vector instructions processing [len] elements of the
    widest operand involved. *)

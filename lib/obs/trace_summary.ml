@@ -6,6 +6,7 @@ type phase_sum = {
   bound : string;
   bounding : string;
   engines : (string * float) list;
+  overlap : float;
 }
 
 type phase_acc = {
@@ -15,7 +16,60 @@ type phase_acc = {
   a_dur : float;
   a_bound : string;
   busy : (string, float) Hashtbl.t; (* engine name -> busy us *)
+  mutable mte_iv : (float * float) list; (* MTE-track spans (ts, te) *)
+  mutable comp_iv : (float * float) list; (* compute-track spans *)
 }
+
+(* An engine track is an MTE track iff its (possibly device-qualified)
+   name carries the ".mte" suffix component; everything else — cube,
+   vec cores, scalar — counts as compute. *)
+let is_mte_track name =
+  let n = String.length name in
+  let rec scan i =
+    if i + 4 > n then false
+    else if String.sub name i 4 = ".mte" then true
+    else scan (i + 1)
+  in
+  scan 0
+
+(* Total length of the union of a span list. *)
+let union_length ivs =
+  let ivs = List.sort compare ivs in
+  let rec go acc cur ivs =
+    match (cur, ivs) with
+    | None, [] -> acc
+    | Some (s, e), [] -> acc +. (e -. s)
+    | None, iv :: tl -> go acc (Some iv) tl
+    | Some (s, e), (s', e') :: tl ->
+        if s' <= e then go acc (Some (s, Float.max e e')) tl
+        else go (acc +. (e -. s)) (Some (s', e')) tl
+  in
+  go 0.0 None ivs
+
+(* Length of the intersection of two span unions. *)
+let intersection_length a b =
+  let merge ivs =
+    let ivs = List.sort compare ivs in
+    let rec go acc cur ivs =
+      match (cur, ivs) with
+      | None, [] -> List.rev acc
+      | Some iv, [] -> List.rev (iv :: acc)
+      | None, iv :: tl -> go acc (Some iv) tl
+      | Some (s, e), (s', e') :: tl ->
+          if s' <= e then go acc (Some (s, Float.max e e')) tl
+          else go ((s, e) :: acc) (Some (s', e')) tl
+    in
+    go [] None ivs
+  in
+  let rec go acc a b =
+    match (a, b) with
+    | [], _ | _, [] -> acc
+    | (sa, ea) :: ta, (sb, eb) :: tb ->
+        let lo = Float.max sa sb and hi = Float.min ea eb in
+        let acc = if hi > lo then acc +. (hi -. lo) else acc in
+        if ea < eb then go acc ta b else go acc a tb
+  in
+  go 0.0 (merge a) (merge b)
 
 let of_json doc =
   match Option.bind (Jsonw.member "traceEvents" doc) Jsonw.to_list_opt with
@@ -102,6 +156,8 @@ let of_json doc =
                     a_dur = dur;
                     a_bound = Option.value ~default:"compute" (arg_str "bound");
                     busy = Hashtbl.create 16;
+                    mte_iv = [];
+                    comp_iv = [];
                   }
                   :: !phases
             | _ -> ())
@@ -134,11 +190,15 @@ let of_json doc =
                     done;
                     let p = phases.(!cursor) in
                     if ts >= p.a_ts -. eps && ts < p.a_ts +. p.a_dur +. eps
-                    then
+                    then begin
                       Hashtbl.replace p.busy name
                         (dur
                         +. Option.value ~default:0.0
-                             (Hashtbl.find_opt p.busy name)))
+                             (Hashtbl.find_opt p.busy name));
+                      let iv = (ts, ts +. dur) in
+                      if is_mte_track name then p.mte_iv <- iv :: p.mte_iv
+                      else p.comp_iv <- iv :: p.comp_iv
+                    end)
             | _ -> ())
           events;
         let summaries =
@@ -174,6 +234,13 @@ let of_json doc =
                      | (name, _) :: _ -> name
                      | [] -> "launch overhead"
                  in
+                 let overlap =
+                   let m = union_length p.mte_iv
+                   and c = union_length p.comp_iv in
+                   let denom = Float.min m c in
+                   if denom <= 0.0 then 0.0
+                   else intersection_length p.mte_iv p.comp_iv /. denom
+                 in
                  {
                    launch = p.a_launch;
                    index = p.a_index;
@@ -182,6 +249,7 @@ let of_json doc =
                    bound = p.a_bound;
                    bounding;
                    engines;
+                   overlap;
                  })
                phases)
         in
@@ -206,5 +274,8 @@ let pp ppf summaries =
             (fun (name, occ) ->
               Format.fprintf ppf " %s %.1f%%" name (100.0 *. occ))
             engines;
-          Format.fprintf ppf "@.")
+          Format.fprintf ppf "@.";
+          if s.overlap > 0.0005 then
+            Format.fprintf ppf "    mte/compute overlap %.1f%%@."
+              (100.0 *. s.overlap))
     summaries

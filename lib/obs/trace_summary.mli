@@ -20,6 +20,13 @@ type phase_sum = {
       (** Mean occupancy per engine name over the tracks of that
           engine, as a fraction of the phase duration in [0, 1],
           sorted descending. *)
+  overlap : float;
+      (** MTE/compute overlap ratio in [0, 1]: the time the union of
+          MTE-track spans intersects the union of compute-track (cube /
+          vector / scalar) spans, divided by the smaller of the two
+          union lengths. [0] under a fully serial schedule (or when a
+          phase uses only one side); approaches [1] when data movement
+          hides entirely behind compute. *)
 }
 
 val of_json : Jsonw.t -> (phase_sum list, string) result

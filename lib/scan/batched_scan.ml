@@ -61,8 +61,13 @@ let run_u ?(s = 128) ?rows ?y device ~batch ~len x =
         (List.init (p_hi - p_lo) (fun k -> p_lo + k))
     in
     if mine <> [] then begin
-      let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
-      let l0c = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
+      let schedule = Scan_core.current_schedule () in
+      let l0a =
+        Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0a Dtype.F16 tile)
+      in
+      let l0c =
+        Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0c Dtype.F32 tile)
+      in
       let u =
         Scan_core.load_cube_encoding
           (module Scan_op.Sum)
@@ -71,31 +76,48 @@ let run_u ?(s = 128) ?rows ?y device ~batch ~len x =
       let ubs =
         List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 tile)
       in
-      let iters = List.length mine * ntiles in
-      Block.pipelined ctx ~iters:(max 1 iters) (fun () ->
-          List.iter
-            (fun p ->
-              let partials = Array.make vpc 0.0 in
-              for t = 0 to ntiles - 1 do
-                let toff = t * tile in
-                let tlen = min tile (len - toff) in
-                for v = 0 to vpc - 1 do
-                  let j = (p * vpc) + v in
-                  if j >= row_lo && j < row_hi && j < batch then begin
-                    let off = (j * len) + toff in
-                    Kernel_util.cube_local_scans ctx ~x ~off ~len:tlen ~s ~l0a
-                      ~u ~l0c ~y;
-                    let ub = List.nth ubs v in
-                    let partial = ref partials.(v) in
-                    Scan_core.finish_tile
-                      (module Scan_op.Sum)
-                      ctx ~vec:v ~src:y ~ub ~dst:y ~off ~len:tlen ~s ~partial
-                      ();
-                    partials.(v) <- !partial
-                  end
-                done
-              done)
-            mine)
+      (* Flatten the (pair, tile, row) nest into one item stream so the
+         cube pipeline double-buffers straight across row and pair
+         boundaries — the ping-pong slots never drain between rows. *)
+      let items =
+        List.concat_map
+          (fun p ->
+            List.concat_map
+              (fun t ->
+                List.filter_map
+                  (fun v ->
+                    let j = (p * vpc) + v in
+                    if j >= row_lo && j < row_hi && j < batch then
+                      Some (t, v, (j * len) + (t * tile),
+                            min tile (len - (t * tile)))
+                    else None)
+                  (List.init vpc Fun.id))
+              (List.init ntiles Fun.id))
+          mine
+        |> Array.of_list
+      in
+      let partials = Array.make vpc 0.0 in
+      Scan_core.pipeline ctx ~schedule ~out:(Engine.Cube_mte_out, 2)
+        ~in_engine:Engine.Cube_mte_in ~n:(Array.length items)
+        ~load:(fun ~slot k ->
+          let _, _, off, tlen = items.(k) in
+          Scan_core.stage_in ctx ~schedule ~engine:Engine.Cube_mte_in ~src:x
+            ~src_off:off ~dst:l0a.(slot) ~len:tlen ())
+        ~work:(fun ~slot k ->
+          let t, v, off, tlen = items.(k) in
+          let rows = Kernel_util.ceil_div tlen s in
+          Cube.mmad ctx ~a:l0a.(slot) ~b:u ~c:l0c.(slot) ~m:rows ~k:s ~n:s
+            ~accumulate:false;
+          Scan_core.stage_out ctx ~schedule ~engine:Engine.Cube_mte_out
+            ~src:l0c.(slot) ~dst:y ~dst_off:off ~len:tlen ();
+          if t = 0 then partials.(v) <- 0.0;
+          let partial = ref partials.(v) in
+          Scan_core.finish_tile
+            (module Scan_op.Sum)
+            ctx ~vec:v ~await:Engine.Cube_mte_out ~src:y ~ub:(List.nth ubs v)
+            ~dst:y ~off ~len:tlen ~s ~partial ();
+          partials.(v) <- !partial)
+        ()
     end
   in
   let stats = Launch.run ~name:"batched_scan_u" device ~blocks body in
@@ -120,23 +142,34 @@ let run_ul1 ?(s = 128) ?rows ?y device ~batch ~len x =
         (List.init (row_hi - row_lo) (fun k -> row_lo + k))
     in
     if mine <> [] then begin
+      let schedule = Scan_core.current_schedule () in
       let bufs = Scan_ul1.alloc_bufs ctx ~s in
       let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
-      let iters = List.length mine * ntiles in
-      Block.pipelined ctx ~iters:(max 1 iters) (fun () ->
-          List.iter
-            (fun j ->
-              let partial = ref (Scan_op.Sum.identity Dtype.F16) in
-              for t = 0 to ntiles - 1 do
-                let toff = t * tile in
-                let tlen = min tile (len - toff) in
-                let off = (j * len) + toff in
-                Scan_ul1.cube_tile ctx ~x ~y ~off ~len:tlen ~s ~bufs;
-                Scan_core.finish_tile
-                  (module Scan_op.Sum)
-                  ctx ~src:y ~ub ~dst:y ~off ~len:tlen ~s:tile ~partial ()
-              done)
-            mine)
+      (* One flat item stream over (row, tile) so the L0A/C2 ping-pong
+         slots stay full across row boundaries. *)
+      let items =
+        List.concat_map
+          (fun j ->
+            List.init ntiles (fun t ->
+                (t, (j * len) + (t * tile), min tile (len - (t * tile)))))
+          mine
+        |> Array.of_list
+      in
+      let partial = ref (Scan_op.Sum.identity Dtype.F16) in
+      Scan_core.pipeline ctx ~schedule ~out:(Engine.Cube_mte_out, 2)
+        ~in_engine:Engine.Cube_mte_in ~n:(Array.length items)
+        ~load:(fun ~slot k ->
+          let _, off, tlen = items.(k) in
+          Scan_ul1.load_tile ctx ~schedule ~x ~off ~len:tlen ~bufs ~slot)
+        ~work:(fun ~slot k ->
+          let t, off, tlen = items.(k) in
+          if t = 0 then partial := Scan_op.Sum.identity Dtype.F16;
+          Scan_ul1.compute_tile ctx ~schedule ~y ~off ~len:tlen ~s ~bufs ~slot;
+          Scan_core.finish_tile
+            (module Scan_op.Sum)
+            ctx ~await:Engine.Cube_mte_out ~src:y ~ub ~dst:y ~off ~len:tlen
+            ~s:tile ~partial ())
+        ()
     end
   in
   let stats = Launch.run ~name:"batched_scan_ul1" device ~blocks body in

@@ -195,13 +195,22 @@ let run ?s ?schedule ?shards ?local pod x =
         Launch.run ~name:(Printf.sprintf "dist_fixup%d" i) dev ~blocks:1
           (fun ctx ->
             let tile = 16384 in
-            let ub = Block.alloc ctx (Mem_kind.Ub 0) dt (min tile len) in
-            Scan_core.foreach_tile ctx ~tile ~n:len (fun ~off ~len ->
-                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:ys
-                  ~src_off:off ~dst:ub ~len ();
-                Vec.adds ctx ~src:ub ~dst:ub ~scalar ~len ();
-                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:ub
-                  ~dst:ys ~dst_off:off ~len ()))
+            let schedule = Scan_core.current_schedule () in
+            let ub =
+              Array.init 2 (fun _ ->
+                  Block.alloc ctx (Mem_kind.Ub 0) dt (min tile len))
+            in
+            Scan_core.pipeline_tiles ctx ~schedule
+              ~in_engine:(Engine.Vec_mte_in 0) ~tile ~n:len
+              ~load:(fun ~slot ~off ~len ->
+                Scan_core.stage_in ctx ~schedule
+                  ~engine:(Engine.Vec_mte_in 0) ~src:ys ~src_off:off
+                  ~dst:ub.(slot) ~len ())
+              ~work:(fun ~slot ~off ~len ->
+                Vec.adds ctx ~src:ub.(slot) ~dst:ub.(slot) ~scalar ~len ();
+                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0)
+                  ~src:ub.(slot) ~dst:ys ~dst_off:off ~len ())
+              ())
       in
       stats_rev := st :: !stats_rev;
       P.advance_clock pod e st.Stats.seconds;

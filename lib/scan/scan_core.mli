@@ -9,6 +9,88 @@
 
 open Ascend
 
+(** {2 Pipeline schedules} *)
+
+type schedule =
+  | Serial  (** No overlap: sync copies, full barrier between tiles. *)
+  | Double  (** 2-stage: async copy-in of tile [t+1] overlaps work on [t]. *)
+  | Triple
+      (** 3-stage: additionally, async copy-out of tile [t-1] overlaps
+          work on [t] (kernels with a dedicated store buffer). *)
+
+val schedule_name : schedule -> string
+
+val default_schedule : schedule ref
+(** The schedule kernels run under when not overridden per call.
+    Defaults to [Triple]. *)
+
+val current_schedule : unit -> schedule
+
+val with_schedule : schedule -> (unit -> 'a) -> 'a
+(** Run [f] with {!default_schedule} temporarily replaced — how the
+    equivalence tests and the pipeline bench run one kernel under
+    several schedules. Restores the previous schedule on exit. *)
+
+val stage_in :
+  Block.t ->
+  schedule:schedule ->
+  engine:Engine.t ->
+  src:Global_tensor.t ->
+  ?src_off:int ->
+  dst:Local_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** {!Ascend.Mte.copy_in}, async under [Double]/[Triple]. *)
+
+val stage_out :
+  Block.t ->
+  schedule:schedule ->
+  engine:Engine.t ->
+  src:Local_tensor.t ->
+  ?src_off:int ->
+  dst:Global_tensor.t ->
+  ?dst_off:int ->
+  len:int ->
+  unit ->
+  unit
+(** {!Ascend.Mte.copy_out}, async under [Triple] only. Use only for
+    stores the enclosing {!pipeline}'s [out] parameter paces. *)
+
+val pipeline :
+  Block.t ->
+  ?schedule:schedule ->
+  ?out:Engine.t * int ->
+  in_engine:Engine.t ->
+  n:int ->
+  load:(slot:int -> int -> unit) ->
+  work:(slot:int -> int -> unit) ->
+  unit ->
+  unit
+(** The double-buffered pipeline walker. [load ~slot t] stages item
+    [t]'s inputs into ping-pong slot [slot] with {!stage_in} on
+    [in_engine]; [work ~slot t] consumes them. Under [Double]/[Triple]
+    the walker issues [load (t+1)] before [work t] and paces the two
+    slots with commit/wait groups; [out = (engine, slots)] (honoured
+    under [Triple]) additionally paces [slots] ping-pong store buffers
+    whose stores [work] issues via {!stage_out}. [schedule] defaults
+    to {!default_schedule}. *)
+
+val pipeline_tiles :
+  Block.t ->
+  ?schedule:schedule ->
+  ?out:Engine.t * int ->
+  in_engine:Engine.t ->
+  tile:int ->
+  n:int ->
+  load:(slot:int -> off:int -> len:int -> unit) ->
+  work:(slot:int -> off:int -> len:int -> unit) ->
+  unit ->
+  unit
+(** {!pipeline} over [tile]-sized slices of [0, n): [load]/[work]
+    receive each slice's offset and clipped length. *)
+
 val foreach_tile :
   Block.t ->
   ?serial:bool ->
@@ -17,9 +99,9 @@ val foreach_tile :
   (off:int -> len:int -> unit) ->
   unit
 (** Run the tile body for every [tile]-sized slice of [0, n) inside one
-    {!Ascend.Block.pipelined} section ([iters] = tile count, so the
-    section is charged at double-buffered throughput; [serial] is the
-    no-pipelining ablation hook and charges the serial sum). *)
+    legacy {!Ascend.Block.pipelined} section ([iters] = tile count;
+    [serial] is the no-pipelining ablation hook). Kept for kernels that
+    have not moved to the explicit {!pipeline} walker. *)
 
 val sub_block : lo:int -> hi:int -> half:int -> int -> int * int
 (** [sub_block ~lo ~hi ~half v] is the [(vlo, vhi)] range of block
@@ -55,6 +137,7 @@ val finish_tile :
   (module Scan_op.S) ->
   Block.t ->
   ?vec:int ->
+  ?await:Engine.t ->
   ?src:Global_tensor.t ->
   ub:Local_tensor.t ->
   dst:Global_tensor.t ->
@@ -68,7 +151,10 @@ val finish_tile :
     tile-local scan result from [src] in GM into [ub], propagate the
     running partial through its [s]-rows, and write the finished prefix
     to [dst]. [src] is omitted when the local result is already in UB
-    (the vector-only kernels). *)
+    (the vector-only kernels). [await] names the engine that produced
+    [src] (the cube core's outbound MTE): the vector lane first waits
+    for everything issued there, the cross-lane dependency of the
+    cube-to-vector hand-off. *)
 
 val load_cube_encoding :
   (module Scan_op.S) ->

@@ -8,8 +8,18 @@ let run ?(s = 128) ?(no_pipeline = false) device x =
   let y = Device.alloc device Dtype.F16 n ~name:(Global_tensor.name x ^ "_scanu") in
   let tile = s * s in
   let body ctx =
-    let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
-    let l0c = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
+    (* no_pipeline is the A2 ablation hook: the Serial schedule runs
+       every copy synchronously with a full barrier between tiles, so
+       the block charges the serial sum of all engine work. *)
+    let schedule =
+      if no_pipeline then Scan_core.Serial else Scan_core.current_schedule ()
+    in
+    (* Ping-pong slots: two f16 input tiles fill L0A exactly (2 x 32 KB)
+       and two f32 accumulators take half of L0C, so copy-in of tile
+       [t+1], the mmad of tile [t] and copy-out of tile [t-1] all
+       overlap — the 3-stage pipeline of the paper's ScanU. *)
+    let l0a = Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0a Dtype.F16 tile) in
+    let l0c = Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0c Dtype.F32 tile) in
     let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
     let u =
       Scan_core.load_cube_encoding
@@ -17,15 +27,25 @@ let run ?(s = 128) ?(no_pipeline = false) device x =
         ctx ~engine:Engine.Cube_mte_in ~kind:Mem_kind.L0b ~dtype:Dtype.F16 ~s
     in
     let partial = ref (Scan_op.Sum.identity Dtype.F16) in
-    (* no_pipeline is the A2 ablation hook: serial tile iteration makes
-       the section time the serial sum of all engine work. *)
-    Scan_core.foreach_tile ctx ~serial:no_pipeline ~tile ~n (fun ~off ~len ->
-        Kernel_util.cube_local_scans ctx ~x ~off ~len ~s ~l0a ~u ~l0c ~y;
+    Scan_core.pipeline_tiles ctx ~schedule
+      ~out:(Engine.Cube_mte_out, 2) ~in_engine:Engine.Cube_mte_in ~tile ~n
+      ~load:(fun ~slot ~off ~len ->
+        Scan_core.stage_in ctx ~schedule ~engine:Engine.Cube_mte_in ~src:x
+          ~src_off:off ~dst:l0a.(slot) ~len ())
+      ~work:(fun ~slot ~off ~len ->
+        let rows = Kernel_util.ceil_div len s in
+        Cube.mmad ctx ~a:l0a.(slot) ~b:u ~c:l0c.(slot) ~m:rows ~k:s ~n:s
+          ~accumulate:false;
+        Scan_core.stage_out ctx ~schedule ~engine:Engine.Cube_mte_out
+          ~src:l0c.(slot) ~dst:y ~dst_off:off ~len ();
         (* The vector core waits for the cube result in GM, finishes
-           the prefix in place, and writes it back. *)
+           the prefix in place, and writes it back; its lane overlaps
+           the cube's next tile. *)
         Scan_core.finish_tile
           (module Scan_op.Sum)
-          ctx ~vec:0 ~src:y ~ub ~dst:y ~off ~len ~s ~partial ())
+          ctx ~vec:0 ~await:Engine.Cube_mte_out ~src:y ~ub ~dst:y ~off ~len ~s
+          ~partial ())
+      ()
   in
   let stats = Launch.run ~name:"scan_u" device ~blocks:1 body in
   (y, stats)

@@ -1,23 +1,27 @@
 open Ascend
 
 type bufs = {
-  l0a : Local_tensor.t;
+  l0a : Local_tensor.t array;  (* 2 ping-pong input/operand slots *)
   l0b : Local_tensor.t;
   c1 : Local_tensor.t;
-  c2 : Local_tensor.t;
+  c2 : Local_tensor.t array;  (* 2 ping-pong result accumulators *)
   c1_l1 : Local_tensor.t;
   u_l1 : Local_tensor.t;
   lminus_l1 : Local_tensor.t;
   ones_l1 : Local_tensor.t;
 }
 
+(* Two f16 input slots fill L0A exactly (2 x 32 KB); C1 plus two C2
+   slots take 192 of L0C's 256 KB. The doubled slots are what let the
+   tile walker overlap copy-in, the mmad chain and copy-out across
+   tile iterations. *)
 let alloc_bufs ctx ~s =
   let tile = s * s in
   {
-    l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile;
+    l0a = Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0a Dtype.F16 tile);
     l0b = Block.alloc ctx Mem_kind.L0b Dtype.F16 tile;
     c1 = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile;
-    c2 = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile;
+    c2 = Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0c Dtype.F32 tile);
     c1_l1 = Block.alloc ctx Mem_kind.L1 Dtype.F16 tile;
     u_l1 =
       Scan_core.load_cube_encoding
@@ -31,19 +35,23 @@ let alloc_bufs ctx ~s =
         ~dtype:Dtype.F16 ~s Const_mat.Ones;
   }
 
-(* One ScanUL1 tile (Algorithm 2, lines 6-13): local scan of length
-   [len] <= s^2 at [x[off ..]], written to [y[off ..]]. For tail tiles
-   with fewer than [s] rows the L^- operand is the [rows x rows]
-   leading submatrix (the strided L1 -> L0A copy extracts it; we charge
-   the full-matrix move, which is conservative). *)
-let cube_tile ctx ~x ~y ~off ~len ~s ~bufs =
+(* One ScanUL1 tile (Algorithm 2, lines 6-13), split into the pipeline
+   stages the walker schedules: [load_tile] stages the input into L0A
+   slot [slot]; [compute_tile] runs the three matmuls and stores C2.
+   For tail tiles with fewer than [s] rows the L^- operand is the
+   [rows x rows] leading submatrix (the strided L1 -> L0A copy extracts
+   it; we charge the full-matrix move, which is conservative). *)
+let load_tile ctx ~schedule ~x ~off ~len ~bufs ~slot =
+  Scan_core.stage_in ctx ~schedule ~engine:Engine.Cube_mte_in ~src:x
+    ~src_off:off ~dst:bufs.l0a.(slot) ~len ()
+
+let compute_tile ctx ~schedule ~y ~off ~len ~s ~bufs ~slot =
   let rows = Kernel_util.ceil_div len s in
-  Mte.copy_in ctx ~engine:Engine.Cube_mte_in ~src:x ~src_off:off ~dst:bufs.l0a
-    ~len ();
+  let l0a = bufs.l0a.(slot) and c2 = bufs.c2.(slot) in
   (* C1 = A @ 1 (accumulation off; A stays resident in L0A). *)
   Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.ones_l1 ~dst:bufs.l0b
     ~len:(s * s) ();
-  Cube.mmad ctx ~a:bufs.l0a ~b:bufs.l0b ~c:bufs.c1 ~m:rows ~k:s ~n:s
+  Cube.mmad ctx ~a:l0a ~b:bufs.l0b ~c:bufs.c1 ~m:rows ~k:s ~n:s
     ~accumulate:false;
   (* Stage C1 in L1, casting the fp32 accumulator back to fp16 so it
      can be a matmul operand again. *)
@@ -52,17 +60,21 @@ let cube_tile ctx ~x ~y ~off ~len ~s ~bufs =
   (* C2 = A @ U. *)
   Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.u_l1 ~dst:bufs.l0b
     ~len:(s * s) ();
-  Cube.mmad ctx ~a:bufs.l0a ~b:bufs.l0b ~c:bufs.c2 ~m:rows ~k:s ~n:s
-    ~accumulate:false;
+  Cube.mmad ctx ~a:l0a ~b:bufs.l0b ~c:c2 ~m:rows ~k:s ~n:s ~accumulate:false;
   (* C2 += L^- @ C1 (accumulation on; all input buffers free after). *)
-  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.lminus_l1 ~dst:bufs.l0a
+  Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.lminus_l1 ~dst:l0a
     ~len:(s * s) ();
   Mte.copy_local ctx ~engine:Engine.Cube ~src:bufs.c1_l1 ~dst:bufs.l0b
     ~len:(rows * s) ();
-  Cube.mmad ctx ~a:bufs.l0a ~b:bufs.l0b ~c:bufs.c2 ~m:rows ~k:rows ~n:s
-    ~accumulate:true;
-  Mte.copy_out ctx ~engine:Engine.Cube_mte_out ~src:bufs.c2 ~dst:y
+  Cube.mmad ctx ~a:l0a ~b:bufs.l0b ~c:c2 ~m:rows ~k:rows ~n:s ~accumulate:true;
+  Scan_core.stage_out ctx ~schedule ~engine:Engine.Cube_mte_out ~src:c2 ~dst:y
     ~dst_off:off ~len ()
+
+(* Whole-tile form for callers that run outside the pipeline walker
+   (the TCU carry-tree kernel): synchronous copies, slot 0. *)
+let cube_tile ctx ~x ~y ~off ~len ~s ~bufs =
+  load_tile ctx ~schedule:Scan_core.Serial ~x ~off ~len ~bufs ~slot:0;
+  compute_tile ctx ~schedule:Scan_core.Serial ~y ~off ~len ~s ~bufs ~slot:0
 
 let run ?(s = 128) device x =
   if s <= 0 then invalid_arg "Scan_ul1.run: s must be positive";
@@ -74,16 +86,24 @@ let run ?(s = 128) device x =
   in
   let tile = s * s in
   let body ctx =
+    let schedule = Scan_core.current_schedule () in
     let bufs = alloc_bufs ctx ~s in
     let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 tile in
     let partial = ref (Scan_op.Sum.identity Dtype.F16) in
-    Scan_core.foreach_tile ctx ~tile ~n (fun ~off ~len ->
-        cube_tile ctx ~x ~y ~off ~len ~s ~bufs;
+    Scan_core.pipeline_tiles ctx ~schedule ~out:(Engine.Cube_mte_out, 2)
+      ~in_engine:Engine.Cube_mte_in ~tile ~n
+      ~load:(fun ~slot ~off ~len ->
+        load_tile ctx ~schedule ~x ~off ~len ~bufs ~slot)
+      ~work:(fun ~slot ~off ~len ->
+        compute_tile ctx ~schedule ~y ~off ~len ~s ~bufs ~slot;
         (* Vector unit: the whole tile is one propagation row, so the
-           epilogue is a single scalar fold. *)
+           epilogue is a single scalar fold, overlapping the cube's
+           next tile on its own lane. *)
         Scan_core.finish_tile
           (module Scan_op.Sum)
-          ctx ~src:y ~ub ~dst:y ~off ~len ~s:tile ~partial ())
+          ctx ~await:Engine.Cube_mte_out ~src:y ~ub ~dst:y ~off ~len ~s:tile
+          ~partial ())
+      ()
   in
   let stats = Launch.run ~name:"scan_ul1" device ~blocks:1 body in
   (y, stats)

@@ -22,11 +22,36 @@ val run :
 (** {2 Building blocks} (reused by the batched kernel) *)
 
 type bufs
-(** The per-block cube-side buffer set: L0A/L0B operands, two L0C
-    accumulators, and the U / L^- / 1 constants plus a C1 staging area
-    in L1. *)
+(** The per-block cube-side buffer set: ping-pong L0A input slots, the
+    L0B operand, the C1 accumulator and ping-pong C2 result slots in
+    L0C, and the U / L^- / 1 constants plus a C1 staging area in L1. *)
 
 val alloc_bufs : Ascend.Block.t -> s:int -> bufs
+
+val load_tile :
+  Ascend.Block.t ->
+  schedule:Scan_core.schedule ->
+  x:Ascend.Global_tensor.t ->
+  off:int ->
+  len:int ->
+  bufs:bufs ->
+  slot:int ->
+  unit
+(** Stage tile [x\[off, off+len)] into L0A slot [slot] (async under a
+    pipelined schedule) — the load stage of the walker. *)
+
+val compute_tile :
+  Ascend.Block.t ->
+  schedule:Scan_core.schedule ->
+  y:Ascend.Global_tensor.t ->
+  off:int ->
+  len:int ->
+  s:int ->
+  bufs:bufs ->
+  slot:int ->
+  unit
+(** Evaluate Equation 1 over the staged slot and store C2 slot [slot]
+    to [y\[off, off+len)] — the work stage of the walker. *)
 
 val cube_tile :
   Ascend.Block.t ->
@@ -37,5 +62,6 @@ val cube_tile :
   s:int ->
   bufs:bufs ->
   unit
-(** Evaluate Equation 1 for one tile [x\[off, off+len)], writing the
-    tile-local scan to [y\[off, off+len)]. *)
+(** Whole tile with synchronous copies on slot 0 ([load_tile] then
+    [compute_tile] under [Serial]), for callers outside the pipeline
+    walker. *)

@@ -10,20 +10,32 @@ let phase_local ~x ~y ~t ~s ~n ctx =
   let mine = List.filter (fun k -> k mod blocks = i)
                (List.init ntiles Fun.id) in
   if mine <> [] then begin
+    let schedule = Scan_core.current_schedule () in
     let bufs = Scan_ul1.alloc_bufs ctx ~s in
     let carry = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 16 in
-    Block.pipelined ctx ~iters:(List.length mine) (fun () ->
-        List.iter
-          (fun k ->
-            let off = k * tile in
-            let len = min tile (n - off) in
-            Scan_ul1.cube_tile ctx ~x ~y ~off ~len ~s ~bufs;
-            (* Extract the tile's last (inclusive) value into t.(k). *)
-            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y
-              ~src_off:(off + len - 1) ~dst:carry ~len:1 ();
-            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:carry ~dst:t
-              ~dst_off:k ~len:1 ())
-          mine)
+    let items = Array.of_list mine in
+    Scan_core.pipeline ctx ~schedule ~out:(Engine.Cube_mte_out, 2)
+      ~in_engine:Engine.Cube_mte_in ~n:(Array.length items)
+      ~load:(fun ~slot j ->
+        let k = items.(j) in
+        let off = k * tile in
+        let len = min tile (n - off) in
+        Scan_ul1.load_tile ctx ~schedule ~x ~off ~len ~bufs ~slot)
+      ~work:(fun ~slot j ->
+        let k = items.(j) in
+        let off = k * tile in
+        let len = min tile (n - off) in
+        Scan_ul1.compute_tile ctx ~schedule ~y ~off ~len ~s ~bufs ~slot;
+        (* Extract the tile's last (inclusive) value into t.(k); the
+           vector MTE lane first joins the cube store stream so it
+           reads the tile after the (possibly async) store retires. *)
+        Block.await_engine ctx ~lane_of:(Engine.Vec_mte_in 0)
+          ~on:Engine.Cube_mte_out;
+        Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:y
+          ~src_off:(off + len - 1) ~dst:carry ~len:1 ();
+        Mte.copy_out ctx ~engine:(Engine.Vec_mte_out 0) ~src:carry ~dst:t
+          ~dst_off:k ~len:1 ())
+      ()
   end
 
 (* Phase B: broadcast-add the scanned carry of the previous tile. *)
@@ -36,31 +48,45 @@ let phase_add ~y ~scanned_t ~s ~n ctx =
   let mine = List.filter (fun k -> k mod blocks = i)
                (List.init ntiles Fun.id) in
   if mine <> [] then begin
+    let schedule = Scan_core.current_schedule () in
     let ubs =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 tile)
+      List.init vpc (fun v ->
+          Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 tile))
     in
     let carries =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 16)
+      List.init vpc (fun v ->
+          Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 16))
     in
-    Block.pipelined ctx ~iters:(List.length mine) (fun () ->
-        List.iteri
-          (fun idx k ->
-            if k > 0 then begin
-              (* Tiles alternate between the AI core's vector cores. *)
-              let v = idx mod vpc in
-              let off = k * tile in
-              let len = min tile (n - off) in
-              let ub = List.nth ubs v and carry = List.nth carries v in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:scanned_t
-                ~src_off:(k - 1) ~dst:carry ~len:1 ();
-              let c = Vec.get ctx ~vec:v carry 0 in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:y ~src_off:off
-                ~dst:ub ~len ();
-              Vec.adds ctx ~vec:v ~src:ub ~dst:ub ~scalar:c ~len ();
-              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub ~dst:y
-                ~dst_off:off ~len ()
-            end)
-          mine)
+    (* Tiles alternate between the AI core's vector cores; each core
+       runs its own 2-stage pipeline over its share of the tiles
+       (add-in-place, so stores stay synchronous). *)
+    for v = 0 to vpc - 1 do
+      let items =
+        List.filteri (fun idx _ -> idx mod vpc = v) mine
+        |> List.filter (fun k -> k > 0)
+        |> Array.of_list
+      in
+      let ub = List.nth ubs v and carry = List.nth carries v in
+      Scan_core.pipeline ctx ~schedule ~in_engine:(Engine.Vec_mte_in v)
+        ~n:(Array.length items)
+        ~load:(fun ~slot j ->
+          let k = items.(j) in
+          let off = k * tile in
+          let len = min tile (n - off) in
+          Scan_core.stage_in ctx ~schedule ~engine:(Engine.Vec_mte_in v)
+            ~src:scanned_t ~src_off:(k - 1) ~dst:carry.(slot) ~len:1 ();
+          Scan_core.stage_in ctx ~schedule ~engine:(Engine.Vec_mte_in v)
+            ~src:y ~src_off:off ~dst:ub.(slot) ~len ())
+        ~work:(fun ~slot j ->
+          let k = items.(j) in
+          let off = k * tile in
+          let len = min tile (n - off) in
+          let c = Vec.get ctx ~vec:v carry.(slot) 0 in
+          Vec.adds ctx ~vec:v ~src:ub.(slot) ~dst:ub.(slot) ~scalar:c ~len ();
+          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ub.(slot)
+            ~dst:y ~dst_off:off ~len ())
+        ()
+    done
   end
 
 let rec scan_rec ?(s = 128) device x ~depth =

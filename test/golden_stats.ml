@@ -1,13 +1,25 @@
 (* Golden-stats snapshot: runs every pre-existing kernel and a sample
    of scan-based operators at fixed inputs, under host domains 1 AND 4,
-   and serialises (output digest, full simulated Stats) per case. The
-   committed [golden_stats.expected] file is the pre-refactor record;
-   any structural refactor of the kernels must reproduce it bit for
-   bit — same outputs, same cycles, same bytes, same per-engine busy.
+   and serialises (output digest, full simulated Stats) per case —
+   checked against TWO committed goldens with different contracts:
+
+   - [golden_digests.expected] — the output contract. Only the
+     [# domains] / [case ... digest=...] lines: what the kernels
+     compute. Byte-identical forever; there is deliberately no flag
+     that regenerates it. If this mismatches, a kernel's numerical
+     behaviour changed and the change is wrong (or must introduce a
+     new case name, never alter an existing digest).
+
+   - [golden_timing.expected] — the timing contract. The full Stats
+     serialisation (cycles, busy, traffic, op counts). Versioned: a
+     scheduling/cost-model change MAY regenerate it, but every
+     regeneration appends a one-line justification to the file header.
 
    Usage:
-     golden_stats.exe            compare against golden_stats.expected
-     golden_stats.exe --write    regenerate the expected file *)
+     golden_stats.exe                     compare against both goldens
+     golden_stats.exe --write --why "…"   regenerate the TIMING golden,
+                                          appending "## vN: …" to its
+                                          header (digests stay frozen) *)
 
 open Ascend
 
@@ -153,39 +165,107 @@ let render () =
     [ 1; 4 ];
   Buffer.contents buf
 
-let expected_path =
-  (* Resolve relative to the executable so both `dune runtest` (cwd =
-     _build sandbox) and direct invocation work. *)
-  Filename.concat (Filename.dirname Sys.executable_name) "golden_stats.expected"
+(* Resolve relative to the executable so both `dune runtest` (cwd =
+   _build sandbox) and direct invocation work. *)
+let path name = Filename.concat (Filename.dirname Sys.executable_name) name
+let digests_path = path "golden_digests.expected"
+let timing_path = path "golden_timing.expected"
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let lines s = String.split_on_char '\n' s
+let is_header l = String.length l >= 3 && String.sub l 0 3 = "## "
+
+let is_digest_line l =
+  let pre p =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  pre "case " || pre "# domains="
+
+(* The digest view of a render: case and domains lines only. *)
+let digests_of text =
+  String.concat ""
+    (List.filter_map
+       (fun l -> if is_digest_line l then Some (l ^ "\n") else None)
+       (lines text))
+
+(* First differing line, for diagnosis. *)
+let report_diff ~got ~want =
+  let rec first_diff i = function
+    | g :: gs, w :: ws ->
+        if String.equal g w then first_diff (i + 1) (gs, ws)
+        else Printf.eprintf "line %d:\n  want: %s\n  got:  %s\n" i w g
+    | g :: _, [] -> Printf.eprintf "line %d: extra line: %s\n" i g
+    | [], w :: _ -> Printf.eprintf "line %d: missing line: %s\n" i w
+    | [], [] -> ()
+  in
+  first_diff 1 (lines got, lines want)
 
 let () =
-  let write = Array.exists (( = ) "--write") Sys.argv in
+  let argv = Array.to_list Sys.argv in
+  let write = List.mem "--write" argv in
+  let why =
+    let rec find = function
+      | "--why" :: w :: _ -> Some w
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    find argv
+  in
   let got = render () in
   if write then begin
-    let oc = open_out expected_path in
+    (* Only the timing golden is writable; its header accumulates one
+       justification line per regeneration. *)
+    let why =
+      match why with
+      | Some w when String.trim w <> "" -> String.trim w
+      | _ ->
+          prerr_endline
+            "golden stats: --write requires --why \"<one-line justification>\"";
+          exit 2
+    in
+    let old_header =
+      if Sys.file_exists timing_path then
+        List.filter is_header (lines (read_file timing_path))
+      else []
+    in
+    let version = List.length old_header + 1 in
+    let oc = open_out timing_path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) old_header;
+    Printf.fprintf oc "## v%d: %s\n" version why;
     output_string oc got;
     close_out oc;
-    Printf.printf "wrote %s (%d bytes)\n" expected_path (String.length got)
+    Printf.printf "wrote %s (v%d; digests golden untouched)\n" timing_path
+      version
   end
   else begin
-    let ic = open_in_bin expected_path in
-    let want = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    if String.equal got want then print_endline "golden stats: OK"
-    else begin
-      (* Print the first differing line for diagnosis. *)
-      let gl = String.split_on_char '\n' got
-      and wl = String.split_on_char '\n' want in
-      let rec first_diff i = function
-        | g :: gs, w :: ws ->
-            if String.equal g w then first_diff (i + 1) (gs, ws)
-            else Printf.eprintf "line %d:\n  want: %s\n  got:  %s\n" i w g
-        | g :: _, [] -> Printf.eprintf "line %d: extra line: %s\n" i g
-        | [], w :: _ -> Printf.eprintf "line %d: missing line: %s\n" i w
-        | [], [] -> ()
-      in
-      first_diff 1 (gl, wl);
-      prerr_endline "golden stats: MISMATCH — kernels are not behaviour-preserving";
-      exit 1
-    end
+    let fail = ref false in
+    (* Output contract: frozen forever. *)
+    let want_digests = read_file digests_path in
+    let got_digests = digests_of got in
+    if not (String.equal got_digests want_digests) then begin
+      report_diff ~got:got_digests ~want:want_digests;
+      prerr_endline
+        "golden stats: OUTPUT DIGEST MISMATCH — kernel outputs changed. \
+         This golden is frozen: fix the kernel, do not regenerate.";
+      fail := true
+    end;
+    (* Timing contract: versioned. *)
+    let want_timing =
+      String.concat "\n"
+        (List.filter (fun l -> not (is_header l)) (lines (read_file timing_path)))
+    in
+    if not (String.equal got want_timing) then begin
+      report_diff ~got ~want:want_timing;
+      prerr_endline
+        "golden stats: TIMING MISMATCH — if the scheduling/cost change is \
+         intended, regenerate with --write --why \"...\"";
+      fail := true
+    end;
+    if !fail then exit 1;
+    print_endline "golden stats: OK"
   end

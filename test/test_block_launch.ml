@@ -9,30 +9,101 @@ let check_floatish msg a b = Alcotest.(check (float 1e-9)) msg a b
 
 let device () = Device.create ()
 
-let test_serial_charges_sum () =
+(* Event-timeline semantics: synchronous charges chain on their lane
+   (cube-side engines share lane 0), while different lanes only meet
+   at the final makespan. *)
+let test_same_lane_chains () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.charge ctx Engine.Cube 100.0;
+  Block.charge ctx Engine.Cube_mte_out 50.0;
+  check_floatish "same lane = sum" 150.0 (Block.elapsed_cycles ctx)
+
+let test_lanes_overlap () =
   let dev = device () in
   let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
   Block.charge ctx Engine.Cube 100.0;
   Block.charge ctx (Engine.Vec 0) 50.0;
-  check_floatish "serial = sum" 150.0 (Block.elapsed_cycles ctx)
+  check_floatish "lanes overlap = max" 100.0 (Block.elapsed_cycles ctx)
 
-let test_pipelined_formula () =
+let test_async_wait_group () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  (* Async copy of 100 cycles: the lane cursor does not move... *)
+  Block.charge_async ctx Engine.Cube_mte_in 100.0;
+  Block.commit_group ctx Engine.Cube_mte_in;
+  check_floatish "async leaves lane" 0.0 (Block.lane_clock ctx Engine.Cube);
+  check_floatish "async advances queue" 100.0
+    (Block.engine_clock ctx Engine.Cube_mte_in);
+  (* ...until the group is waited, which joins the lane at its end. *)
+  Block.wait_group ctx Engine.Cube_mte_in ~outstanding:0;
+  check_floatish "wait joins lane" 100.0 (Block.lane_clock ctx Engine.Cube);
+  (* A compute op issued now starts at 100 on the same lane. *)
+  Block.charge ctx Engine.Cube 25.0;
+  check_floatish "chained after wait" 125.0 (Block.elapsed_cycles ctx)
+
+let test_wait_group_outstanding () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  (* Two single-copy groups of 100 cycles each, back to back on the
+     queue: waiting down to one outstanding group joins the lane at
+     the FIRST group's end only. *)
+  Block.charge_async ctx Engine.Cube_mte_in 100.0;
+  Block.commit_group ctx Engine.Cube_mte_in;
+  Block.charge_async ctx Engine.Cube_mte_in 100.0;
+  Block.commit_group ctx Engine.Cube_mte_in;
+  Block.wait_group ctx Engine.Cube_mte_in ~outstanding:1;
+  check_floatish "waited to depth 1" 100.0 (Block.lane_clock ctx Engine.Cube);
+  Block.wait_group ctx Engine.Cube_mte_in ~outstanding:0;
+  check_floatish "drained" 200.0 (Block.lane_clock ctx Engine.Cube);
+  Alcotest.check_raises "negative outstanding"
+    (Invalid_argument "Block.wait_group: outstanding must be >= 0") (fun () ->
+      Block.wait_group ctx Engine.Cube_mte_in ~outstanding:(-1))
+
+let test_await_engine () =
+  let dev = device () in
+  let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.charge_async ctx Engine.Cube_mte_out 80.0;
+  (* The vector lane joins the cube store queue's clock. *)
+  Block.await_engine ctx ~lane_of:(Engine.Vec_mte_in 0) ~on:Engine.Cube_mte_out;
+  Block.charge ctx (Engine.Vec 0) 10.0;
+  check_floatish "vec after cube store" 90.0 (Block.elapsed_cycles ctx)
+
+(* The legacy [pipelined] wrapper lowers an [iters > 1] section onto
+   the overlap semantics: every charge queues on its engine from the
+   section entry, so the section costs the longest engine stream — the
+   fill term of the old closed-form [max + (sum - max)/iters] is now a
+   real issue-timeline effect, not an analytic surcharge. *)
+let test_pipelined_overlap () =
   let dev = device () in
   let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
   Block.pipelined ctx ~iters:10 (fun () ->
       Block.charge ctx Engine.Cube 1000.0;
       Block.charge ctx (Engine.Vec 0) 400.0;
       Block.charge ctx (Engine.Vec_mte_in 0) 100.0);
-  (* max 1000 + (1500 - 1000) / 10 = 1050 *)
-  check_floatish "pipelined" 1050.0 (Block.elapsed_cycles ctx)
+  check_floatish "pipelined = busiest engine" 1000.0
+    (Block.elapsed_cycles ctx);
+  (* The section joins all lanes at its makespan: later work chains
+     after it even on an engine that was idle inside. *)
+  Block.charge ctx Engine.Scalar 5.0;
+  check_floatish "section is a barrier" 1005.0 (Block.elapsed_cycles ctx)
 
 let test_pipelined_iters_one_is_serial () =
   let dev = device () in
   let ctx = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  (* iters = 1: plain event semantics — documented as "no pipelining
+     across iterations", so same-lane ops chain... *)
   Block.pipelined ctx ~iters:1 (fun () ->
       Block.charge ctx Engine.Cube 10.0;
-      Block.charge ctx (Engine.Vec 0) 20.0);
-  check_floatish "iters=1 = serial" 30.0 (Block.elapsed_cycles ctx)
+      Block.charge ctx Engine.Cube_mte_out 20.0);
+  check_floatish "iters=1 chains a lane" 30.0 (Block.elapsed_cycles ctx);
+  (* ...but independent lanes still overlap (the old closed form
+     wrongly serialised them). *)
+  let ctx2 = Block.make ~device:dev ~idx:0 ~num_blocks:1 in
+  Block.pipelined ctx2 ~iters:1 (fun () ->
+      Block.charge ctx2 Engine.Cube 10.0;
+      Block.charge ctx2 (Engine.Vec 0) 20.0);
+  check_floatish "iters=1 lanes overlap" 20.0 (Block.elapsed_cycles ctx2)
 
 let test_pipelined_no_nesting () =
   let dev = device () in
@@ -187,8 +258,13 @@ let () =
     [
       ( "block",
         [
-          Alcotest.test_case "serial sum" `Quick test_serial_charges_sum;
-          Alcotest.test_case "pipelined formula" `Quick test_pipelined_formula;
+          Alcotest.test_case "same-lane chain" `Quick test_same_lane_chains;
+          Alcotest.test_case "lanes overlap" `Quick test_lanes_overlap;
+          Alcotest.test_case "async wait_group" `Quick test_async_wait_group;
+          Alcotest.test_case "wait_group depth" `Quick
+            test_wait_group_outstanding;
+          Alcotest.test_case "await engine" `Quick test_await_engine;
+          Alcotest.test_case "pipelined overlap" `Quick test_pipelined_overlap;
           Alcotest.test_case "iters=1 serial" `Quick
             test_pipelined_iters_one_is_serial;
           Alcotest.test_case "no nesting" `Quick test_pipelined_no_nesting;
