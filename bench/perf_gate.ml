@@ -67,28 +67,134 @@ let mcscan_d1 json ~path =
   | None -> fail "%s: field \"mcscan\" not found" path
   | Some i -> number_after ~from:i json ~path "ns_per_run"
 
+(* --sim mode: simulated-cycle regression over BENCH_9 / BENCH_10
+   documents. Cycles are deterministic model outputs — the same commit
+   always produces the same numbers on any host — so the default
+   threshold is 0: any increase in any cycles field is a regression.
+   Rows are paired positionally; both files must come from the same
+   bench (the emitters are deterministic, so equal row counts and
+   order are guaranteed for the same bench version). *)
+
+let all_cycles json =
+  (* Every number following a key ending in "cycles", with the key's
+     position for error reporting. *)
+  let n = String.length json in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match json.[!i] with
+    | '"' -> (
+        let j = ref (!i + 1) in
+        while !j < n && json.[!j] <> '"' do
+          incr j
+        done;
+        if !j < n then begin
+          let key = String.sub json (!i + 1) (!j - !i - 1) in
+          let klen = String.length key in
+          if
+            klen >= 6
+            && String.sub key (klen - 6) 6 = "cycles"
+            && !j + 1 < n
+            && json.[!j + 1] = ':'
+          then begin
+            let k = ref (!j + 2) in
+            while !k < n && json.[!k] = ' ' do
+              incr k
+            done;
+            let e = ref !k in
+            while
+              !e < n
+              && (match json.[!e] with
+                 | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+                 | _ -> false)
+            do
+              incr e
+            done;
+            if !e > !k then
+              out :=
+                (key, float_of_string (String.sub json !k (!e - !k))) :: !out
+          end;
+          i := !j
+        end)
+    | _ -> ());
+    incr i
+  done;
+  List.rev !out
+
+let sim_gate ~threshold_pct baseline baseline_path current current_path =
+  let base = all_cycles baseline and cur = all_cycles current in
+  if base = [] then fail "%s: no cycles fields found" baseline_path;
+  if List.length base <> List.length cur then
+    fail "%s vs %s: row mismatch (%d vs %d cycles fields) -- same bench?"
+      baseline_path current_path (List.length base) (List.length cur);
+  (* A current run that failed its own internal gate is a regression
+     regardless of the baseline. *)
+  (match find_key current ~from:0 "gate_ok" with
+  | Some i ->
+      let rest = String.sub current i (min 16 (String.length current - i)) in
+      if
+        String.length rest >= 6
+        && String.sub (String.trim (String.map (function ':' -> ' ' | c -> c) rest)) 0 4
+           = "fals"
+      then fail "%s: gate_ok is false" current_path
+  | None -> ());
+  let worst = ref 0.0 in
+  let failures = ref 0 in
+  List.iter2
+    (fun (bk, bv) (ck, cv) ->
+      if bk <> ck then
+        fail "%s vs %s: field order differs (%s vs %s)" baseline_path
+          current_path bk ck;
+      let change_pct = if bv > 0.0 then (cv /. bv -. 1.0) *. 100.0 else 0.0 in
+      if change_pct > !worst then worst := change_pct;
+      if change_pct > threshold_pct then begin
+        incr failures;
+        Printf.printf "  REGRESSED %-18s %12.0f -> %12.0f  (%+.2f%%)\n" bk bv
+          cv change_pct
+      end)
+    base cur;
+  Printf.printf
+    "perf gate (sim): %d cycles fields compared, worst change %+.2f%% \
+     (threshold +%g%%)\n"
+    (List.length base) !worst threshold_pct;
+  if !failures > 0 then
+    fail "perf gate FAILED: %d simulated-cycle field(s) regressed" !failures;
+  print_endline "perf gate OK"
+
 let () =
-  let threshold = ref 25.0 in
+  let threshold = ref None in
+  let sim = ref false in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
     | "--threshold-pct" :: v :: rest ->
-        threshold := float_of_string v;
+        threshold := Some (float_of_string v);
+        parse rest
+    | "--sim" :: rest ->
+        sim := true;
         parse rest
     | x :: rest ->
         files := x :: !files;
         parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let threshold_pct = !threshold in
   let baseline_path, current_path =
     match List.rev !files with
     | [ b; c ] -> (b, c)
     | _ ->
-        fail "usage: perf_gate BASELINE.json CURRENT.json [--threshold-pct N]"
+        fail
+          "usage: perf_gate [--sim] BASELINE.json CURRENT.json \
+           [--threshold-pct N]"
   in
   let baseline = read_file baseline_path in
   let current = read_file current_path in
+  if !sim then begin
+    (* Deterministic cycles: exact match expected by default. *)
+    let threshold_pct = Option.value ~default:0.0 !threshold in
+    sim_gate ~threshold_pct baseline baseline_path current current_path;
+    exit 0
+  end;
+  let threshold_pct = Option.value ~default:25.0 !threshold in
   let norm json path =
     let cal = number_after json ~path "calibration_ns" in
     if cal <= 0.0 then fail "%s: calibration_ns must be positive" path;

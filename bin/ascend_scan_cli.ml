@@ -101,6 +101,7 @@ type obs_opts = {
   trace_file : string option;
   stats_json_file : string option;
   metrics : bool;
+  profile_file : string option;
 }
 
 let write_file path content =
@@ -141,14 +142,51 @@ let obs_term =
             "Print Prometheus text-format counters and histograms for the \
              run on stdout.")
   in
+  let profile_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "profile.json") (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Record the run, reconstruct the launch DAG from the trace, and \
+             print the critical-path profile (per-engine blame, what-if \
+             analysis, roofline); also writes the profile document to \
+             $(docv) (default $(b,profile.json)).")
+  in
   Term.(
-    const (fun trace_file stats_json_file metrics ->
-        { trace_file; stats_json_file; metrics })
-    $ trace_arg $ stats_json_arg $ metrics_arg)
+    const (fun trace_file stats_json_file metrics profile_file ->
+        { trace_file; stats_json_file; metrics; profile_file })
+    $ trace_arg $ stats_json_arg $ metrics_arg $ profile_arg)
 
 let arm_obs device obs =
-  if obs.trace_file <> None || obs.metrics then
+  if obs.trace_file <> None || obs.metrics || obs.profile_file <> None then
     ignore (Ascend.Device.arm_trace device)
+
+(* Critical-path profile of a parsed trace document: print the
+   human-readable report and write the combined profile.json
+   (blame + what-if + roofline). Shared by the --profile run flag and
+   the offline [profile] subcommand. *)
+let emit_profile ?out doc =
+  match Obs.Critical_path.of_json doc with
+  | Error e ->
+      Format.eprintf "profile: %s@." e;
+      exit 1
+  | Ok p ->
+      Format.printf "%a" Obs.Critical_path.pp p;
+      Format.printf "%a" (fun ppf -> Obs.Whatif.pp ppf) p;
+      (match out with
+      | Some file ->
+          let merged =
+            match (Obs.Critical_path.report p, Obs.Whatif.report p) with
+            | Obs.Jsonw.Obj a, Obs.Jsonw.Obj b ->
+                Obs.Jsonw.Obj
+                  (a
+                  @ List.filter (fun (k, _) -> k <> "baseline_cycles") b)
+            | a, _ -> a
+          in
+          write_file file (Obs.Jsonw.to_string merged);
+          Format.printf "profile json -> %s@." file
+      | None -> ())
 
 let emit_obs ?extra device obs st =
   let trace = Ascend.Device.trace device in
@@ -165,6 +203,9 @@ let emit_obs ?extra device obs st =
         (Ascend.Trace.event_count tr)
         file
   | _ -> ());
+  (match (obs.profile_file, trace) with
+  | Some out, Some tr -> emit_profile ~out (Obs.Chrome_trace.json tr)
+  | _ -> ());
   (match obs.stats_json_file with
   | Some file ->
       write_file file (Obs.Stats_json.to_string st);
@@ -174,6 +215,14 @@ let emit_obs ?extra device obs st =
     let m = Obs.Metrics.create () in
     Obs.Metrics.observe_stats m st;
     Option.iter (Obs.Metrics.observe_trace m) trace;
+    (* Critical-path gauges (per-phase overlap ratio, makespan blame)
+       ride along whenever a recording exists — --metrics arms one. *)
+    Option.iter
+      (fun tr ->
+        match Obs.Critical_path.of_json (Obs.Chrome_trace.json tr) with
+        | Ok p -> Obs.Metrics.observe_profile m p
+        | Error e -> Format.eprintf "metrics: profile skipped: %s@." e)
+      trace;
     (* Subcommand-specific series (resilient reports, controller
        decisions) ride on the same registry and exposition. *)
     (match extra with Some f -> f m | None -> ());
@@ -1098,7 +1147,14 @@ let pod_cmd =
     | None -> ());
     print_stats r.Runtime.Pod_runner.pstats;
     print_robustness primary;
-    emit_obs primary obs r.Runtime.Pod_runner.pstats;
+    (* Pod runs profile the pod-level trace: the critical path crosses
+       link-transfer spans between devices, which the per-device trace
+       cannot see. *)
+    (match obs.profile_file with
+    | Some out -> emit_profile ~out (Obs.Pod_trace.json pod)
+    | None -> ());
+    emit_obs primary { obs with profile_file = None }
+      r.Runtime.Pod_runner.pstats;
     if not r.Runtime.Pod_runner.pok then exit 1
   in
   let run_term ~resume =
@@ -1161,23 +1217,24 @@ let pod_cmd =
    files. Both tools run from the JSON alone, so traces produced on
    another machine (or checked into CI artifacts) work too. *)
 
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file (from --trace).")
+
+let parse_trace_file file =
+  let contents =
+    try read_file file with Sys_error msg -> raise (Usage_error msg)
+  in
+  match Obs.Jsonw.parse contents with
+  | Ok doc -> doc
+  | Error e ->
+      raise (Usage_error (Printf.sprintf "%s: invalid JSON: %s" file e))
+
 let trace_cmd =
-  let file_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file (from --trace).")
-  in
-  let parse_file file =
-    let contents =
-      try read_file file
-      with Sys_error msg -> raise (Usage_error msg)
-    in
-    match Obs.Jsonw.parse contents with
-    | Ok doc -> doc
-    | Error e ->
-        raise (Usage_error (Printf.sprintf "%s: invalid JSON: %s" file e))
-  in
+  let file_arg = trace_file_arg in
+  let parse_file = parse_trace_file in
   let summary_cmd =
     let run file =
       match Obs.Trace_summary.of_json (parse_file file) with
@@ -1199,9 +1256,11 @@ let trace_cmd =
       match Obs.Chrome_trace.validate (parse_file file) with
       | Ok c ->
           Format.printf
-            "valid: %d events (%d spans, %d instants) across %d processes@."
+            "valid: %d events (%d spans, %d instants, %d flows) across %d \
+             processes@."
             c.Obs.Chrome_trace.events c.Obs.Chrome_trace.spans
-            c.Obs.Chrome_trace.instants c.Obs.Chrome_trace.processes
+            c.Obs.Chrome_trace.instants c.Obs.Chrome_trace.flows
+            c.Obs.Chrome_trace.processes
       | Error e ->
           Format.eprintf "trace validate: INVALID: %s@." e;
           exit 1
@@ -1217,6 +1276,33 @@ let trace_cmd =
   Cmd.group
     (Cmd.info "trace" ~doc:"Inspect recorded trace files.")
     [ summary_cmd; validate_cmd ]
+
+(* profile subcommand: offline critical-path analysis of a recorded
+   trace file (device or pod schema). *)
+
+let profile_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "profile.json")
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Where to write the profile document (default \
+             $(b,profile.json)); $(b,-o none) prints the report only.")
+  in
+  let run file out =
+    let out = match out with Some "none" -> None | o -> o in
+    emit_profile ?out (parse_trace_file file)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Reconstruct the launch DAG from a recorded trace (flow events + \
+          exact cycle endpoints), print critical-path blame, what-if \
+          analysis and roofline utilization, and write the profile \
+          document. Works on device traces ($(b,--trace)) and pod traces \
+          ($(b,--pod-trace)).")
+    Term.(const run $ trace_file_arg $ out_arg)
 
 (* Every-registered-op tracing smoke check (rides next to --list-ops so
    "what ops exist" and "do they all trace cleanly" live in one place). *)
@@ -1295,7 +1381,7 @@ let () =
              else `Help (`Pager, None))
         $ list_ops_arg $ trace_smoke_arg))
   in
-  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd; chaos_cmd; pod_cmd ] in
+  let main = Cmd.group ~default (Cmd.info "ascend_scan_cli" ~doc) [ scan_cmd; batched_cmd; sort_cmd; topp_cmd; reduce_cmd; topk_cmd; info_cmd; trace_cmd; profile_cmd; chaos_cmd; pod_cmd ] in
   (* Unknown flags and malformed arguments exit 2 with a usage pointer
      rather than cmdliner's 124; runtime kernel errors (e.g. a kernel
      aborted by injected fault corruption) exit 1 with a clean message

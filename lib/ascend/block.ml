@@ -13,8 +13,10 @@ type section = No_section | Section_serial | Section_overlap
 (* One committed async-copy group on an engine queue: everything issued
    since the previous [commit_group]. [g_end] is the completion time
    (max end of the member copies); [g_dsts] the local destination
-   tensors, tracked (under a sanitizer) until the group is waited. *)
-type group = { g_end : float; g_dsts : Local_tensor.t list }
+   tensors, tracked (under a sanitizer) until the group is waited;
+   [g_last] the span id of the last member (whose end is [g_end] — the
+   queue is in-order), -1 when no trace is armed. *)
+type group = { g_end : float; g_dsts : Local_tensor.t list; g_last : int }
 
 type t = {
   device : Device.t;
@@ -36,6 +38,18 @@ type t = {
   groups : group Queue.t array;  (* committed, un-waited groups per engine *)
   mutable section : section;  (* legacy [pipelined] lowering *)
   mutable sec_t0 : float;  (* program point at section start *)
+  (* --- dependency recording (trace armed only) ---
+     Invariants while recording: [last_id.(i)] is the last span issued
+     on engine [i] (its end is [avail.(i)]); the max end over
+     [lane_src.(l)]'s spans is exactly [lanes.(l)]; the max end over
+     [sec_src]'s spans is exactly [sec_t0]. Each contributor carries
+     the edge kind of the wait that introduced it, so the edges emitted
+     at the next issue both explain the issue time bit-exactly and
+     name the synchronisation mechanism. *)
+  last_id : int array;  (* last span id per engine; -1 = none *)
+  pend_last : int array;  (* last async span since commit, per engine *)
+  lane_src : (int * Trace.edge_kind) list array;  (* per lane *)
+  mutable sec_src : (int * Trace.edge_kind) list;  (* overlap-section entry *)
   (* --- accounting --- *)
   mutable gm_read : int;
   mutable gm_write : int;
@@ -91,6 +105,10 @@ let make_on ~core ~device ~idx ~num_blocks =
     groups = Array.init n (fun _ -> Queue.create ());
     section = No_section;
     sec_t0 = 0.0;
+    last_id = Array.make n (-1);
+    pend_last = Array.make n (-1);
+    lane_src = Array.make (Engine.lane_count ~vec_per_core) [];
+    sec_src = [];
     gm_read = 0;
     gm_write = 0;
     touched_tbl = Hashtbl.create 8;
@@ -163,18 +181,58 @@ let emit_span t ~op ~bytes engine i ~start ~cycles =
   | Some tb ->
       Trace.Block_builder.span tb ~track:i ~engine:(Engine.to_string engine)
         ~queue:(Engine.queue engine) ~op ~start ~cycles ~bytes
-  | None -> ignore i
+  | None ->
+      ignore i;
+      -1
+
+let recording t = Option.is_some t.tb
+
+(* Emit the dependency edges of span [dst], deduplicating predecessors
+   (the queue predecessor is often also a lane contributor); the first
+   occurrence — listed in mechanism priority order by the caller —
+   names the edge kind. *)
+let emit_edges t ~dst preds =
+  match t.tb with
+  | None -> ()
+  | Some tb ->
+      let rec go seen = function
+        | [] -> ()
+        | (src, kind) :: tl ->
+            if src >= 0 && not (List.mem src seen) then begin
+              Trace.Block_builder.edge tb ~kind ~src ~dst;
+              go (src :: seen) tl
+            end
+            else go seen tl
+      in
+      go [] preds
+
+(* The program-order contributors a charge on engine [i] lane [l] sees:
+   the overlap-section entry set inside a section, the lane's
+   contributor set otherwise — exactly mirroring [issue_start]. *)
+let issue_src t i l =
+  let lane =
+    match t.section with
+    | Section_overlap -> t.sec_src
+    | No_section | Section_serial -> t.lane_src.(l)
+  in
+  (t.last_id.(i), Trace.Queue) :: lane
 
 let charge ?(op = "charge") ?(bytes = 0) t engine cycles =
   let i = eindex t engine in
   let l = elane t engine in
   let start = issue_start t i l in
   let stop = start +. cycles in
-  emit_span t ~op ~bytes engine i ~start ~cycles;
+  let id = emit_span t ~op ~bytes engine i ~start ~cycles in
+  if id >= 0 then begin
+    emit_edges t ~dst:id (issue_src t i l);
+    t.last_id.(i) <- id
+  end;
   t.avail.(i) <- stop;
   (match t.section with
   | Section_overlap -> ()
-  | No_section | Section_serial -> t.lanes.(l) <- stop);
+  | No_section | Section_serial ->
+      t.lanes.(l) <- stop;
+      if id >= 0 then t.lane_src.(l) <- [ (id, Trace.Lane) ]);
   bump_busy t i cycles
 
 let charge_async ?(op = "charge") ?(bytes = 0) ?dst t engine cycles =
@@ -182,7 +240,12 @@ let charge_async ?(op = "charge") ?(bytes = 0) ?dst t engine cycles =
   let l = elane t engine in
   let start = issue_start t i l in
   let stop = start +. cycles in
-  emit_span t ~op ~bytes engine i ~start ~cycles;
+  let id = emit_span t ~op ~bytes engine i ~start ~cycles in
+  if id >= 0 then begin
+    emit_edges t ~dst:id (issue_src t i l);
+    t.last_id.(i) <- id;
+    t.pend_last.(i) <- id
+  end;
   t.avail.(i) <- stop;
   t.pend_count.(i) <- t.pend_count.(i) + 1;
   if stop > t.pend_end.(i) then t.pend_end.(i) <- stop;
@@ -195,10 +258,17 @@ let charge_async ?(op = "charge") ?(bytes = 0) ?dst t engine cycles =
 let commit_group t engine =
   let i = eindex t engine in
   if t.pend_count.(i) > 0 then begin
-    Queue.push { g_end = t.pend_end.(i); g_dsts = t.pend_dsts.(i) } t.groups.(i);
+    Queue.push
+      {
+        g_end = t.pend_end.(i);
+        g_dsts = t.pend_dsts.(i);
+        g_last = t.pend_last.(i);
+      }
+      t.groups.(i);
     t.pend_count.(i) <- 0;
     t.pend_end.(i) <- 0.0;
-    t.pend_dsts.(i) <- []
+    t.pend_dsts.(i) <- [];
+    t.pend_last.(i) <- -1
   end
 
 let wait_group t engine ~outstanding =
@@ -208,7 +278,9 @@ let wait_group t engine ~outstanding =
   let l = elane t engine in
   while Queue.length t.groups.(i) > outstanding do
     let g = Queue.pop t.groups.(i) in
-    if g.g_end > t.lanes.(l) then t.lanes.(l) <- g.g_end
+    if g.g_end > t.lanes.(l) then t.lanes.(l) <- g.g_end;
+    if recording t && g.g_last >= 0 then
+      t.lane_src.(l) <- (g.g_last, Trace.Group) :: t.lane_src.(l)
   done
 
 let fence t engine =
@@ -217,10 +289,13 @@ let fence t engine =
   let i = eindex t engine in
   let l = elane t engine in
   if t.avail.(i) > t.lanes.(l) then t.lanes.(l) <- t.avail.(i);
+  if recording t && t.last_id.(i) >= 0 then
+    t.lane_src.(l) <- (t.last_id.(i), Trace.Fence) :: t.lane_src.(l);
   Queue.clear t.groups.(i);
   t.pend_count.(i) <- 0;
   t.pend_end.(i) <- 0.0;
-  t.pend_dsts.(i) <- []
+  t.pend_dsts.(i) <- [];
+  t.pend_last.(i) <- -1
 
 let await_engine t ~lane_of ~on =
   (* Cross-lane dependency: [lane_of]'s program waits until everything
@@ -229,7 +304,26 @@ let await_engine t ~lane_of ~on =
      the producing lane's wait discipline. *)
   let l = elane t lane_of in
   let i = eindex t on in
-  if t.avail.(i) > t.lanes.(l) then t.lanes.(l) <- t.avail.(i)
+  if t.avail.(i) > t.lanes.(l) then t.lanes.(l) <- t.avail.(i);
+  if recording t && t.last_id.(i) >= 0 then
+    t.lane_src.(l) <- (t.last_id.(i), Trace.Await) :: t.lane_src.(l)
+
+(* Contributor set of the block-wide maximum: the per-engine last spans
+   cover the engine clocks, the lane contributor sets cover the lane
+   cursors. Used by [wait_all] and the overlap-section close, which
+   join every lane at the makespan. *)
+let makespan_src t kind =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let add id =
+    if id >= 0 && not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      acc := (id, kind) :: !acc
+    end
+  in
+  Array.iter add t.last_id;
+  Array.iter (List.iter (fun (id, _) -> add id)) t.lane_src;
+  !acc
 
 let wait_all t =
   (* Full intra-block barrier: every lane joins at the global maximum
@@ -239,10 +333,15 @@ let wait_all t =
   Array.iter (fun c -> if c > !m then m := c) t.lanes;
   Array.iter (fun c -> if c > !m then m := c) t.avail;
   Array.fill t.lanes 0 (Array.length t.lanes) !m;
+  if recording t then begin
+    let joined = makespan_src t Trace.Join in
+    Array.fill t.lane_src 0 (Array.length t.lane_src) joined
+  end;
   Array.iter Queue.clear t.groups;
   Array.fill t.pend_count 0 (Array.length t.pend_count) 0;
   Array.fill t.pend_end 0 (Array.length t.pend_end) 0.0;
-  Array.fill t.pend_dsts 0 (Array.length t.pend_dsts) []
+  Array.fill t.pend_dsts 0 (Array.length t.pend_dsts) [];
+  Array.fill t.pend_last 0 (Array.length t.pend_last) (-1)
 
 let async_in_flight t lt =
   let memq l = List.exists (fun x -> x == lt) l in
@@ -357,10 +456,31 @@ let pipelined t ~iters f =
     Array.iter (fun c -> if c > !t0 then t0 := c) t.lanes;
     t.sec_t0 <- !t0;
     t.section <- Section_overlap;
+    (* The section-entry contributor set spans the lane cursors only
+       (not the engine clocks): [issue_start] queues section charges
+       from [max sec_t0 avail], and the queue predecessor supplies the
+       [avail] side. *)
+    if recording t then begin
+      let seen = Hashtbl.create 32 in
+      let acc = ref [] in
+      Array.iter
+        (List.iter (fun (id, _) ->
+             if not (Hashtbl.mem seen id) then begin
+               Hashtbl.add seen id ();
+               acc := (id, Trace.Section) :: !acc
+             end))
+        t.lane_src;
+      t.sec_src <- !acc
+    end;
     let close () =
       t.section <- No_section;
       let m = elapsed_cycles t in
-      Array.fill t.lanes 0 (Array.length t.lanes) m
+      Array.fill t.lanes 0 (Array.length t.lanes) m;
+      if recording t then begin
+        let joined = makespan_src t Trace.Section in
+        Array.fill t.lane_src 0 (Array.length t.lane_src) joined;
+        t.sec_src <- []
+      end
     in
     match f () with
     | v ->

@@ -10,6 +10,7 @@ let kind_to_string = function
   | Info -> "info"
 
 type span = {
+  sp_id : int;
   sp_block : int;
   sp_track : int;
   sp_engine : string;
@@ -19,6 +20,19 @@ type span = {
   sp_end : float;
   sp_bytes : int;
 }
+
+type edge_kind = Lane | Queue | Group | Fence | Await | Join | Section
+
+let edge_kind_to_string = function
+  | Lane -> "lane"
+  | Queue -> "queue"
+  | Group -> "group"
+  | Fence -> "fence"
+  | Await -> "await"
+  | Join -> "join"
+  | Section -> "section"
+
+type edge = { e_src : int; e_dst : int; e_kind : edge_kind }
 
 type mark = {
   mk_block : int;
@@ -32,6 +46,7 @@ type block_rec = {
   b_core : int;
   b_cycles : float;
   b_spans : span list;
+  b_edges : edge list;
   b_marks : mark list;
   b_dropped : int;
 }
@@ -53,6 +68,7 @@ type t = {
   cap : int;
   mutable items : item list; (* newest first *)
   mutable spans : int;
+  mutable edges : int;
   mutable marks : int;
   mutable notes : int;
   mutable drops : int;
@@ -69,6 +85,7 @@ let create ?clock_hz ?(max_spans_per_block = max_int) () =
     cap = max_spans_per_block;
     items = [];
     spans = 0;
+    edges = 0;
     marks = 0;
     notes = 0;
     drops = 0;
@@ -76,6 +93,7 @@ let create ?clock_hz ?(max_spans_per_block = max_int) () =
 
 let clock_hz t = t.clock_hz
 let span_count t = t.spans
+let edge_count t = t.edges
 let mark_count t = t.marks
 let event_count t = t.spans + t.marks + t.notes
 let dropped t = t.drops
@@ -90,16 +108,21 @@ module Block_builder = struct
     core : int;
     cap : int;
     mutable rspans : span list; (* newest first *)
+    mutable redges : edge list; (* newest first *)
     mutable rmarks : mark list;
     mutable nspans : int;
+    mutable next_id : int; (* ids also cover dropped spans, so they stay stable *)
     mutable ndropped : int;
   }
 
   let span b ~track ~engine ~queue ~op ~start ~cycles ~bytes =
+    let id = b.next_id in
+    b.next_id <- id + 1;
     if b.nspans >= b.cap then b.ndropped <- b.ndropped + 1
     else begin
       b.rspans <-
         {
+          sp_id = id;
           sp_block = b.idx;
           sp_track = track;
           sp_engine = engine;
@@ -111,7 +134,12 @@ module Block_builder = struct
         }
         :: b.rspans;
       b.nspans <- b.nspans + 1
-    end
+    end;
+    id
+
+  let edge b ~kind ~src ~dst =
+    if src >= 0 && dst >= 0 && src <> dst then
+      b.redges <- { e_src = src; e_dst = dst; e_kind = kind } :: b.redges
 
   let mark b kind ~name ~cycle =
     b.rmarks <-
@@ -124,6 +152,7 @@ module Block_builder = struct
       b_core = b.core;
       b_cycles = cycles;
       b_spans = List.rev b.rspans;
+      b_edges = List.rev b.redges;
       b_marks = List.rev b.rmarks;
       b_dropped = b.ndropped;
     }
@@ -135,8 +164,10 @@ let block_builder t ~idx ~core =
     core;
     cap = t.cap;
     rspans = [];
+    redges = [];
     rmarks = [];
     nspans = 0;
+    next_id = 0;
     ndropped = 0;
   }
 
@@ -149,6 +180,7 @@ let record_launch t ~name ~seconds ~latency_cycles ~sync_cycles ~phases =
       List.iter
         (fun b ->
           t.spans <- t.spans + List.length b.b_spans;
+          t.edges <- t.edges + List.length b.b_edges;
           t.marks <- t.marks + List.length b.b_marks;
           t.drops <- t.drops + b.b_dropped)
         p.ph_blocks)
@@ -205,7 +237,48 @@ let check t =
           fail "launch %s block %d: engine track ends at %.3f after block \
                 elapsed %.3f"
             ln b.b_idx last b.b_cycles)
-      tracks
+      tracks;
+    (* Dependency edges must fully explain every span's issue time: a
+       span starts exactly (bitwise — Float.max over non-negative ends
+       is order-independent) at the max end of its edge predecessors,
+       0.0 with none. This is the contract the critical-path profiler
+       rebuilds the timeline from. *)
+    let by_id = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace by_id s.sp_id s) b.b_spans;
+    let preds = Hashtbl.create 64 in
+    List.iter
+      (fun e ->
+        if !bad = None then begin
+          if not (Hashtbl.mem by_id e.e_src) then
+            fail "launch %s block %d: edge source span %d not recorded" ln
+              b.b_idx e.e_src
+          else if not (Hashtbl.mem by_id e.e_dst) then
+            fail "launch %s block %d: edge target span %d not recorded" ln
+              b.b_idx e.e_dst
+          else if e.e_src >= e.e_dst then
+            fail "launch %s block %d: edge %d -> %d not in issue order" ln
+              b.b_idx e.e_src e.e_dst;
+          Hashtbl.add preds e.e_dst e.e_src
+        end)
+      b.b_edges;
+    List.iter
+      (fun s ->
+        if !bad = None then
+          let start =
+            List.fold_left
+              (fun m src ->
+                match Hashtbl.find_opt by_id src with
+                | Some p -> Float.max m p.sp_end
+                | None -> m)
+              0.0
+              (Hashtbl.find_all preds s.sp_id)
+          in
+          if not (Float.equal start s.sp_start) then
+            fail
+              "launch %s block %d %s: span %d (%s) starts at %h but its edge \
+               predecessors end at %h"
+              ln b.b_idx s.sp_engine s.sp_id s.sp_op s.sp_start start)
+      b.b_spans
   in
   List.iter
     (function
@@ -244,6 +317,14 @@ let assemble t =
   let out = ref [] in
   let emit e = out := e :: !out in
   let cursor = ref 0.0 in
+  (* Global counters for the profiler-facing identities: every placed
+     span gets a trace-unique [sid], every placed block occurrence a
+     [binst] (the grouping key of the per-block dependency DAG), every
+     flow a trace-unique id. All three are assigned in assembly order,
+     which is deterministic. *)
+  let next_sid = ref 0 in
+  let next_binst = ref 0 in
+  let next_flow = ref 0 in
   let seconds_to_cycles s = s *. t.clock_hz in
   let place_launch l =
     let launch_start = !cursor in
@@ -261,6 +342,8 @@ let assemble t =
           [
             ("seconds", F l.ln_seconds);
             ("phases", I (List.length l.ln_phases));
+            ("latency_cycles", F l.ln_latency_cycles);
+            ("sync_cycles", F l.ln_sync_cycles);
           ];
       };
     (* Phases start after the launch latency and are separated by
@@ -299,6 +382,7 @@ let assemble t =
               [
                 ("launch", S l.ln_name);
                 ("index", I i);
+                ("seconds", F st.Stats.seconds);
                 ("compute_seconds", F st.Stats.compute_seconds);
                 ("bandwidth_seconds", F st.Stats.bandwidth_seconds);
                 ("bound", S bound);
@@ -318,8 +402,16 @@ let assemble t =
             in
             Hashtbl.replace core_cursor b.b_core (start +. b.b_cycles);
             let pid = b.b_core + 1 in
+            let binst = !next_binst in
+            incr next_binst;
+            (* Local span id -> (global sid, span), for this block
+               occurrence; edges then resolve through it. *)
+            let by_id = Hashtbl.create 64 in
             List.iter
               (fun s ->
+                let sid = !next_sid in
+                incr next_sid;
+                Hashtbl.replace by_id s.sp_id (sid, s);
                 emit
                   {
                     p_pid = pid;
@@ -331,11 +423,59 @@ let assemble t =
                     p_dur = Some (s.sp_end -. s.sp_start);
                     p_args =
                       (("block", I s.sp_block)
+                      :: ("sid", I sid)
+                      :: ("binst", I binst)
+                      :: ("c0", F s.sp_start)
+                      :: ("c1", F s.sp_end)
                       ::
                       (if s.sp_bytes > 0 then [ ("bytes", I s.sp_bytes) ]
                        else []));
                   })
               b.b_spans;
+            (* Dependency edges as paired flow points: one at the source
+               span's end on its track, one at the target's start on
+               its. The Chrome writer turns them into ph "s"/"f" flow
+               events; the profiler reads src/dst sids directly. *)
+            List.iter
+              (fun e ->
+                match
+                  (Hashtbl.find_opt by_id e.e_src, Hashtbl.find_opt by_id e.e_dst)
+                with
+                | Some (src_sid, src), Some (dst_sid, dst) ->
+                    let fid = !next_flow in
+                    incr next_flow;
+                    let args =
+                      [
+                        ("id", I fid);
+                        ("kind", S (edge_kind_to_string e.e_kind));
+                        ("src", I src_sid);
+                        ("dst", I dst_sid);
+                      ]
+                    in
+                    emit
+                      {
+                        p_pid = pid;
+                        p_tid = src.sp_track;
+                        p_tname = src.sp_engine;
+                        p_name = edge_kind_to_string e.e_kind;
+                        p_cat = "flow_out";
+                        p_ts = start +. src.sp_end;
+                        p_dur = None;
+                        p_args = args;
+                      };
+                    emit
+                      {
+                        p_pid = pid;
+                        p_tid = dst.sp_track;
+                        p_tname = dst.sp_engine;
+                        p_name = edge_kind_to_string e.e_kind;
+                        p_cat = "flow_in";
+                        p_ts = start +. dst.sp_start;
+                        p_dur = None;
+                        p_args = args;
+                      }
+                | _ -> ())
+              b.b_edges;
             List.iter
               (fun m ->
                 (* Clamp into the block window: a death mark carries the

@@ -47,6 +47,7 @@ type kind =
 val kind_to_string : kind -> string
 
 type span = {
+  sp_id : int;  (** Block-local span sequence id (issue order). *)
   sp_block : int;
   sp_track : int;  (** {!Engine.index} of the engine within its core. *)
   sp_engine : string;  (** {!Engine.to_string} name, e.g. ["vec0.mte_in"]. *)
@@ -56,6 +57,30 @@ type span = {
   sp_end : float;
   sp_bytes : int;  (** Transfer payload (0 for non-MTE ops). *)
 }
+
+(** Why a span could not issue earlier: the dependency-edge kinds of
+    the event timeline, recorded by {!Block} alongside the spans. *)
+type edge_kind =
+  | Lane  (** Program order: previous synchronous op on the same lane. *)
+  | Queue  (** Engine order: previous op issued on the same in-order queue. *)
+  | Group  (** A {!Block.wait_group} retired the source's async group. *)
+  | Fence  (** A {!Block.fence} joined the lane to the source's engine. *)
+  | Await  (** A {!Block.await_engine} cross-lane join. *)
+  | Join  (** A {!Block.wait_all} full-block barrier. *)
+  | Section  (** Legacy {!Block.pipelined} overlap-section entry/exit. *)
+
+val edge_kind_to_string : edge_kind -> string
+
+type edge = {
+  e_src : int;  (** {!span.sp_id} of the predecessor. *)
+  e_dst : int;  (** {!span.sp_id} of the dependent span. *)
+  e_kind : edge_kind;
+}
+(** One dependency edge: span [e_dst] could not issue before [e_src]
+    ended. The edge set fully explains the timeline — every span's
+    start is exactly the max end of its predecessors ({!check} enforces
+    this), so the critical path recomputed from spans + edges is
+    bit-identical to the engine-model makespan. *)
 
 type mark = {
   mk_block : int;
@@ -69,6 +94,7 @@ type block_rec = {
   b_core : int;
   b_cycles : float;  (** Elapsed (pipelined) cycles of the block. *)
   b_spans : span list;  (** In issue order. *)
+  b_edges : edge list;  (** Dependency edges, in recording order. *)
   b_marks : mark list;
   b_dropped : int;  (** Spans discarded by the per-block cap. *)
 }
@@ -97,6 +123,9 @@ val clock_hz : t -> float
 val span_count : t -> int
 (** Spans recorded so far (across all launches). *)
 
+val edge_count : t -> int
+(** Dependency edges recorded so far. *)
+
 val mark_count : t -> int
 
 val event_count : t -> int
@@ -124,7 +153,14 @@ module Block_builder : sig
     start:float ->
     cycles:float ->
     bytes:int ->
-    unit
+    int
+  (** Returns the span's block-local id ({!span.sp_id}); ids are also
+      consumed by spans dropped under the per-block cap, so edge
+      endpoints stay stable. *)
+
+  val edge : b -> kind:edge_kind -> src:int -> dst:int -> unit
+  (** Record that span [dst] could not issue before [src] ended.
+      Negative ids and self-edges are ignored. *)
 
   val mark : b -> kind -> name:string -> cycle:float -> unit
   val finish : b -> cycles:float -> block_rec
@@ -155,7 +191,11 @@ val check : t -> (unit, string) result
     starts at or after the previous one on its track ended (engines
     are in-order queues; gaps are stalls), and no span outruns the
     block's makespan. Tracks of one block are allowed — expected — to
-    overlap each other. [Error] carries the first violation. *)
+    overlap each other. Dependency edges must reference recorded spans
+    in issue order, and every span's issue time must equal — bitwise —
+    the max end of its edge predecessors (0.0 with none): the recorded
+    DAG fully explains the timeline. [Error] carries the first
+    violation. *)
 
 (** {2 Assembly} *)
 
@@ -177,7 +217,16 @@ val assemble : t -> placed list
     [(ts, pid, tid, name)] — deterministic for a given recording
     regardless of host schedule. Device-level events (pid 0) include
     one span per launch, one span per phase (with compute/bandwidth
-    attribution in its args) and SyncAll {!Barrier} instants. *)
+    attribution in its args) and SyncAll {!Barrier} instants.
+
+    Profiler-facing identities ride in the args: every span carries a
+    trace-unique [sid], its block occurrence [binst], and its
+    block-local cycle endpoints [c0]/[c1] (exact — the microsecond
+    [ts]/[dur] do not round-trip to cycles); every dependency edge
+    becomes a pair of zero-duration events with [p_cat] ["flow_out"]
+    (at the source span's end) and ["flow_in"] (at the target's start),
+    both carrying [id]/[kind]/[src]/[dst] args — the Chrome writer maps
+    them onto ph ["s"]/["f"] flow events. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One-line recorder summary (events, launches, drops). *)

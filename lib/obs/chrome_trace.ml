@@ -95,6 +95,35 @@ let json tr =
                  ("dur", Jsonw.Float (us dur));
                ]
               @ args)
+        | None when
+            p.Trace.p_cat = "flow_out" || p.Trace.p_cat = "flow_in" ->
+            (* Dependency edges ride the Perfetto flow-event pair: ph
+               "s" at the source span's end, ph "f" (binding to the
+               enclosing slice's end) at the target's start, correlated
+               by the numeric id arg. *)
+            let flow_id =
+              match List.assoc_opt "id" p.Trace.p_args with
+              | Some (Trace.I i) -> i
+              | _ -> 0
+            in
+            Jsonw.Obj
+              ([
+                 ("name", Jsonw.String p.Trace.p_name);
+                 ("cat", Jsonw.String "flow");
+                 ( "ph",
+                   Jsonw.String
+                     (if p.Trace.p_cat = "flow_out" then "s" else "f") );
+               ]
+              @ (if p.Trace.p_cat = "flow_in" then
+                   [ ("bp", Jsonw.String "e") ]
+                 else [])
+              @ [
+                  ("id", Jsonw.Int flow_id);
+                  ("pid", Jsonw.Int p.Trace.p_pid);
+                  ("tid", Jsonw.Int p.Trace.p_tid);
+                  ("ts", Jsonw.Float (us p.Trace.p_ts));
+                ]
+              @ args)
         | None ->
             Jsonw.Obj
               ([
@@ -121,13 +150,20 @@ let json tr =
             ("clock_hz", Jsonw.Float clock);
             ("spans", Jsonw.Int (Trace.span_count tr));
             ("instants", Jsonw.Int (Trace.mark_count tr));
+            ("edges", Jsonw.Int (Trace.edge_count tr));
             ("dropped", Jsonw.Int (Trace.dropped tr));
           ] );
     ]
 
 let to_string tr = Jsonw.to_string (json tr)
 
-type counts = { events : int; spans : int; instants : int; processes : int }
+type counts = {
+  events : int;
+  spans : int;
+  instants : int;
+  flows : int;  (** Matched ph "s"/"f" pairs (dependency edges). *)
+  processes : int;
+}
 
 let validate doc =
   let ( let* ) r f = Result.bind r f in
@@ -147,6 +183,11 @@ let validate doc =
   let tracks : (int * int, Track.t) Hashtbl.t = Hashtbl.create 64 in
   let procs = Hashtbl.create 8 in
   let spans = ref 0 and instants = ref 0 in
+  (* Flow pairing: every "s" must meet exactly one "f" with the same
+     id (and vice versa). [flow_open] maps id -> how many "s" seen
+     minus "f" seen; all entries must return to 0. *)
+  let flow_open : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let flows = ref 0 in
   (* Printing ts/dur at microsecond scale rounds in the last ulp; allow
      a nanosecond of slack when checking track monotonicity. *)
   let slack = 1e-3 in
@@ -160,6 +201,32 @@ let validate doc =
         let* () =
           match Option.bind (Jsonw.member "ph" ev) Jsonw.string_opt with
           | Some "M" -> Ok ()
+          | Some (("s" | "f") as ph) -> (
+              match
+                ( Option.bind (Jsonw.member "pid" ev) Jsonw.int_opt,
+                  Option.bind (Jsonw.member "tid" ev) Jsonw.int_opt,
+                  num "ts",
+                  Option.bind (Jsonw.member "id" ev) Jsonw.int_opt )
+              with
+              | Some _, Some _, Some ts, Some id ->
+                  if ts < -.slack then err "negative flow ts %g" ts
+                  else begin
+                    let d = if ph = "s" then 1 else -1 in
+                    let open_n =
+                      d + Option.value ~default:0 (Hashtbl.find_opt flow_open id)
+                    in
+                    if open_n < -1 || open_n > 1 then
+                      err "flow id %d has repeated %S events" id ph
+                    else begin
+                      Hashtbl.replace flow_open id open_n;
+                      if ph = "f" then incr flows;
+                      Ok ()
+                    end
+                  end
+              | None, _, _, _ -> err "flow missing pid"
+              | _, None, _, _ -> err "flow missing tid"
+              | _, _, None, _ -> err "flow missing ts"
+              | _, _, _, None -> err "flow missing id")
           | Some (("X" | "i") as ph) -> (
               match
                 ( Option.bind (Jsonw.member "pid" ev) Jsonw.int_opt,
@@ -227,10 +294,23 @@ let validate doc =
         go (i + 1) rest
   in
   let* () = go 0 events in
+  let* () =
+    Hashtbl.fold
+      (fun id open_n acc ->
+        Result.bind acc (fun () ->
+            if open_n <> 0 then
+              Error
+                (Printf.sprintf "flow id %d is unmatched (%s without %s)" id
+                   (if open_n > 0 then "\"s\"" else "\"f\"")
+                   (if open_n > 0 then "\"f\"" else "\"s\""))
+            else Ok ()))
+      flow_open (Ok ())
+  in
   Ok
     {
       events = List.length events;
       spans = !spans;
       instants = !instants;
+      flows = !flows;
       processes = Hashtbl.length procs;
     }

@@ -29,12 +29,14 @@ type counts = {
   events : int;  (** All events incl. metadata. *)
   spans : int;  (** ["X"] events. *)
   instants : int;  (** ["i"] events. *)
+  flows : int;  (** Matched ["s"]/["f"] pairs (dependency edges). *)
   processes : int;  (** Distinct pids. *)
 }
 
 val validate : Jsonw.t -> (counts, string) result
 (** Structural validation of a parsed trace document (the CLI's [trace
     validate]): a [traceEvents] array whose members carry a [ph] of
-    ["X"]/["i"]/["M"], numeric [pid]/[tid]/[ts] (and non-negative
-    [dur] on spans), and — per (pid, tid) track — spans sorted by
-    [ts] with no overlap beyond float-printing slack. *)
+    ["X"]/["i"]/["M"]/["s"]/["f"], numeric [pid]/[tid]/[ts] (and
+    non-negative [dur] on spans), per (pid, tid) track spans sorted by
+    [ts] with no overlap beyond float-printing slack, and every flow
+    ["s"] matched by exactly one ["f"] with the same [id]. *)

@@ -3,6 +3,7 @@ module Trace = Ascend.Trace
 
 type series =
   | Counter of float ref
+  | Gauge of float ref
   | Histogram of {
       bounds : float array;
       counts : int array; (* length = Array.length bounds + 1 (+Inf) *)
@@ -47,8 +48,16 @@ let inc t ?(labels = []) ?(help = "") name v =
   let m = metric t ~help name in
   match series m ~labels ~make:(fun () -> Counter (ref 0.0)) with
   | Counter r -> r := !r +. Float.max 0.0 v
-  | Histogram _ ->
-      invalid_arg (Printf.sprintf "Metrics.inc: %s is a histogram" name)
+  | Gauge _ | Histogram _ ->
+      invalid_arg (Printf.sprintf "Metrics.inc: %s is not a counter" name)
+
+let set t ?(labels = []) ?(help = "") name v =
+  let labels = sort_labels labels in
+  let m = metric t ~help name in
+  match series m ~labels ~make:(fun () -> Gauge (ref v)) with
+  | Gauge r -> r := v
+  | Counter _ | Histogram _ ->
+      invalid_arg (Printf.sprintf "Metrics.set: %s is not a gauge" name)
 
 let observe t ?(labels = []) ?(help = "") ~buckets name v =
   let labels = sort_labels labels in
@@ -63,8 +72,8 @@ let observe t ?(labels = []) ?(help = "") ~buckets name v =
             count = 0;
           })
   with
-  | Counter _ ->
-      invalid_arg (Printf.sprintf "Metrics.observe: %s is a counter" name)
+  | Counter _ | Gauge _ ->
+      invalid_arg (Printf.sprintf "Metrics.observe: %s is not a histogram" name)
   | Histogram h ->
       let n = Array.length h.bounds in
       let i = ref 0 in
@@ -220,6 +229,61 @@ let observe_trace t tr =
     inc t "ascend_trace_dropped_total" ~help:"Spans dropped by the cap"
       (float_of_int (Trace.dropped tr))
 
+(* Critical-path profile gauges: makespan blame per resource and the
+   per-phase MTE/compute overlap ratio, recomputed from each phase's
+   block spans with the interval primitives of {!Trace_summary}. *)
+let observe_profile t (p : Critical_path.t) =
+  let module Cp = Critical_path in
+  set t "ascend_cp_total_cycles"
+    ~help:"End-to-end makespan of the profiled trace (simulated cycles)"
+    p.Cp.total_cycles;
+  List.iter
+    (fun (resource, cycles) ->
+      set t "ascend_cp_blame_cycles"
+        ~help:"Critical-path cycles of the makespan attributed to each resource"
+        ~labels:[ ("resource", resource) ]
+        cycles)
+    p.Cp.blame;
+  List.iteri
+    (fun li (l : Cp.launch) ->
+      List.iter
+        (fun (ph : Cp.phase) ->
+          (* Busy intervals are block-local; overlap is meaningful
+             within a block, so intersections and denominators
+             accumulate per block before the ratio is taken. *)
+          let inter = ref 0.0 and denom = ref 0.0 in
+          List.iter
+            (fun (b : Cp.block) ->
+              let miv = ref [] and civ = ref [] in
+              Array.iter
+                (fun (s : Cp.span) ->
+                  if s.Cp.x_c1 > s.Cp.x_c0 then
+                    let iv = (s.Cp.x_c0, s.Cp.x_c1) in
+                    match s.Cp.x_queue with
+                    | "MTE2" | "MTE3" -> miv := iv :: !miv
+                    | _ -> civ := iv :: !civ)
+                b.Cp.bk_spans;
+              let m = Trace_summary.union_length !miv
+              and c = Trace_summary.union_length !civ in
+              denom := !denom +. Float.min m c;
+              inter := !inter +. Trace_summary.intersection_length !miv !civ)
+            ph.Cp.ph_blocks;
+          let ratio = if !denom <= 0.0 then 0.0 else !inter /. !denom in
+          set t "ascend_phase_mte_compute_overlap_ratio"
+            ~help:
+              "Per-phase MTE/compute overlap: busy-interval intersection \
+               over the smaller busy union (0 = serial, 1 = data movement \
+               fully hidden)"
+            ~labels:
+              [
+                ("launch", l.Cp.ln_name);
+                ("seq", string_of_int li);
+                ("phase", string_of_int ph.Cp.ph_index);
+              ]
+            ratio)
+        l.Cp.ln_phases)
+    p.Cp.launches
+
 let value_str = Jsonw.float_to_string
 
 let labels_str labels =
@@ -239,6 +303,7 @@ let pp_prometheus ppf t =
       let kind =
         match m.series with
         | (_, Counter _) :: _ -> "counter"
+        | (_, Gauge _) :: _ -> "gauge"
         | (_, Histogram _) :: _ -> "histogram"
         | [] -> "untyped"
       in
@@ -246,7 +311,7 @@ let pp_prometheus ppf t =
       List.iter
         (fun (labels, s) ->
           match s with
-          | Counter r ->
+          | Counter r | Gauge r ->
               Format.fprintf ppf "%s%s %s@." name (labels_str labels)
                 (value_str !r)
           | Histogram h ->

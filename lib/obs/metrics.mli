@@ -1,6 +1,6 @@
-(** A small metrics registry: monotonic counters and fixed-bucket
-    histograms with labels, rendered as Prometheus text exposition
-    (the CLI's [--metrics]).
+(** A small metrics registry: monotonic counters, gauges and
+    fixed-bucket histograms with labels, rendered as Prometheus text
+    exposition (the CLI's [--metrics]).
 
     Series are keyed by (metric name, sorted label set); observing the
     same key twice accumulates. {!pp_prometheus} prints metrics in
@@ -15,6 +15,11 @@ val inc :
   t -> ?labels:(string * string) list -> ?help:string -> string -> float -> unit
 (** Add to a counter (created on first use). Negative increments are
     clamped to 0 — counters are monotonic. *)
+
+val set :
+  t -> ?labels:(string * string) list -> ?help:string -> string -> float -> unit
+(** Set a gauge (created on first use) to the given value — last
+    write wins, unlike the accumulating {!inc}. *)
 
 val observe :
   t ->
@@ -52,6 +57,14 @@ val observe_ctl : t -> Runtime.Degrade_ctl.t -> unit
 (** {!observe_decision} over a controller's whole decision log, plus
     the breaker-open counter — the after-the-fact alternative to the
     [on_decision] hook. *)
+
+val observe_profile : t -> Critical_path.t -> unit
+(** Fold a critical-path profile in as gauges:
+    [ascend_cp_total_cycles], per-resource [ascend_cp_blame_cycles],
+    and [ascend_phase_mte_compute_overlap_ratio] per launch phase
+    (labels [launch]/[seq]/[phase]) — the busy-interval intersection
+    of MTE vs compute tracks over the smaller of the two busy unions,
+    accumulated per block. *)
 
 val observe_trace : t -> Ascend.Trace.t -> unit
 (** Fold a recording in: span/instant counters per issue queue and

@@ -29,6 +29,14 @@ type phase_sum = {
           hides entirely behind compute. *)
 }
 
+val union_length : (float * float) list -> float
+(** Total length of the union of (start, end) intervals. *)
+
+val intersection_length :
+  (float * float) list -> (float * float) list -> float
+(** Length of the intersection of two interval unions — the overlap
+    primitive shared with {!Metrics.observe_profile}. *)
+
 val of_json : Jsonw.t -> (phase_sum list, string) result
 (** Analyse a parsed trace document; [Error] when it is not a trace
     (no [traceEvents]) or has no phase spans. *)

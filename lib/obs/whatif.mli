@@ -1,0 +1,74 @@
+(** Counterfactual re-timing of a reconstructed launch DAG: "which
+    resource, sped up, buys the most makespan?"
+
+    Each scenario re-runs the forward pass over every block's DAG with
+    modified span durations or a restructured edge set, then
+    recomposes phase and launch times from the launch-composition args
+    the trace carries (latency, SyncAll, compute vs bandwidth roof,
+    residual overheads preserved). Everything is computed from the
+    {!Critical_path.t} profile alone — no re-simulation. *)
+
+type scenario =
+  | Speedup of { label : string; queues : string list; factor : float }
+      (** Scale the duration of every span on the named queue classes
+          (["MTE2"], ["MTE3"], ["V"], ["M"], ["S"]) by [1/factor];
+          [infinity] zeroes them. *)
+  | Hbm of float  (** Scale the HBM/L2 bandwidth roof of every phase. *)
+  | Pipeline
+      (** Structural: drop the serial schedule's per-item barriers
+          (join/section edges and lane edges into loads), keep the RAW
+          dataflow (queue order, load->compute->store), and pace loads
+          by double-buffer slot reuse (load k waits for load k-2's
+          consumer). Predicts what the Double/Triple walker schedules
+          buy over Serial — gated against BENCH_9 in BENCH_10. *)
+
+val label : scenario -> string
+
+val default_scenarios : scenario list
+(** [Pipeline], 2x/inf speedups of MTE, vector and cube, scalar inf,
+    and HBM 2x. *)
+
+val retime_block : scenario -> Critical_path.block -> float
+(** New makespan of one block under the scenario. With a no-op
+    scenario (e.g. [Speedup] with factor 1) this reproduces
+    [bk_cycles] bitwise. *)
+
+val predict_compute_cycles : Critical_path.t -> scenario -> float
+(** Sum over phases of the retimed bounding-core block chain, in
+    cycles — the quantity BENCH_9 gates on (per-phase
+    [compute_seconds] x clock, no launch latency or SyncAll), so the
+    pipeline prediction can be compared directly against a measured
+    schedule gain. *)
+
+type prediction = {
+  wi_label : string;
+  wi_cycles : float;  (** Predicted end-to-end cycles. *)
+  wi_gain : float;  (** Fraction of the baseline makespan saved. *)
+}
+
+val predict : Critical_path.t -> scenario -> prediction
+val rank : ?scenarios:scenario list -> Critical_path.t -> prediction list
+(** Predictions sorted by gain, descending (ties by label). *)
+
+type roof = {
+  rf_name : string;  (** Engine track, or ["HBM (device)"]. *)
+  rf_bytes : int;
+  rf_busy_cycles : float;
+  rf_achieved : float;  (** bytes per busy cycle. *)
+  rf_peak : float;  (** Cost-model ceiling, bytes per cycle. *)
+}
+
+val roofline : ?cm:Ascend.Cost_model.t -> Critical_path.t -> roof list
+(** Achieved vs peak bytes/cycle per MTE and vector track (tracks that
+    moved bytes), plus the device-level HBM roof over the end-to-end
+    makespan. *)
+
+val report :
+  ?scenarios:scenario list -> ?cm:Ascend.Cost_model.t -> Critical_path.t ->
+  Jsonw.t
+(** Deterministic what-if + roofline document, embedded in the CLI's
+    [profile.json]. *)
+
+val pp :
+  ?scenarios:scenario list -> ?cm:Ascend.Cost_model.t ->
+  Format.formatter -> Critical_path.t -> unit

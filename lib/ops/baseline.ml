@@ -13,23 +13,26 @@ let clone device x =
   let vchunk = Scan.Kernel_util.ceil_div n (blocks * vpc) in
   let body ctx =
     let i = Block.idx ctx in
-    let ubs = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile) in
-    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
-    Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
-        for t = 0 to max_tiles - 1 do
-          for v = 0 to vpc - 1 do
-            let lo = ((i * vpc) + v) * vchunk in
-            let hi = min n (lo + vchunk) in
-            let off = lo + (t * ub_tile) in
-            if off < hi then begin
-              let len = min ub_tile (hi - off) in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off
-                ~dst:ubs.(v) ~len ();
-              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ubs.(v)
-                ~dst:y ~dst_off:off ~len ()
-            end
-          done
-        done)
+    let schedule = Scan.Scan_core.current_schedule () in
+    let ubs =
+      Array.init vpc (fun v ->
+          Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile))
+    in
+    for v = 0 to vpc - 1 do
+      let lo = ((i * vpc) + v) * vchunk in
+      let hi = min n (lo + vchunk) in
+      if hi > lo then
+        Scan.Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:ub_tile ~n:(hi - lo)
+          ~load:(fun ~slot ~off ~len ->
+            Scan.Scan_core.stage_in ctx ~schedule
+              ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:(lo + off)
+              ~dst:ubs.(v).(slot) ~len ())
+          ~work:(fun ~slot ~off ~len ->
+            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
+              ~src:ubs.(v).(slot) ~dst:y ~dst_off:(lo + off) ~len ())
+          ()
+    done
   in
   let stats = Launch.run ~name:"torch_clone" device ~blocks body in
   (y, stats)
@@ -92,8 +95,18 @@ let bitonic_global_stage ~x ~n ~k ~d ~tile ctx =
   let i = Block.idx ctx in
   let vpc = (Block.cost ctx).Cost_model.vec_per_core in
   let dt = Global_tensor.dtype x in
-  let lo_t = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt tile) in
-  let hi_t = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt tile) in
+  let schedule = Scan.Scan_core.current_schedule () in
+  (* The low/high operand tiles are staged ahead under the pipeline
+     walker, so they ping-pong; min/max results are consumed by the
+     synchronous stores in the same item. *)
+  let lo_t =
+    Array.init vpc (fun v ->
+        Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt tile))
+  in
+  let hi_t =
+    Array.init vpc (fun v ->
+        Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt tile))
+  in
   let mn_t = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt tile) in
   let mx_t = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt tile) in
   let items = ref [] in
@@ -110,29 +123,44 @@ let bitonic_global_stage ~x ~n ~k ~d ~tile ctx =
   let mine = ref [] in
   Array.iteri (fun j it -> if j mod blocks = i then mine := it :: !mine) items;
   let mine = Array.of_list (List.rev !mine) in
-  if Array.length mine > 0 then
-    Block.pipelined ctx ~iters:(Array.length mine) (fun () ->
-        Array.iteri
-          (fun j (off_lo, off_hi) ->
-            let v = j mod vpc in
-            let len = min tile (n - off_lo) in
-            let up = stage_dir ~k off_lo in
-            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
-              ~src_off:off_lo ~dst:(lo_t.(v)) ~len ();
-            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
-              ~src_off:off_hi ~dst:(hi_t.(v)) ~len ();
-            Vec.binop ctx ~vec:v Vec.Min ~src0:(lo_t.(v)) ~src1:(hi_t.(v))
-              ~dst:(mn_t.(v)) ~len ();
-            Vec.binop ctx ~vec:v Vec.Max ~src0:(lo_t.(v)) ~src1:(hi_t.(v))
-              ~dst:(mx_t.(v)) ~len ();
-            let first, second =
-              if up then (mn_t.(v), mx_t.(v)) else (mx_t.(v), mn_t.(v))
-            in
-            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:first ~dst:x
-              ~dst_off:off_lo ~len ();
-            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:second
-              ~dst:x ~dst_off:off_hi ~len ())
-          mine)
+  (* All compare-exchange pairs of one stage are disjoint, so
+     prefetching item [t+1]'s operands before item [t]'s writes land
+     reads the same values the serial order would. *)
+  for v = 0 to vpc - 1 do
+    let mine_v = ref [] in
+    Array.iteri
+      (fun j it -> if j mod vpc = v then mine_v := it :: !mine_v)
+      mine;
+    let mine_v = Array.of_list (List.rev !mine_v) in
+    if Array.length mine_v > 0 then
+      Scan.Scan_core.pipeline ctx ~schedule ~in_engine:(Engine.Vec_mte_in v)
+        ~n:(Array.length mine_v)
+        ~load:(fun ~slot t ->
+          let off_lo, off_hi = mine_v.(t) in
+          let len = min tile (n - off_lo) in
+          Scan.Scan_core.stage_in ctx ~schedule
+            ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off_lo
+            ~dst:lo_t.(v).(slot) ~len ();
+          Scan.Scan_core.stage_in ctx ~schedule
+            ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off_hi
+            ~dst:hi_t.(v).(slot) ~len ())
+        ~work:(fun ~slot t ->
+          let off_lo, off_hi = mine_v.(t) in
+          let len = min tile (n - off_lo) in
+          let up = stage_dir ~k off_lo in
+          Vec.binop ctx ~vec:v Vec.Min ~src0:lo_t.(v).(slot)
+            ~src1:hi_t.(v).(slot) ~dst:(mn_t.(v)) ~len ();
+          Vec.binop ctx ~vec:v Vec.Max ~src0:lo_t.(v).(slot)
+            ~src1:hi_t.(v).(slot) ~dst:(mx_t.(v)) ~len ();
+          let first, second =
+            if up then (mn_t.(v), mx_t.(v)) else (mx_t.(v), mn_t.(v))
+          in
+          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:first ~dst:x
+            ~dst_off:off_lo ~len ();
+          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:second ~dst:x
+            ~dst_off:off_hi ~len ())
+        ()
+  done
 
 (* Host-side compare-exchange of all sub-stages [d0 .. 1] of outer size
    [k] inside one UB tile starting at global offset [base]. Semantics
@@ -162,7 +190,11 @@ let bitonic_fused_stage ~x ~n ~k ~tile ctx =
   let i = Block.idx ctx in
   let vpc = (Block.cost ctx).Cost_model.vec_per_core in
   let dt = Global_tensor.dtype x in
-  let tiles = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt tile) in
+  let schedule = Scan.Scan_core.current_schedule () in
+  let tiles =
+    Array.init vpc (fun v ->
+        Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt tile))
+  in
   let ntiles = (n + tile - 1) / tile in
   let mine = ref [] in
   for t = ntiles - 1 downto 0 do
@@ -175,29 +207,41 @@ let bitonic_fused_stage ~x ~n ~k ~tile ctx =
     count d0 0
   in
   let cm = Block.cost ctx in
-  if Array.length mine > 0 then
-    Block.pipelined ctx ~iters:(Array.length mine) (fun () ->
-        Array.iteri
-          (fun j t ->
-            let v = j mod vpc in
-            let off = t * tile in
-            let len = min tile (n - off) in
-            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off
-              ~dst:(tiles.(v)) ~len ();
-            (* Generic vector code for the in-tile network. *)
-            Block.charge ~op:"scan_network" ctx (Engine.Vec v)
-              (float_of_int (local_substage_instrs * substages)
-              *. Cost_model.vec_op_cycles cm
-                   ~bytes:(len * Dtype.size_bytes dt));
-            if Block.functional ctx then begin
-              Local_tensor.touch tiles.(v);
-              local_network
-                (Local_tensor.buffer tiles.(v))
-                ~base:off ~len ~k ~d0
-            end;
-            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:(tiles.(v))
-              ~dst:x ~dst_off:off ~len ())
-          mine)
+  (* Tiles are disjoint, so prefetching the next tile under the walker
+     never observes an in-flight write-back. *)
+  for v = 0 to vpc - 1 do
+    let mine_v = ref [] in
+    Array.iteri (fun j t -> if j mod vpc = v then mine_v := t :: !mine_v) mine;
+    let mine_v = Array.of_list (List.rev !mine_v) in
+    if Array.length mine_v > 0 then
+      Scan.Scan_core.pipeline ctx ~schedule ~in_engine:(Engine.Vec_mte_in v)
+        ~n:(Array.length mine_v)
+        ~load:(fun ~slot j ->
+          let t = mine_v.(j) in
+          let off = t * tile in
+          let len = min tile (n - off) in
+          Scan.Scan_core.stage_in ctx ~schedule
+            ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off
+            ~dst:tiles.(v).(slot) ~len ())
+        ~work:(fun ~slot j ->
+          let t = mine_v.(j) in
+          let off = t * tile in
+          let len = min tile (n - off) in
+          (* Generic vector code for the in-tile network. *)
+          Block.charge ~op:"scan_network" ctx (Engine.Vec v)
+            (float_of_int (local_substage_instrs * substages)
+            *. Cost_model.vec_op_cycles cm
+                 ~bytes:(len * Dtype.size_bytes dt));
+          if Block.functional ctx then begin
+            Local_tensor.touch tiles.(v).(slot);
+            local_network
+              (Local_tensor.buffer tiles.(v).(slot))
+              ~base:off ~len ~k ~d0
+          end;
+          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
+            ~src:tiles.(v).(slot) ~dst:x ~dst_off:off ~len ())
+        ()
+  done
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
@@ -274,37 +318,39 @@ let topk device x ~k =
   let cand = Device.alloc device dt (nvec * k) ~name:"topk_cand" in
   let phase1 ctx =
     let i = Block.idx ctx in
-    let tiles = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile) in
+    let schedule = Scan.Scan_core.current_schedule () in
+    let tiles =
+      Array.init vpc (fun v ->
+          Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile))
+    in
     let accs = Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt (2 * k)) in
-    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
-    Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
-        for v = 0 to vpc - 1 do
-          Vec.dup ctx ~vec:v ~dst:(accs.(v)) ~scalar:neg_infinity ~len:(2 * k) ()
-        done;
-        for t = 0 to max_tiles - 1 do
-          for v = 0 to vpc - 1 do
-            let lo = ((i * vpc) + v) * vchunk in
-            let hi = min n (lo + vchunk) in
-            let off = lo + (t * ub_tile) in
-            if off < hi then begin
-              let len = min ub_tile (hi - off) in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off
-                ~dst:(tiles.(v)) ~len ();
-              Vec.sort_region ctx ~vec:v ~descending:true ~src:(tiles.(v))
-                ~dst:(tiles.(v)) ~len ();
-              (* Merge the tile's top-k with the running candidates. *)
-              Vec.copy ctx ~vec:v ~src:(tiles.(v)) ~dst:(accs.(v)) ~dst_off:k
-                ~len:(min k len) ();
-              Vec.sort_region ctx ~vec:v ~descending:true ~src:(accs.(v))
-                ~dst:(accs.(v)) ~len:(2 * k) ()
-            end
-          done
-        done;
-        for v = 0 to vpc - 1 do
-          let kidx = (i * vpc) + v in
-          Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:(accs.(v))
-            ~dst:cand ~dst_off:(kidx * k) ~len:k ()
-        done)
+    for v = 0 to vpc - 1 do
+      let lo = ((i * vpc) + v) * vchunk in
+      let hi = min n (lo + vchunk) in
+      if hi > lo then begin
+        Vec.dup ctx ~vec:v ~dst:(accs.(v)) ~scalar:neg_infinity ~len:(2 * k) ();
+        (* The running-candidate merge is a serial chain through
+           [accs.(v)]; only the tile loads ping-pong. *)
+        Scan.Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:ub_tile ~n:(hi - lo)
+          ~load:(fun ~slot ~off ~len ->
+            Scan.Scan_core.stage_in ctx ~schedule
+              ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:(lo + off)
+              ~dst:tiles.(v).(slot) ~len ())
+          ~work:(fun ~slot ~off:_ ~len ->
+            Vec.sort_region ctx ~vec:v ~descending:true ~src:tiles.(v).(slot)
+              ~dst:tiles.(v).(slot) ~len ();
+            (* Merge the tile's top-k with the running candidates. *)
+            Vec.copy ctx ~vec:v ~src:tiles.(v).(slot) ~dst:(accs.(v))
+              ~dst_off:k ~len:(min k len) ();
+            Vec.sort_region ctx ~vec:v ~descending:true ~src:(accs.(v))
+              ~dst:(accs.(v)) ~len:(2 * k) ())
+          ();
+        let kidx = (i * vpc) + v in
+        Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:(accs.(v))
+          ~dst:cand ~dst_off:(kidx * k) ~len:k ()
+      end
+    done
   in
   let phase2 ctx =
     if Block.idx ctx = 0 then begin

@@ -15,41 +15,41 @@ let run ?(name = "map") ?(scratch = []) device ~inputs ~output ~f =
   let vchunk = Scan.Kernel_util.ceil_div n (blocks * vpc) in
   let body ctx =
     let i = Block.idx ctx in
+    let schedule = Scan.Scan_core.current_schedule () in
     let alloc v dt = Block.alloc ctx (Mem_kind.Ub v) dt tile_elems in
+    (* Input tiles ping-pong under the walker; the output and scratch
+       tiles are produced and stored within one item, so one of each
+       suffices. *)
     let per_vec =
       Array.init vpc (fun v ->
           let ins =
-            List.map (fun gt -> alloc v (Global_tensor.dtype gt)) inputs
+            Array.init 2 (fun _ ->
+                List.map (fun gt -> alloc v (Global_tensor.dtype gt)) inputs)
           in
           let out = alloc v (Global_tensor.dtype output) in
           let scr = List.map (alloc v) scratch in
           (ins, out, scr))
     in
-    let ranges =
-      Array.init vpc (fun v ->
-          let lo = ((i * vpc) + v) * vchunk in
-          (lo, min n (lo + vchunk)))
-    in
-    let max_tiles = Scan.Kernel_util.ceil_div vchunk tile_elems in
-    if Array.exists (fun (lo, hi) -> hi > lo) ranges then
-      Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
-          for t = 0 to max_tiles - 1 do
-            for v = 0 to vpc - 1 do
-              let lo, hi = ranges.(v) in
-              let off = lo + (t * tile_elems) in
-              if off < hi then begin
-                let len = min tile_elems (hi - off) in
-                let ins, out, scr = per_vec.(v) in
-                List.iter2
-                  (fun gt lt ->
-                    Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:gt
-                      ~src_off:off ~dst:lt ~len ())
-                  inputs ins;
-                f ctx ~vec:v ~ins ~out ~scratch:scr ~len;
-                Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:out
-                  ~dst:output ~dst_off:off ~len ()
-              end
-            done
-          done)
+    for v = 0 to vpc - 1 do
+      let lo = ((i * vpc) + v) * vchunk in
+      let hi = min n (lo + vchunk) in
+      if hi > lo then
+        Scan.Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:tile_elems ~n:(hi - lo)
+          ~load:(fun ~slot ~off ~len ->
+            let ins, _, _ = per_vec.(v) in
+            List.iter2
+              (fun gt lt ->
+                Scan.Scan_core.stage_in ctx ~schedule
+                  ~engine:(Engine.Vec_mte_in v) ~src:gt ~src_off:(lo + off)
+                  ~dst:lt ~len ())
+              inputs ins.(slot))
+          ~work:(fun ~slot ~off ~len ->
+            let ins, out, scr = per_vec.(v) in
+            f ctx ~vec:v ~ins:ins.(slot) ~out ~scratch:scr ~len;
+            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:out
+              ~dst:output ~dst_off:(lo + off) ~len ())
+          ()
+    done
   in
   Launch.run ~name device ~blocks body

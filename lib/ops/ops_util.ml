@@ -45,25 +45,29 @@ let slice device gt ~off ~len =
   let vchunk = Scan.Kernel_util.ceil_div len (blocks * vpc) in
   let body ctx =
     let i = Block.idx ctx in
+    let schedule = Scan.Scan_core.current_schedule () in
     let ubs =
-      Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile)
+      Array.init vpc (fun v ->
+          Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile))
     in
-    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
-    Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
-        for t = 0 to max_tiles - 1 do
-          for v = 0 to vpc - 1 do
-            let lo = ((i * vpc) + v) * vchunk in
-            let hi = min len (lo + vchunk) in
-            let o = lo + (t * ub_tile) in
-            if o < hi then begin
-              let l = min ub_tile (hi - o) in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:gt
-                ~src_off:(off + o) ~dst:ubs.(v) ~len:l ();
-              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ubs.(v)
-                ~dst:out ~dst_off:o ~len:l ()
-            end
-          done
-        done)
+    for v = 0 to vpc - 1 do
+      let vlo = ((i * vpc) + v) * vchunk in
+      let vhi = min len (vlo + vchunk) in
+      if vhi > vlo then
+        (* The staged tile doubles as the store source, so the store
+           stays synchronous (the slot is only reused once its store
+           retired); loads overlap via the walker's ping-pong slots. *)
+        Scan.Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:ub_tile ~n:(vhi - vlo)
+          ~load:(fun ~slot ~off:o ~len:l ->
+            Scan.Scan_core.stage_in ctx ~schedule
+              ~engine:(Engine.Vec_mte_in v) ~src:gt
+              ~src_off:(off + vlo + o) ~dst:ubs.(v).(slot) ~len:l ())
+          ~work:(fun ~slot ~off:o ~len:l ->
+            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
+              ~src:ubs.(v).(slot) ~dst:out ~dst_off:(vlo + o) ~len:l ())
+          ()
+    done
   in
   let stats = Launch.run ~name:"slice" device ~blocks body in
   (out, stats)
@@ -81,24 +85,25 @@ let blit device ~src ?(src_off = 0) ~dst ?(dst_off = 0) ~len () =
   let vchunk = Scan.Kernel_util.ceil_div len (blocks * vpc) in
   let body ctx =
     let i = Block.idx ctx in
+    let schedule = Scan.Scan_core.current_schedule () in
     let ubs =
-      Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile)
+      Array.init vpc (fun v ->
+          Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub v) dt ub_tile))
     in
-    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
-    Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
-        for t = 0 to max_tiles - 1 do
-          for v = 0 to vpc - 1 do
-            let lo = ((i * vpc) + v) * vchunk in
-            let hi = min len (lo + vchunk) in
-            let o = lo + (t * ub_tile) in
-            if o < hi then begin
-              let l = min ub_tile (hi - o) in
-              Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src
-                ~src_off:(src_off + o) ~dst:ubs.(v) ~len:l ();
-              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:ubs.(v)
-                ~dst ~dst_off:(dst_off + o) ~len:l ()
-            end
-          done
-        done)
+    for v = 0 to vpc - 1 do
+      let vlo = ((i * vpc) + v) * vchunk in
+      let vhi = min len (vlo + vchunk) in
+      if vhi > vlo then
+        Scan.Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:ub_tile ~n:(vhi - vlo)
+          ~load:(fun ~slot ~off:o ~len:l ->
+            Scan.Scan_core.stage_in ctx ~schedule
+              ~engine:(Engine.Vec_mte_in v) ~src
+              ~src_off:(src_off + vlo + o) ~dst:ubs.(v).(slot) ~len:l ())
+          ~work:(fun ~slot ~off:o ~len:l ->
+            Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
+              ~src:ubs.(v).(slot) ~dst ~dst_off:(dst_off + vlo + o) ~len:l ())
+          ()
+    done
   in
   Launch.run ~name:"blit" device ~blocks body

@@ -9,10 +9,13 @@ type result = {
 
 let ub_tile = 8192
 
-(* Per-vector-core buffer set for the gather phase. *)
+(* Per-vector-core buffer set for the gather phase. The GatherMask
+   operand tiles ([xt]/[ft]) ping-pong under the pipeline walker; the
+   remaining tiles are staged or produced within one item (UB cannot
+   hold a second copy of all five input tiles at once). *)
 type bufs = {
-  xt : Local_tensor.t;
-  ft : Local_tensor.t;
+  xt : Local_tensor.t array;
+  ft : Local_tensor.t array;
   nft : Local_tensor.t;
   et : Local_tensor.t;
   gbuf : Local_tensor.t;
@@ -22,9 +25,10 @@ type bufs = {
 
 let alloc_bufs ctx ~v ~xdt ~with_indices =
   let ub k dt = Block.alloc ctx (Mem_kind.Ub k) dt ub_tile in
+  let ub2 k dt = Array.init 2 (fun _ -> ub k dt) in
   {
-    xt = ub v xdt;
-    ft = ub v Dtype.I8;
+    xt = ub2 v xdt;
+    ft = ub2 v Dtype.I8;
     nft = ub v Dtype.I8;
     et = ub v Dtype.I32;
     gbuf = ub v xdt;
@@ -32,11 +36,26 @@ let alloc_bufs ctx ~v ~xdt ~with_indices =
     gi = (if with_indices then Some (ub v Dtype.I32) else None);
   }
 
+(* Stage one tile's GatherMask operands into ping-pong slot [slot]. *)
+let load_tile ctx ~schedule ~v ~b ~x ~flags ~slot ~off ~len =
+  let stage ~src ~dst =
+    Scan.Scan_core.stage_in ctx ~schedule ~engine:(Engine.Vec_mte_in v) ~src
+      ~src_off:off ~dst ~len ()
+  in
+  stage ~src:x ~dst:b.xt.(slot);
+  stage ~src:flags ~dst:b.ft.(slot)
+
 (* One tile of the gather phase on vector core [v]: two GatherMask
-   compactions, written at the offsets dictated by the exclusive scan. *)
-let gather_tile ctx ~v ~b ~x ~flags ~e ~indices_in ~z ~zi ~total_true
+   compactions, written at the offsets dictated by the exclusive scan.
+   [x]/[flags] were staged into slot [slot] by [load_tile]; the scan
+   tile (and index tile) load synchronously here, single-buffered. *)
+let gather_tile ctx ~v ~b ~slot ~e ~indices_in ~z ~zi ~total_true
     ~expected_density ~emit_falses ~off ~len =
   let functional = Block.functional ctx in
+  let xt = b.xt.(slot) and ft = b.ft.(slot) and et = b.et in
+  let it = b.it in
+  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:e ~src_off:off ~dst:et
+    ~len ();
   (* In cost-only mode the per-tile counts come from the expected
      density; floor rounding can overshoot the output end by one
      element, so writes are clamped (traffic error <= 1 element). *)
@@ -44,20 +63,14 @@ let gather_tile ctx ~v ~b ~x ~flags ~e ~indices_in ~z ~zi ~total_true
     if functional then cnt
     else max 0 (min cnt (Global_tensor.length z - dst_off))
   in
-  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x ~src_off:off ~dst:b.xt
-    ~len ();
-  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:flags ~src_off:off
-    ~dst:b.ft ~len ();
-  Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:e ~src_off:off ~dst:b.et
-    ~len ();
   let base_true =
-    let got = Vec.get ctx ~vec:v b.et 0 in
+    let got = Vec.get ctx ~vec:v et 0 in
     if functional then int_of_float got
     else int_of_float (expected_density *. float_of_int off)
   in
   (* True run. *)
   let cnt_true =
-    let got = Vec.gather_mask ctx ~vec:v ~src:b.xt ~mask:b.ft ~dst:b.gbuf ~len () in
+    let got = Vec.gather_mask ctx ~vec:v ~src:xt ~mask:ft ~dst:b.gbuf ~len () in
     if functional then got
     else int_of_float (expected_density *. float_of_int len)
   in
@@ -67,9 +80,9 @@ let gather_tile ctx ~v ~b ~x ~flags ~e ~indices_in ~z ~zi ~total_true
       ~dst_off:base_true ~len:cnt_true_w ();
   (* False run, at [total_true + #falses before the tile]. *)
   if emit_falses then begin
-    Vec.compare_scalar ctx ~vec:v Vec.Eq ~src:b.ft ~dst:b.nft ~scalar:0.0 ~len ();
+    Vec.compare_scalar ctx ~vec:v Vec.Eq ~src:ft ~dst:b.nft ~scalar:0.0 ~len ();
     let cnt_false =
-      let got = Vec.gather_mask ctx ~vec:v ~src:b.xt ~mask:b.nft ~dst:b.gbuf ~len () in
+      let got = Vec.gather_mask ctx ~vec:v ~src:xt ~mask:b.nft ~dst:b.gbuf ~len () in
       if functional then got else len - cnt_true
     in
     let cnt_false_w = clamp ~dst_off:(total_true + off - base_true) cnt_false in
@@ -78,7 +91,7 @@ let gather_tile ctx ~v ~b ~x ~flags ~e ~indices_in ~z ~zi ~total_true
         ~dst_off:(total_true + off - base_true) ~len:cnt_false_w ()
   end;
   (* Source indices, permuted the same way. *)
-  match zi, b.it, b.gi with
+  match zi, it, b.gi with
   | Some zi, Some it, Some gi ->
       (match indices_in with
       | Some src_idx ->
@@ -87,7 +100,7 @@ let gather_tile ctx ~v ~b ~x ~flags ~e ~indices_in ~z ~zi ~total_true
       | None ->
           Vec.arange ctx ~vec:v ~dst:it ~start:(float_of_int off) ~len ());
       let cnt =
-        let got = Vec.gather_mask ctx ~vec:v ~src:it ~mask:b.ft ~dst:gi ~len () in
+        let got = Vec.gather_mask ctx ~vec:v ~src:it ~mask:ft ~dst:gi ~len () in
         if functional then got else cnt_true
       in
       let cnt_w = clamp ~dst_off:base_true cnt in
@@ -157,28 +170,26 @@ let run ?(s = 128) ?(expected_density = 0.5) ?(with_indices = false)
           ~reason:"split gather: scan-computed scatter offsets are disjoint"
     | None -> ());
     let xdt = Global_tensor.dtype x in
+    let schedule = Scan.Scan_core.current_schedule () in
     let bufs = Array.init vpc (fun v -> alloc_bufs ctx ~v ~xdt ~with_indices) in
-    let ranges =
-      Array.init vpc (fun v ->
-          let k = (i * vpc) + v in
-          let vlo = k * vchunk in
-          (vlo, min n (vlo + vchunk)))
-    in
-    let max_tiles = Scan.Kernel_util.ceil_div vchunk ub_tile in
-    if Array.exists (fun (lo, hi) -> hi > lo) ranges then
-      (* Both vector cores of the AI core advance tile by tile inside
-         one pipelined section so their engines overlap. *)
-      Block.pipelined ctx ~iters:(max 1 max_tiles) (fun () ->
-          for t = 0 to max_tiles - 1 do
-            for v = 0 to vpc - 1 do
-              let vlo, vhi = ranges.(v) in
-              let off = vlo + (t * ub_tile) in
-              if off < vhi then
-                let len = min ub_tile (vhi - off) in
-                gather_tile ctx ~v ~b:bufs.(v) ~x ~flags ~e ~indices_in ~z ~zi
-                  ~total_true ~expected_density ~emit_falses ~off ~len
-            done
-          done)
+    (* Each vector core walks its sub-block under the pipeline walker:
+       the next tile's x/flags loads overlap the current tile's
+       GatherMask compactions and scatter stores. *)
+    for v = 0 to vpc - 1 do
+      let vlo = ((i * vpc) + v) * vchunk in
+      let vhi = min n (vlo + vchunk) in
+      if vhi > vlo then
+        Scan.Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:ub_tile ~n:(vhi - vlo)
+          ~load:(fun ~slot ~off ~len ->
+            load_tile ctx ~schedule ~v ~b:bufs.(v) ~x ~flags ~slot
+              ~off:(vlo + off) ~len)
+          ~work:(fun ~slot ~off ~len ->
+            gather_tile ctx ~v ~b:bufs.(v) ~slot ~e ~indices_in ~z ~zi
+              ~total_true ~expected_density ~emit_falses ~off:(vlo + off)
+              ~len)
+          ()
+    done
   in
   let gather_stats = Launch.run ~name:"split_gather" device ~blocks body in
   {

@@ -65,45 +65,51 @@ let sample_many ?(s = 128) device ~weights ~thetas =
   let functional = Device.functional device in
   let body ctx =
     if Block.idx ctx = 0 then begin
-      let ub = Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 ub_tile in
+      let schedule = Scan.Scan_core.current_schedule () in
+      let ub =
+        Array.init 2 (fun _ -> Block.alloc ctx (Mem_kind.Ub 0) Dtype.F16 ub_tile)
+      in
       let mask = Block.alloc ctx (Mem_kind.Ub 0) Dtype.I8 ub_tile in
       let next = ref 0 in
       let ntiles = Scan.Kernel_util.ceil_div n ub_tile in
-      Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
-          for t = 0 to ntiles - 1 do
-            let off = t * ub_tile in
-            let len = min ub_tile (n - off) in
-            Mte.copy_in ctx ~engine:(Engine.Vec_mte_in 0) ~src:cdf
-              ~src_off:off ~dst:ub ~len ();
-            if functional then begin
-              let tile_last = Vec.get ctx ub (len - 1) in
-              (* Resolve every pending draw whose target this tile
-                 covers: count the strictly-greater suffix. *)
-              while
-                !next < k
-                && (t = ntiles - 1
-                   || thetas.(order.(!next)) *. total < tile_last)
-              do
-                let target = thetas.(order.(!next)) *. total in
-                Vec.compare_scalar ctx Vec.Gt ~src:ub ~dst:mask ~scalar:target
-                  ~len ();
-                let above =
-                  int_of_float (Vec.reduce_sum ctx ~src:mask ~len ())
-                in
-                samples.(order.(!next)) <- min (n - 1) (off + (len - above));
-                incr next
-              done
-            end
-            else begin
-              (* Cost-only: draws spread uniformly over the tiles. *)
-              let per_tile = Scan.Kernel_util.ceil_div k ntiles in
-              for _ = 1 to per_tile do
-                Vec.compare_scalar ctx Vec.Gt ~src:ub ~dst:mask ~scalar:0.5
-                  ~len ();
-                ignore (Vec.reduce_sum ctx ~src:mask ~len ())
-              done
-            end
-          done)
+      Scan.Scan_core.pipeline_tiles ctx ~schedule
+        ~in_engine:(Engine.Vec_mte_in 0) ~tile:ub_tile ~n
+        ~load:(fun ~slot ~off ~len ->
+          Scan.Scan_core.stage_in ctx ~schedule
+            ~engine:(Engine.Vec_mte_in 0) ~src:cdf ~src_off:off
+            ~dst:ub.(slot) ~len ())
+        ~work:(fun ~slot ~off ~len ->
+          let t = off / ub_tile in
+          let ub = ub.(slot) in
+          if functional then begin
+            let tile_last = Vec.get ctx ub (len - 1) in
+            (* Resolve every pending draw whose target this tile
+               covers: count the strictly-greater suffix. *)
+            while
+              !next < k
+              && (t = ntiles - 1
+                 || thetas.(order.(!next)) *. total < tile_last)
+            do
+              let target = thetas.(order.(!next)) *. total in
+              Vec.compare_scalar ctx Vec.Gt ~src:ub ~dst:mask ~scalar:target
+                ~len ();
+              let above =
+                int_of_float (Vec.reduce_sum ctx ~src:mask ~len ())
+              in
+              samples.(order.(!next)) <- min (n - 1) (off + (len - above));
+              incr next
+            done
+          end
+          else begin
+            (* Cost-only: draws spread uniformly over the tiles. *)
+            let per_tile = Scan.Kernel_util.ceil_div k ntiles in
+            for _ = 1 to per_tile do
+              Vec.compare_scalar ctx Vec.Gt ~src:ub ~dst:mask ~scalar:0.5
+                ~len ();
+              ignore (Vec.reduce_sum ctx ~src:mask ~len ())
+            done
+          end)
+        ()
     end
   in
   let st_pass = Launch.run ~name:"sample_many_search" device ~blocks:1 body in

@@ -36,7 +36,13 @@ let run_cube ?(s = 128) device x =
     let lo = i * chunk in
     let hi = min n (lo + chunk) in
     if hi > lo then begin
-      let l0a = Block.alloc ctx Mem_kind.L0a Dtype.F16 tile in
+      let schedule = Scan_core.current_schedule () in
+      (* Two L0A slots fill L0A exactly (2 x s^2 f16 = 64 KiB): the
+         next tile's DataCopy overlaps the current accumulate matmul.
+         The arena is reset afterwards to make room for [row1]. *)
+      let l0a =
+        Array.init 2 (fun _ -> Block.alloc ctx Mem_kind.L0a Dtype.F16 tile)
+      in
       let acc = Block.alloc ctx Mem_kind.L0c Dtype.F32 tile in
       let c2 = Block.alloc ctx Mem_kind.L0c Dtype.F32 s in
       let ones_l1 =
@@ -48,20 +54,27 @@ let run_cube ?(s = 128) device x =
       Mte.copy_local ctx ~engine:Engine.Cube ~src:ones_l1 ~dst:l0b
         ~len:tile ();
       let ntiles = Kernel_util.ceil_div (hi - lo) tile in
-      Block.pipelined ctx ~iters:(max 1 ntiles) (fun () ->
-          for t = 0 to ntiles - 1 do
-            let off = lo + (t * tile) in
-            let len = min tile (hi - off) in
-            let rows = Kernel_util.ceil_div len s in
-            Mte.copy_in ctx ~engine:Engine.Cube_mte_in ~src:x ~src_off:off
-              ~dst:l0a ~len ();
-            if len < rows * s then
-              Mte.copy_in ctx ~engine:Engine.Cube_mte_in ~src:zeros
-                ~dst:l0a ~dst_off:len ~len:((rows * s) - len) ();
-            (* C += A_t @ 1: column j of C accumulates the row sums. *)
-            Cube.mmad ctx ~a:l0a ~b:l0b ~c:acc ~m:rows ~k:s ~n:s
-              ~accumulate:(t > 0)
-          done);
+      Scan_core.pipeline ctx ~schedule ~in_engine:Engine.Cube_mte_in
+        ~n:ntiles
+        ~load:(fun ~slot t ->
+          let off = lo + (t * tile) in
+          let len = min tile (hi - off) in
+          let rows = Kernel_util.ceil_div len s in
+          Scan_core.stage_in ctx ~schedule ~engine:Engine.Cube_mte_in
+            ~src:x ~src_off:off ~dst:l0a.(slot) ~len ();
+          if len < rows * s then
+            Scan_core.stage_in ctx ~schedule ~engine:Engine.Cube_mte_in
+              ~src:zeros ~dst:l0a.(slot) ~dst_off:len
+              ~len:((rows * s) - len) ())
+        ~work:(fun ~slot t ->
+          let off = lo + (t * tile) in
+          let len = min tile (hi - off) in
+          let rows = Kernel_util.ceil_div len s in
+          (* C += A_t @ 1: column j of C accumulates the row sums. *)
+          Cube.mmad ctx ~a:l0a.(slot) ~b:l0b ~c:acc ~m:rows ~k:s ~n:s
+            ~accumulate:(t > 0))
+        ();
+      Block.reset_mem ctx Mem_kind.L0a;
       (* Collapse C's rows with one more matmul: 1_{1 x s} @ C. *)
       Mte.copy_local ctx ~engine:Engine.Cube ~src:acc ~dst:acc_l1 ~len:tile ();
       Mte.copy_local ctx ~engine:Engine.Cube ~src:acc_l1 ~dst:l0b ~len:tile ();
@@ -100,34 +113,33 @@ let run_vec device x =
   let partials = Device.alloc device Dtype.F32 nvec ~name:(name ^ "_vpartials") in
   let phase1 ctx =
     let i = Block.idx ctx in
+    let schedule = Scan_core.current_schedule () in
     let ubs =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 ub_tile)
+      Array.init vpc (fun v ->
+          Array.init 2 (fun _ ->
+              Block.alloc ctx (Mem_kind.Ub v) Dtype.F16 ub_tile))
     in
     let stage =
-      List.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F32 16)
+      Array.init vpc (fun v -> Block.alloc ctx (Mem_kind.Ub v) Dtype.F32 16)
     in
-    let vtiles = Kernel_util.ceil_div chunk ub_tile in
-    Block.pipelined ctx ~iters:(max 1 vtiles) (fun () ->
-        List.iteri
-          (fun v ub ->
-            let lo = ((i * vpc) + v) * chunk in
-            let hi = min n (lo + chunk) in
-            if hi > lo then begin
-              let acc = ref 0.0 in
-              let t = ref lo in
-              while !t < hi do
-                let len = min ub_tile (hi - !t) in
-                Mte.copy_in ctx ~engine:(Engine.Vec_mte_in v) ~src:x
-                  ~src_off:!t ~dst:ub ~len ();
-                acc := !acc +. Vec.reduce_sum ctx ~vec:v ~src:ub ~len ();
-                t := !t + ub_tile
-              done;
-              Vec.set ctx ~vec:v (List.nth stage v) 0 !acc;
-              Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v)
-                ~src:(List.nth stage v) ~dst:partials
-                ~dst_off:((i * vpc) + v) ~len:1 ()
-            end)
-          ubs)
+    for v = 0 to vpc - 1 do
+      let lo = ((i * vpc) + v) * chunk in
+      let hi = min n (lo + chunk) in
+      if hi > lo then begin
+        let acc = ref 0.0 in
+        Scan_core.pipeline_tiles ctx ~schedule
+          ~in_engine:(Engine.Vec_mte_in v) ~tile:ub_tile ~n:(hi - lo)
+          ~load:(fun ~slot ~off ~len ->
+            Scan_core.stage_in ctx ~schedule ~engine:(Engine.Vec_mte_in v)
+              ~src:x ~src_off:(lo + off) ~dst:ubs.(v).(slot) ~len ())
+          ~work:(fun ~slot ~off:_ ~len ->
+            acc := !acc +. Vec.reduce_sum ctx ~vec:v ~src:ubs.(v).(slot) ~len ())
+          ();
+        Vec.set ctx ~vec:v stage.(v) 0 !acc;
+        Mte.copy_out ctx ~engine:(Engine.Vec_mte_out v) ~src:stage.(v)
+          ~dst:partials ~dst_off:((i * vpc) + v) ~len:1 ()
+      end
+    done
   in
   let out, phase2 = finalize device ~name ~partials ~count:nvec in
   let stats =
